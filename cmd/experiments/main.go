@@ -1,0 +1,108 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section VIII).
+//
+// Usage:
+//
+//	experiments -scale quick all
+//	experiments -scale paper fig7 fig8 table3
+//	experiments -apps nt3,uno -seeds 3 -budget 120 fig7
+//
+// Experiments: table1 fig2 fig3 fig4 fig5 fig7 fig8 table3 table4 fig9
+// fig10 fig11 all. Searches are shared between experiments within one
+// invocation (fig7/fig8/fig9/fig10/fig11/table3/table4 reuse the same
+// campaign runs, as the paper does).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"swtnas/internal/experiments"
+)
+
+var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale  = flag.String("scale", "quick", "quick or paper")
+		seeds  = flag.Int("seeds", 0, "override repetition count")
+		budget = flag.Int("budget", 0, "override per-search candidate budget")
+		appsF  = flag.String("apps", "", "comma-separated application subset")
+		seed   = flag.Int64("seed", 0, "override base seed")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "paper":
+		cfg = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (quick or paper)", *scale)
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *appsF != "" {
+		cfg.Apps = strings.Split(*appsF, ",")
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = order
+	}
+
+	suite := experiments.NewSuite(cfg)
+	w := os.Stdout
+	for _, name := range names {
+		fmt.Fprintf(w, "==> %s (scale=%s, seeds=%d, budget=%d)\n", name, *scale, cfg.Seeds, cfg.Budget)
+		var err error
+		switch name {
+		case "table1":
+			_, err = suite.Table1(w)
+		case "fig2":
+			_, err = suite.Fig2(w)
+		case "fig3":
+			err = suite.Fig3(w)
+		case "fig4":
+			_, err = suite.Fig4(w)
+		case "fig5":
+			_, err = suite.Fig5(w)
+		case "fig7":
+			_, _, err = suite.Fig7(w)
+		case "fig8":
+			_, _, err = suite.Fig8(w)
+		case "table3":
+			_, err = suite.Table3(w)
+		case "table4":
+			_, err = suite.Table4(w)
+		case "fig9":
+			_, err = suite.Fig9(w)
+		case "fig10":
+			_, err = suite.Fig10(w)
+		case "fig11":
+			_, err = suite.Fig11(w)
+		default:
+			log.Fatalf("unknown experiment %q (valid: %s, all)", name, strings.Join(order, " "))
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,72 @@
+// Command swtnas-trace analyzes search traces written by cmd/swtnas
+// (-trace out.json): per-run summaries including the lineage-depth
+// statistics that explain weight transfer's effect, and CSV export for
+// plotting Figure 7 style curves.
+//
+// Usage:
+//
+//	swtnas-trace summary run1.json run2.json
+//	swtnas-trace csv run1.json > run1.csv
+//	swtnas-trace compare baseline.json lcs.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"swtnas/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swtnas-trace: ")
+	if len(os.Args) < 3 {
+		log.Fatal("usage: swtnas-trace summary|csv|compare <trace.json> [...]")
+	}
+	cmd, paths := os.Args[1], os.Args[2:]
+	traces := make([]*trace.Trace, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		traces[i] = tr
+	}
+
+	switch cmd {
+	case "summary":
+		for i, tr := range traces {
+			if i > 0 {
+				fmt.Println()
+			}
+			tr.WriteSummary(os.Stdout)
+		}
+	case "csv":
+		if len(traces) != 1 {
+			log.Fatal("csv takes exactly one trace")
+		}
+		if err := traces[0].WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "compare":
+		fmt.Printf("%-10s %-10s %10s %10s %10s %12s\n", "app", "scheme", "best", "mean", "p50", "lineage")
+		for _, tr := range traces {
+			s := tr.Summarize()
+			quart := tr.ScoreQuantiles(4)
+			p50 := 0.0
+			if len(quart) == 5 {
+				p50 = quart[2]
+			}
+			fmt.Printf("%-10s %-10s %10.4f %10.4f %10.4f %12.2f\n",
+				s.App, s.Scheme, s.BestScore, s.MeanScore, p50, s.MeanLineage)
+		}
+	default:
+		log.Fatalf("unknown command %q (summary, csv, compare)", cmd)
+	}
+}

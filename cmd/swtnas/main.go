@@ -1,0 +1,93 @@
+// Command swtnas runs a neural architecture search with selective weight
+// transfer and prints the discovered top-K models.
+//
+// Usage:
+//
+//	swtnas -app nt3 -scheme LCS -budget 200 -topk 10 -full
+//	swtnas -app cifar10 -scheme LP -budget 400 -workers 4 -trace out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"swtnas"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swtnas: ")
+	var (
+		app      = flag.String("app", "nt3", "application: "+strings.Join(swtnas.Applications(), ", "))
+		scheme   = flag.String("scheme", "LCS", "estimation scheme: baseline, LP, LCS")
+		budget   = flag.Int("budget", 100, "number of candidates to evaluate")
+		workers  = flag.Int("workers", 1, "parallel evaluators")
+		seed     = flag.Int64("seed", 1, "search seed")
+		popN     = flag.Int("population", 0, "evolution population size (0 = paper default 64)")
+		popS     = flag.Int("sample", 0, "evolution sample size (0 = paper default 32)")
+		trainN   = flag.Int("train", 0, "training samples (0 = app default)")
+		valN     = flag.Int("val", 0, "validation samples (0 = app default)")
+		topK     = flag.Int("topk", 5, "top models to report")
+		full     = flag.Bool("full", false, "fully train the top-K models (phase 2)")
+		ckptDir  = flag.String("ckpt-dir", "", "persist checkpoints in this directory")
+		traceTo  = flag.String("trace", "", "write the search trace JSON to this file")
+		spaceF   = flag.String("space", "", "JSON search-space spec file (the -app then names only the dataset)")
+		describe = flag.Bool("describe", false, "print a layer summary of the best model")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	res, err := swtnas.Search(swtnas.SearchOptions{
+		App: *app, Scheme: *scheme, Budget: *budget, Workers: *workers,
+		Seed: *seed, PopulationSize: *popN, SampleSize: *popS,
+		TrainN: *trainN, ValN: *valN, CheckpointDir: *ckptDir,
+		SpaceFile: *spaceF,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search %s/%s: %d candidates in %s\n", res.App, res.Scheme, len(res.Candidates), time.Since(start).Round(time.Millisecond))
+
+	transferred := 0
+	for _, c := range res.Candidates {
+		if c.TransferredLayers > 0 {
+			transferred++
+		}
+	}
+	fmt.Printf("weight transfer warm-started %d of %d candidates\n", transferred, len(res.Candidates))
+
+	fmt.Printf("\ntop-%d candidates:\n", *topK)
+	for i, c := range res.Best(*topK) {
+		fmt.Printf(" %2d. score %.4f  params %7d  arch %v\n", i+1, c.Score, c.Params, c.Arch)
+		if *describe && i == 0 {
+			if err := res.Summarize(c, os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *full {
+			ft, err := res.FullyTrain(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("      fully trained: score %.4f after %d epochs (early stop: %v)\n", ft.Score, ft.Epochs, ft.EarlyStopped)
+		}
+	}
+
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s\n", *traceTo)
+	}
+}

@@ -1,0 +1,92 @@
+package swtnas
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSpaceJSON = `{
+  "name": "toy-space",
+  "input": [10, 10, 1],
+  "output_units": 10,
+  "nodes": [
+    {"name": "d", "ops": [
+      {"type": "identity"},
+      {"type": "dense_act", "units": 16, "act": "relu"}
+    ]}
+  ]
+}`
+
+func TestSearchWithCustomSpaceJSON(t *testing.T) {
+	res, err := Search(SearchOptions{
+		App:       "mnist", // dataset provider for the custom space
+		SpaceJSON: testSpaceJSON,
+		Scheme:    "LCS",
+		Budget:    6,
+		Seed:      3,
+		TrainN:    32, ValN: 16,
+		PopulationSize: 2, SampleSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "toy-space" {
+		t.Fatalf("app = %q, want the space name", res.App)
+	}
+	if len(res.Candidates) != 6 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	if _, err := res.FullyTrain(res.Best(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchWithCustomSpaceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := os.WriteFile(path, []byte(testSpaceJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(SearchOptions{
+		App:       "mnist",
+		SpaceFile: path,
+		Budget:    3,
+		Seed:      4,
+		TrainN:    32, ValN: 16,
+		PopulationSize: 2, SampleSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+}
+
+func TestSearchCustomSpaceValidation(t *testing.T) {
+	// Mismatched input shape: nt3 inputs are (256, 1), the space wants
+	// (10, 10, 1).
+	if _, err := Search(SearchOptions{
+		App: "nt3", SpaceJSON: testSpaceJSON, Budget: 1, TrainN: 16, ValN: 8,
+	}); err == nil {
+		t.Fatal("input-shape mismatch must error")
+	}
+	// Multi-input dataset cannot host a sequential custom space.
+	if _, err := Search(SearchOptions{
+		App: "uno", SpaceJSON: testSpaceJSON, Budget: 1, TrainN: 16, ValN: 8,
+	}); err == nil {
+		t.Fatal("multi-input dataset must error")
+	}
+	// Broken JSON.
+	if _, err := Search(SearchOptions{
+		App: "mnist", SpaceJSON: `{`, Budget: 1, TrainN: 16, ValN: 8,
+	}); err == nil {
+		t.Fatal("bad spec JSON must error")
+	}
+	// Missing file.
+	if _, err := Search(SearchOptions{
+		App: "mnist", SpaceFile: "/nonexistent/space.json", Budget: 1, TrainN: 16, ValN: 8,
+	}); err == nil {
+		t.Fatal("missing spec file must error")
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: run a small architecture search on the NT3-like cancer
+// benchmark with LCS weight transfer, inspect the best candidates, and see
+// the shape-sequence matching that powers the transfer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swtnas"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Phase 1: candidate estimation. Every candidate trains for one
+	// epoch; children are warm-started from their parent's checkpoint
+	// via LCS shape-sequence matching.
+	res, err := swtnas.Search(swtnas.SearchOptions{
+		App:            "nt3",
+		Scheme:         "LCS",
+		Budget:         40,
+		Seed:           1,
+		PopulationSize: 8,
+		SampleSize:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	warm := 0
+	for _, c := range res.Candidates {
+		if c.TransferredLayers > 0 {
+			warm++
+		}
+	}
+	fmt.Printf("evaluated %d candidates (%d warm-started by weight transfer)\n\n", len(res.Candidates), warm)
+
+	fmt.Println("top-3 candidates by estimated score:")
+	for i, c := range res.Best(3) {
+		desc, err := res.DescribeArch(c.Arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d. score %.4f  arch %v\n   %s\n", i+1, c.Score, c.Arch, desc)
+	}
+
+	// Phase 2: fully train the winner, resuming from its checkpoint.
+	best := res.Best(1)[0]
+	full, err := res.FullyTrain(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwinner fully trained: accuracy %.4f after %d epochs (early stopped: %v)\n",
+		full.Score, full.Epochs, full.EarlyStopped)
+
+	// The matching primitive itself: LP vs LCS on two shape sequences
+	// (paper Figure 3 — the receiver has an extra conv layer).
+	provider := [][]int{{3, 3, 3, 8}, {128, 10}}
+	receiver := [][]int{{3, 3, 3, 8}, {3, 3, 8, 8}, {128, 10}}
+	fmt.Printf("\nshape matching: LP transfers %d tensors, LCS transfers %d\n",
+		swtnas.LongestPrefix(provider, receiver),
+		swtnas.LongestCommonSubsequence(provider, receiver))
+}

@@ -1,0 +1,3 @@
+module swtnas
+
+go 1.22

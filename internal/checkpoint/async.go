@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AsyncStore decorates a Store with asynchronous saves, the DeepFreeze /
+// VELOC direction the paper's related work describes: the evaluator hands
+// off the checkpoint and returns to training immediately while a background
+// writer persists it. Loads of an id whose save is still in flight are
+// served from the pending copy, so provider reads never observe a missing
+// checkpoint. Errors from background saves surface on the next operation
+// and on Close.
+type AsyncStore struct {
+	inner Store
+
+	mu      sync.Mutex
+	drained *sync.Cond // signaled whenever pending empties
+	pending map[string]*Model
+	sizes   map[string]int64 // last known encoded size per id
+	err     error
+	queue   chan asyncSave
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type asyncSave struct {
+	id string
+	m  *Model
+}
+
+// NewAsyncStore wraps inner with a background writer. depth bounds the save
+// queue (<=0 selects 16); Save blocks only when the queue is full.
+func NewAsyncStore(inner Store, depth int) *AsyncStore {
+	if depth <= 0 {
+		depth = 16
+	}
+	s := &AsyncStore{
+		inner:   inner,
+		pending: map[string]*Model{},
+		sizes:   map[string]int64{},
+		queue:   make(chan asyncSave, depth),
+	}
+	s.drained = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.writer()
+	return s
+}
+
+func (s *AsyncStore) writer() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		n, err := s.inner.Save(job.id, job.m)
+		s.mu.Lock()
+		if err != nil && s.err == nil {
+			s.err = fmt.Errorf("checkpoint: async save of %q: %w", job.id, err)
+		}
+		if err == nil {
+			s.sizes[job.id] = n
+		}
+		// Only clear the pending entry if it is still this model
+		// (a newer Save for the same id may have replaced it).
+		if s.pending[job.id] == job.m {
+			delete(s.pending, job.id)
+		}
+		if len(s.pending) == 0 {
+			s.drained.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *AsyncStore) takeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.err
+	s.err = nil
+	return err
+}
+
+// Save enqueues the model for background persistence. The returned size is
+// the estimate from the most recent completed save of any model (0 for the
+// first); callers needing exact sizes should use Size after Flush.
+func (s *AsyncStore) Save(id string, m *Model) (int64, error) {
+	if err := s.takeErr(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("checkpoint: async store is closed")
+	}
+	s.pending[id] = m
+	est := s.sizes[id]
+	s.mu.Unlock()
+	s.queue <- asyncSave{id: id, m: m}
+	return est, nil
+}
+
+// Load returns the in-flight copy when a save is pending, otherwise it
+// defers to the inner store.
+func (s *AsyncStore) Load(id string) (*Model, error) {
+	if err := s.takeErr(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	m, ok := s.pending[id]
+	s.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	return s.inner.Load(id)
+}
+
+// Size reports the persisted size; pending ids are not yet sized.
+func (s *AsyncStore) Size(id string) (int64, error) {
+	if err := s.takeErr(); err != nil {
+		return 0, err
+	}
+	return s.inner.Size(id)
+}
+
+// Delete removes a persisted checkpoint (pending saves of the id may still
+// land afterwards; call Flush first for strict semantics).
+func (s *AsyncStore) Delete(id string) error {
+	if err := s.takeErr(); err != nil {
+		return err
+	}
+	return s.inner.Delete(id)
+}
+
+// List defers to the inner store (pending ids appear once persisted).
+func (s *AsyncStore) List() ([]string, error) {
+	if err := s.takeErr(); err != nil {
+		return nil, err
+	}
+	return s.inner.List()
+}
+
+// Flush blocks until every save enqueued so far has been persisted.
+func (s *AsyncStore) Flush() error {
+	s.mu.Lock()
+	for len(s.pending) > 0 {
+		s.drained.Wait()
+	}
+	s.mu.Unlock()
+	return s.takeErr()
+}
+
+// Close flushes and stops the background writer. The store must not be
+// used afterwards.
+func (s *AsyncStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	return s.takeErr()
+}

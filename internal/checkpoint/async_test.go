@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAsyncSaveLoadFlush(t *testing.T) {
+	s := NewAsyncStore(NewMemStore(), 4)
+	defer s.Close()
+	m := FromNetwork([]int{1, 2}, 0.5, sampleNet(30))
+	if _, err := s.Save("c1", m); err != nil {
+		t.Fatal(err)
+	}
+	// Load immediately: either pending copy or persisted — must succeed.
+	got, err := s.Load("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 0.5 {
+		t.Fatalf("score = %v", got.Score)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Size("c1"); err != nil || n <= 0 {
+		t.Fatalf("size after flush = %d, %v", n, err)
+	}
+	ids, err := s.List()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("list = %v, %v", ids, err)
+	}
+	if err := s.Delete("c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncPendingLoadServesLatest(t *testing.T) {
+	// A slow inner store keeps saves pending; Load must serve the newest
+	// pending model.
+	slow := &slowStore{Store: NewMemStore(), gate: make(chan struct{})}
+	s := NewAsyncStore(slow, 8)
+	m1 := FromNetwork([]int{1}, 0.1, sampleNet(31))
+	m2 := FromNetwork([]int{1}, 0.2, sampleNet(31))
+	if _, err := s.Save("c", m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save("c", m2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 0.2 {
+		t.Fatalf("pending load score = %v, want the newest 0.2", got.Score)
+	}
+	close(slow.gate)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type slowStore struct {
+	Store
+	gate chan struct{}
+}
+
+func (s *slowStore) Save(id string, m *Model) (int64, error) {
+	<-s.gate
+	return s.Store.Save(id, m)
+}
+
+type errStore struct{ Store }
+
+func (errStore) Save(string, *Model) (int64, error) {
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestAsyncSurfacesWriterErrors(t *testing.T) {
+	s := NewAsyncStore(errStore{NewMemStore()}, 2)
+	m := FromNetwork([]int{1}, 0, sampleNet(32))
+	if _, err := s.Save("c", m); err != nil {
+		t.Fatal(err) // enqueue itself succeeds
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush must surface the writer error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after surfaced error: %v", err)
+	}
+}
+
+func TestAsyncCloseRejectsFurtherSaves(t *testing.T) {
+	s := NewAsyncStore(NewMemStore(), 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	m := FromNetwork([]int{1}, 0, sampleNet(33))
+	if _, err := s.Save("c", m); err == nil {
+		t.Fatal("save after close must fail")
+	}
+}
+
+func TestAsyncConcurrentEvaluators(t *testing.T) {
+	s := NewAsyncStore(NewMemStore(), 8)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id := fmt.Sprintf("cand-%d-%d", w, i)
+				m := FromNetwork([]int{w, i}, float64(i), sampleNet(int64(w*100+i)))
+				if _, err := s.Save(id, m); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Load(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 60 {
+		t.Fatalf("persisted %d checkpoints, want 60", len(ids))
+	}
+}

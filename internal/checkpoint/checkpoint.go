@@ -1,0 +1,259 @@
+// Package checkpoint implements the model-checkpoint subsystem the paper's
+// weight transfer relies on (Sections VI and VIII-E): evaluators persist
+// every scored candidate, and later candidates read their provider's
+// checkpoint back to warm-start training.
+//
+// The paper stores HDF5 files on a parallel file system; this package uses
+// an equivalent self-describing binary tensor archive ("SWTC") with both an
+// in-memory store and an on-disk store, so checkpoint sizes (Fig 11) and
+// load/store overheads (Fig 10) are measurable.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"swtnas/internal/core"
+	"swtnas/internal/nn"
+	"swtnas/internal/tensor"
+)
+
+// Tensor is one named tensor inside a checkpoint.
+type Tensor struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// Group is the checkpointed form of one layer's parameter group.
+type Group struct {
+	// Layer is the layer name.
+	Layer string
+	// Signature is the matching shape (primary weight shape).
+	Signature []int
+	// Tensors are the coupled tensors, primary weight first.
+	Tensors []Tensor
+}
+
+// Model is a complete candidate checkpoint: identity, score, and weights.
+type Model struct {
+	// Arch is the candidate's architecture sequence.
+	Arch []int
+	// Score is the estimated objective metric at checkpoint time.
+	Score float64
+	// Groups hold the weights in shape-sequence order.
+	Groups []Group
+}
+
+// FromNetwork snapshots a trained network into an isolated checkpoint
+// (tensor data is copied).
+func FromNetwork(arch []int, score float64, net *nn.Network) *Model {
+	m := &Model{Arch: append([]int(nil), arch...), Score: score}
+	for _, g := range net.ParamGroups() {
+		cg := Group{Layer: g.Layer, Signature: append([]int(nil), g.Signature...)}
+		for _, p := range g.Params {
+			cg.Tensors = append(cg.Tensors, Tensor{
+				Name:  p.Name,
+				Shape: append([]int(nil), p.W.Shape...),
+				Data:  append([]float64(nil), p.W.Data...),
+			})
+		}
+		m.Groups = append(m.Groups, cg)
+	}
+	return m
+}
+
+// Sources converts the checkpoint into transfer sources for core.Transfer.
+func (m *Model) Sources() []core.SourceGroup {
+	out := make([]core.SourceGroup, len(m.Groups))
+	for i, g := range m.Groups {
+		sg := core.SourceGroup{Layer: g.Layer, Signature: g.Signature}
+		for _, t := range g.Tensors {
+			sg.Tensors = append(sg.Tensors, tensor.FromData(t.Data, t.Shape...))
+		}
+		out[i] = sg
+	}
+	return out
+}
+
+// ShapeSeq returns the checkpointed model's shape sequence.
+func (m *Model) ShapeSeq() core.ShapeSeq {
+	seq := make(core.ShapeSeq, len(m.Groups))
+	for i, g := range m.Groups {
+		seq[i] = g.Signature
+	}
+	return seq
+}
+
+// RestoreInto copies every checkpointed tensor back into a freshly built
+// network of the *same* architecture, resuming from the checkpoint exactly.
+// It fails if any group or tensor disagrees — use core.Transfer for
+// cross-architecture initialization.
+func (m *Model) RestoreInto(net *nn.Network) error {
+	groups := net.ParamGroups()
+	if len(groups) != len(m.Groups) {
+		return fmt.Errorf("checkpoint: network has %d groups, checkpoint %d", len(groups), len(m.Groups))
+	}
+	for i, g := range groups {
+		cg := m.Groups[i]
+		if len(g.Params) != len(cg.Tensors) {
+			return fmt.Errorf("checkpoint: group %q has %d tensors, checkpoint %d", g.Layer, len(g.Params), len(cg.Tensors))
+		}
+		for j, p := range g.Params {
+			if !tensor.SameShape(p.W.Shape, cg.Tensors[j].Shape) {
+				return fmt.Errorf("checkpoint: tensor %q shape %s != checkpoint %s",
+					p.Name, tensor.ShapeString(p.W.Shape), tensor.ShapeString(cg.Tensors[j].Shape))
+			}
+			copy(p.W.Data, cg.Tensors[j].Data)
+		}
+	}
+	return nil
+}
+
+const (
+	magic   = "SWTC"
+	version = uint32(1)
+)
+
+// Encode writes the model in SWTC binary format.
+func (m *Model) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, version); err != nil {
+		return err
+	}
+	if err := writeIntSlice(bw, m.Arch); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(m.Score)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(m.Groups))); err != nil {
+		return err
+	}
+	for _, g := range m.Groups {
+		if err := writeString(bw, g.Layer); err != nil {
+			return err
+		}
+		if err := writeIntSlice(bw, g.Signature); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(len(g.Tensors))); err != nil {
+			return err
+		}
+		for _, t := range g.Tensors {
+			if err := writeString(bw, t.Name); err != nil {
+				return err
+			}
+			if err := writeIntSlice(bw, t.Shape); err != nil {
+				return err
+			}
+			if tensor.Numel(t.Shape) != len(t.Data) {
+				return fmt.Errorf("checkpoint: tensor %q data/shape mismatch", t.Name)
+			}
+			for _, v := range t.Data {
+				if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// maxElems bounds decoded slice lengths to keep a corrupt or hostile
+// checkpoint from allocating unbounded memory.
+const maxElems = 1 << 28
+
+// Decode reads a model in SWTC binary format, accepting both the version-1
+// float64 stream and the version-2 encoded streams (see Encoding).
+func Decode(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", head)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	switch ver {
+	case version:
+		return readBody(br, false)
+	case version2:
+		return decodeV2(br)
+	}
+	return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("checkpoint: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeIntSlice(w io.Writer, xs []int) error {
+	if err := writeU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if err := binary.Write(w, binary.LittleEndian, int32(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readIntSlice(r io.Reader) ([]int, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("checkpoint: implausible slice length %d", n)
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		var v int32
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		xs[i] = int(v)
+	}
+	return xs, nil
+}

@@ -1,0 +1,284 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"swtnas/internal/core"
+	"swtnas/internal/nn"
+	"swtnas/internal/tensor"
+)
+
+func sampleNet(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork([]int{4})
+	net.MustAdd(nn.NewDense("d1", 4, 6, 0, rng), nn.GraphInput(0))
+	net.MustAdd(nn.NewBatchNorm("bn", 6), 0)
+	net.MustAdd(nn.NewDense("d2", 6, 2, 0, rng), 1)
+	return net
+}
+
+func TestFromNetworkSnapshotIsolated(t *testing.T) {
+	net := sampleNet(1)
+	m := FromNetwork([]int{1, 2, 3}, 0.75, net)
+	if len(m.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (dense, bn, dense)", len(m.Groups))
+	}
+	if len(m.Groups[1].Tensors) != 4 {
+		t.Fatalf("bn group tensors = %d, want 4", len(m.Groups[1].Tensors))
+	}
+	// Mutating the network must not change the checkpoint.
+	orig := m.Groups[0].Tensors[0].Data[0]
+	net.Params()[0].W.Data[0] = 999
+	if m.Groups[0].Tensors[0].Data[0] != orig {
+		t.Fatal("checkpoint shares storage with the network")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := FromNetwork([]int{4, 0, 7}, -0.25, sampleNet(2))
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != m.Score {
+		t.Fatalf("score = %v, want %v", got.Score, m.Score)
+	}
+	if len(got.Arch) != 3 || got.Arch[2] != 7 {
+		t.Fatalf("arch = %v", got.Arch)
+	}
+	if len(got.Groups) != len(m.Groups) {
+		t.Fatalf("groups = %d", len(got.Groups))
+	}
+	for i, g := range got.Groups {
+		if g.Layer != m.Groups[i].Layer {
+			t.Fatalf("layer %d = %q", i, g.Layer)
+		}
+		if !tensor.SameShape(g.Signature, m.Groups[i].Signature) {
+			t.Fatalf("signature %d = %v", i, g.Signature)
+		}
+		for j, tt := range g.Tensors {
+			want := m.Groups[i].Tensors[j]
+			if tt.Name != want.Name || !tensor.SameShape(tt.Shape, want.Shape) {
+				t.Fatalf("tensor %d/%d header mismatch", i, j)
+			}
+			for k := range tt.Data {
+				if tt.Data[k] != want.Data[k] {
+					t.Fatalf("tensor %d/%d data mismatch at %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	m := FromNetwork([]int{1}, 0, sampleNet(3))
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), good[4:]...),
+		"truncated": good[:len(good)/2],
+		"short":     good[:6],
+	}
+	for name, b := range cases {
+		if _, err := Decode(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+	// Bad version.
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version: decode must fail")
+	}
+}
+
+func TestSourcesMatchNetworkShapeSeq(t *testing.T) {
+	net := sampleNet(4)
+	m := FromNetwork([]int{0}, 0, net)
+	src := m.Sources()
+	want := core.ShapeSeqOfNetwork(net)
+	got := core.ShapeSeqOfSources(src)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !tensor.SameShape(got[i], want[i]) {
+			t.Fatalf("seq[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if m.ShapeSeq().String() != want.String() {
+		t.Fatal("ShapeSeq mismatch")
+	}
+}
+
+func TestRestoreInto(t *testing.T) {
+	orig := sampleNet(5)
+	m := FromNetwork([]int{0}, 0, orig)
+	fresh := sampleNet(6)
+	if err := m.RestoreInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(2, 4)
+	in.RandNormal(rand.New(rand.NewSource(7)), 1)
+	a, _ := orig.Forward([]*tensor.Tensor{in}, false)
+	b, _ := fresh.Forward([]*tensor.Tensor{in}, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("restored network differs from original")
+		}
+	}
+	// Mismatched architecture must fail.
+	rng := rand.New(rand.NewSource(8))
+	other := nn.NewNetwork([]int{4})
+	other.MustAdd(nn.NewDense("d", 4, 2, 0, rng), nn.GraphInput(0))
+	if err := m.RestoreInto(other); err == nil {
+		t.Fatal("restore into different architecture must fail")
+	}
+}
+
+func TestTransferFromCheckpoint(t *testing.T) {
+	provider := sampleNet(9)
+	m := FromNetwork([]int{0}, 0.5, provider)
+	receiver := sampleNet(10)
+	stats, err := core.Transfer(core.LCS{}, m.Sources(), receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 3 {
+		t.Fatalf("copied = %d, want 3", stats.Copied)
+	}
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	m := FromNetwork([]int{1, 2}, 0.5, sampleNet(11))
+	n, err := s.Save("cand-1", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("size = %d", n)
+	}
+	size, err := s.Size("cand-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != n {
+		t.Fatalf("Size = %d, Save reported %d", size, n)
+	}
+	got, err := s.Load("cand-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 0.5 || len(got.Groups) != len(m.Groups) {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := s.Load("missing"); err == nil {
+		t.Fatal("loading missing id must fail")
+	}
+	if _, err := s.Size("missing"); err == nil {
+		t.Fatal("sizing missing id must fail")
+	}
+	if _, err := s.Save("cand-2", m); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "cand-1" || ids[1] != "cand-2" {
+		t.Fatalf("List = %v", ids)
+	}
+	if err := s.Delete("cand-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("cand-1"); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	ids, _ = s.List()
+	if len(ids) != 1 {
+		t.Fatalf("List after delete = %v", ids)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	testStore(t, s)
+	if s.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes must count the remaining checkpoint")
+	}
+}
+
+func TestDiskStore(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir() + "/ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+}
+
+func TestDiskStoreRejectsBadIDs(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromNetwork([]int{0}, 0, sampleNet(12))
+	for _, id := range []string{"", "a/b", `a\b`, ".."} {
+		if _, err := s.Save(id, m); err == nil {
+			t.Errorf("id %q must be rejected", id)
+		}
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewMemStore()
+	m := FromNetwork([]int{0}, 0, sampleNet(13))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := "cand-" + strings.Repeat("x", w+1)
+				if _, err := s.Save(id, m); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Load(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCheckpointSizeScalesWithModel(t *testing.T) {
+	// Fig 11 premise: checkpoint size tracks parameter count.
+	small := FromNetwork([]int{0}, 0, sampleNet(14))
+	rng := rand.New(rand.NewSource(15))
+	big := nn.NewNetwork([]int{4})
+	big.MustAdd(nn.NewDense("d1", 4, 256, 0, rng), nn.GraphInput(0))
+	big.MustAdd(nn.NewDense("d2", 256, 2, 0, rng), 0)
+	bigM := FromNetwork([]int{0}, 0, big)
+	s := NewMemStore()
+	ns, _ := s.Save("small", small)
+	nb, _ := s.Save("big", bigM)
+	if nb <= ns {
+		t.Fatalf("big checkpoint (%d B) not larger than small (%d B)", nb, ns)
+	}
+}

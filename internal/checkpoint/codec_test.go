@@ -1,0 +1,176 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"swtnas/internal/core"
+)
+
+func TestEncodingString(t *testing.T) {
+	cases := map[Encoding]string{
+		EncodingRaw:     "raw",
+		EncodingF32:     "f32",
+		EncodingGzip:    "gzip",
+		EncodingF32Gzip: "f32+gzip",
+	}
+	for enc, want := range cases {
+		if enc.String() != want {
+			t.Errorf("%d.String() = %q, want %q", enc, enc.String(), want)
+		}
+	}
+	if Encoding(9).String() == "" {
+		t.Error("unknown encoding must still format")
+	}
+}
+
+func TestEncodeWithInvalid(t *testing.T) {
+	m := FromNetwork([]int{1}, 0, sampleNet(20))
+	var buf bytes.Buffer
+	if err := m.EncodeWith(&buf, Encoding(42)); err == nil {
+		t.Fatal("invalid encoding must error")
+	}
+}
+
+func TestEncodeWithRawIsVersion1(t *testing.T) {
+	m := FromNetwork([]int{1}, 0.25, sampleNet(21))
+	var a, b bytes.Buffer
+	if err := m.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EncodeWith(&b, EncodingRaw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("EncodingRaw must produce the version-1 stream")
+	}
+}
+
+func TestAllEncodingsRoundTrip(t *testing.T) {
+	m := FromNetwork([]int{3, 1, 4}, -0.5, sampleNet(22))
+	for _, enc := range []Encoding{EncodingRaw, EncodingF32, EncodingGzip, EncodingF32Gzip} {
+		var buf bytes.Buffer
+		if err := m.EncodeWith(&buf, enc); err != nil {
+			t.Fatalf("%s: encode: %v", enc, err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", enc, err)
+		}
+		if got.Score != m.Score || len(got.Groups) != len(m.Groups) {
+			t.Fatalf("%s: header mismatch", enc)
+		}
+		lossy := enc.float32Data()
+		for gi, g := range got.Groups {
+			for ti, tt := range g.Tensors {
+				want := m.Groups[gi].Tensors[ti]
+				for i := range tt.Data {
+					if lossy {
+						if float32(want.Data[i]) != float32(tt.Data[i]) {
+							t.Fatalf("%s: tensor %d/%d lossy mismatch at %d", enc, gi, ti, i)
+						}
+						// Absolute error bounded by float32 precision.
+						if math.Abs(want.Data[i]-tt.Data[i]) > 1e-6*(1+math.Abs(want.Data[i])) {
+							t.Fatalf("%s: excessive loss at %d: %v vs %v", enc, gi, want.Data[i], tt.Data[i])
+						}
+					} else if want.Data[i] != tt.Data[i] {
+						t.Fatalf("%s: tensor %d/%d exact mismatch at %d", enc, gi, ti, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodedSizesOrdering(t *testing.T) {
+	m := FromNetwork([]int{1}, 0, sampleNet(23))
+	size := func(enc Encoding) int {
+		var buf bytes.Buffer
+		if err := m.EncodeWith(&buf, enc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	raw, f32 := size(EncodingRaw), size(EncodingF32)
+	if f32 >= raw {
+		t.Fatalf("f32 (%d B) not smaller than raw (%d B)", f32, raw)
+	}
+	// Gzip of random float weights compresses little but must stay valid;
+	// f32+gzip must not exceed f32 by more than the gzip framing.
+	if g := size(EncodingF32Gzip); g > f32+256 {
+		t.Fatalf("f32+gzip (%d B) much larger than f32 (%d B)", g, f32)
+	}
+}
+
+func TestEncodedStoresServeTransfer(t *testing.T) {
+	// A lossy-encoded checkpoint must still drive weight transfer.
+	provider := sampleNet(24)
+	store := NewMemStoreEncoded(EncodingF32Gzip)
+	if _, err := store.Save("p", FromNetwork([]int{0}, 0.5, provider)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := sampleNet(25)
+	stats, err := core.Transfer(core.LCS{}, loaded.Sources(), receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 3 {
+		t.Fatalf("copied = %d, want 3", stats.Copied)
+	}
+}
+
+func TestEncodedDiskStoreRoundTrip(t *testing.T) {
+	store, err := NewDiskStoreEncoded(t.TempDir(), EncodingGzip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromNetwork([]int{9}, 0.125, sampleNet(26))
+	n, err := store.Save("c", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := store.Size("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != n {
+		t.Fatalf("size %d != reported %d", sz, n)
+	}
+	got, err := store.Load("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arch[0] != 9 {
+		t.Fatalf("arch = %v", got.Arch)
+	}
+}
+
+func TestDecodeRejectsCorruptV2(t *testing.T) {
+	m := FromNetwork([]int{1}, 0, sampleNet(27))
+	var buf bytes.Buffer
+	if err := m.EncodeWith(&buf, EncodingGzip); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Truncate inside the gzip payload.
+	if _, err := Decode(bytes.NewReader(good[:len(good)-10])); err == nil {
+		t.Fatal("truncated v2 stream must fail")
+	}
+	// Corrupt the encoding field.
+	bad := append([]byte(nil), good...)
+	bad[8] = 0xFF
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Fatal("invalid v2 encoding must fail")
+	}
+	// v2 with encoding Raw is invalid (raw is version 1 by definition).
+	bad2 := append([]byte(nil), good...)
+	bad2[8] = 0
+	if _, err := Decode(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("v2 raw encoding must fail")
+	}
+}

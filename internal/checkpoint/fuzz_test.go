@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the SWTC parser: arbitrary input must either decode to
+// a structurally sane model or fail with an error — never panic or allocate
+// absurd amounts. Run `go test -fuzz FuzzDecode ./internal/checkpoint` for
+// a real fuzzing session; under plain `go test` the seed corpus runs.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid streams of every encoding plus mutations.
+	m := FromNetwork([]int{1, 2, 3}, 0.5, sampleNet(90))
+	for _, enc := range []Encoding{EncodingRaw, EncodingF32, EncodingGzip, EncodingF32Gzip} {
+		var buf bytes.Buffer
+		if err := m.EncodeWith(&buf, enc); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 16 {
+			f.Add(buf.Bytes()[:buf.Len()/2])
+			mutated := append([]byte(nil), buf.Bytes()...)
+			mutated[9] ^= 0xFF
+			f.Add(mutated)
+		}
+	}
+	f.Add([]byte("SWTC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be internally consistent.
+		for _, g := range model.Groups {
+			for _, tt := range g.Tensors {
+				n := 1
+				for _, d := range tt.Shape {
+					if d < 0 {
+						t.Fatalf("negative dim decoded: %v", tt.Shape)
+					}
+					n *= d
+				}
+				if n != len(tt.Data) {
+					t.Fatalf("tensor %q: %d dims vs %d data", tt.Name, n, len(tt.Data))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store persists candidate checkpoints under string ids. Implementations
+// are safe for concurrent use by multiple evaluators.
+type Store interface {
+	// Save persists the model and returns its encoded size in bytes.
+	Save(id string, m *Model) (int64, error)
+	// Load retrieves a model by id.
+	Load(id string) (*Model, error)
+	// Size reports the encoded size of a stored model.
+	Size(id string) (int64, error)
+	// Delete removes a model; deleting a missing id is an error.
+	Delete(id string) error
+	// List returns the stored ids in lexical order.
+	List() ([]string, error)
+}
+
+// MemStore keeps encoded checkpoints in memory. It still encodes/decodes so
+// that measured sizes match the on-disk format byte for byte.
+type MemStore struct {
+	enc  Encoding
+	mu   sync.RWMutex
+	blob map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store with raw encoding.
+func NewMemStore() *MemStore {
+	return &MemStore{blob: map[string][]byte{}}
+}
+
+// NewMemStoreEncoded creates an in-memory store using the given checkpoint
+// encoding (precision truncation and/or compression).
+func NewMemStoreEncoded(enc Encoding) *MemStore {
+	return &MemStore{enc: enc, blob: map[string][]byte{}}
+}
+
+// Save implements Store.
+func (s *MemStore) Save(id string, m *Model) (int64, error) {
+	var buf bytes.Buffer
+	if err := m.EncodeWith(&buf, s.enc); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.blob[id] = buf.Bytes()
+	s.mu.Unlock()
+	return int64(buf.Len()), nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(id string) (*Model, error) {
+	s.mu.RLock()
+	b, ok := s.blob[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: id %q not found", id)
+	}
+	return Decode(bytes.NewReader(b))
+}
+
+// Size implements Store.
+func (s *MemStore) Size(id string) (int64, error) {
+	s.mu.RLock()
+	b, ok := s.blob[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("checkpoint: id %q not found", id)
+	}
+	return int64(len(b)), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blob[id]; !ok {
+		return fmt.Errorf("checkpoint: id %q not found", id)
+	}
+	delete(s.blob, id)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.blob))
+	for id := range s.blob {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// TotalBytes reports the summed size of all stored checkpoints.
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.blob {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// DiskStore persists checkpoints as one ".swtc" file per id inside a
+// directory, the stand-in for the paper's parallel file system.
+type DiskStore struct {
+	dir string
+	enc Encoding
+}
+
+// NewDiskStore creates (if needed) and wraps the given directory, storing
+// raw checkpoints.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	return NewDiskStoreEncoded(dir, EncodingRaw)
+}
+
+// NewDiskStoreEncoded creates a disk store using the given checkpoint
+// encoding.
+func NewDiskStoreEncoded(dir string, enc Encoding) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating store dir: %w", err)
+	}
+	return &DiskStore{dir: dir, enc: enc}, nil
+}
+
+// Dir returns the backing directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return "", fmt.Errorf("checkpoint: invalid id %q", id)
+	}
+	return filepath.Join(s.dir, id+".swtc"), nil
+}
+
+// Save implements Store. The write goes through a temp file + rename so a
+// crashed evaluator never leaves a torn checkpoint behind.
+func (s *DiskStore) Save(id string, m *Model) (int64, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(s.dir, id+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.EncodeWith(tmp, s.enc); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Load implements Store.
+func (s *DiskStore) Load(id string) (*Model, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: id %q: %w", id, err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Size implements Store.
+func (s *DiskStore) Size(id string) (int64, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: id %q: %w", id, err)
+	}
+	return info.Size(), nil
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(id string) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		return fmt.Errorf("checkpoint: id %q: %w", id, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *DiskStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".swtc") {
+			ids = append(ids, strings.TrimSuffix(name, ".swtc"))
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

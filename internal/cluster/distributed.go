@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"swtnas/internal/apps"
+	"swtnas/internal/data"
+	"swtnas/internal/evo"
+	"swtnas/internal/trace"
+)
+
+// DistConfig parameterizes a distributed search driven through a
+// Coordinator (the multi-node analogue of nas.Run).
+type DistConfig struct {
+	// App / DataSeed / TrainN / ValN identify the application; workers
+	// regenerate the same dataset deterministically.
+	App          string
+	DataSeed     int64
+	TrainN, ValN int
+	// Matcher is "", "LP" or "LCS".
+	Matcher string
+	// Budget is the number of candidates to evaluate.
+	Budget int
+	// Outstanding caps in-flight tasks; set it to at least the number of
+	// connected workers to keep them busy. Defaults to 2.
+	Outstanding int
+	// Seed drives proposals and per-candidate seeds.
+	Seed int64
+	// N and S are the evolution population/sample sizes (0 -> paper
+	// defaults 64/32).
+	N, S int
+	// PartialEpochs overrides the app default when positive.
+	PartialEpochs int
+}
+
+// RunDistributed proposes candidates with regularized evolution, ships them
+// to workers via the coordinator, stores returned checkpoints, and wires
+// provider checkpoints into child tasks — the paper's Figure 6 data flow
+// with TCP workers in place of Ray evaluators.
+func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("cluster: budget %d must be positive", cfg.Budget)
+	}
+	app, err := apps.New(cfg.App, cfg.DataSeed, apps.Config{Data: data.Config{TrainN: cfg.TrainN, ValN: cfg.ValN}})
+	if err != nil {
+		return nil, err
+	}
+	outstanding := cfg.Outstanding
+	if outstanding <= 0 {
+		outstanding = 2
+	}
+	if outstanding > cfg.Budget {
+		outstanding = cfg.Budget
+	}
+	strategy := evo.NewRegularizedEvolution(app.Space, cfg.N, cfg.S)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ckpts := map[int][]byte{} // candidate id -> encoded checkpoint
+	archs := map[int][]int{}  // candidate id -> architecture
+	parents := map[int]int{}  // candidate id -> provider id (-1 none)
+	issued := 0
+	issue := func() {
+		p := strategy.Propose(rng)
+		t := RPCTask{
+			ID:            issued,
+			App:           cfg.App,
+			DataSeed:      cfg.DataSeed,
+			TrainN:        cfg.TrainN,
+			ValN:          cfg.ValN,
+			Arch:          p.Arch,
+			Seed:          cfg.Seed*1_000_003 + int64(issued),
+			Matcher:       cfg.Matcher,
+			PartialEpochs: cfg.PartialEpochs,
+		}
+		parents[issued] = p.ParentID
+		if cfg.Matcher != "" && p.ParentID >= 0 {
+			t.Parent = ckpts[p.ParentID]
+		}
+		archs[issued] = p.Arch
+		c.Enqueue(t)
+		issued++
+	}
+
+	tr := &trace.Trace{App: cfg.App, Scheme: schemeLabel(cfg.Matcher), Seed: cfg.Seed}
+	start := time.Now()
+	for i := 0; i < outstanding; i++ {
+		issue()
+	}
+	for completed := 0; completed < cfg.Budget; completed++ {
+		res := <-c.Results()
+		if res.Err != "" {
+			return nil, fmt.Errorf("cluster: candidate %d failed on %s: %s", res.ID, res.WorkerID, res.Err)
+		}
+		ckpts[res.ID] = res.Checkpoint
+		strategy.Report(evo.Individual{ID: res.ID, Arch: archs[res.ID], Score: res.Score})
+		tr.Records = append(tr.Records, trace.Record{
+			ID:              res.ID,
+			Arch:            archs[res.ID],
+			Score:           res.Score,
+			Params:          res.Params,
+			ParentID:        parents[res.ID],
+			TransferCopied:  res.Copied,
+			TrainTime:       time.Duration(res.TrainMillis * float64(time.Millisecond)),
+			CheckpointBytes: int64(len(res.Checkpoint)),
+			CompletedAt:     time.Since(start),
+		})
+		if issued < cfg.Budget {
+			issue()
+		}
+	}
+	return tr, nil
+}
+
+func schemeLabel(matcher string) string {
+	if matcher == "" {
+		return "baseline"
+	}
+	return matcher
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"swtnas/internal/apps"
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/data"
+	"swtnas/internal/nn"
+)
+
+// RPCTask ships one candidate evaluation to a remote worker. Tasks are
+// self-contained: the worker regenerates the (deterministic) dataset from
+// App/DataSeed and receives the provider checkpoint inline, so workers need
+// no shared file system — the role the paper's parallel FS plays is taken by
+// the coordinator's store.
+type RPCTask struct {
+	// Shutdown tells the worker to exit its task loop.
+	Shutdown bool
+	// ID is the candidate number.
+	ID int
+	// App names the application; DataSeed / TrainN / ValN reproduce its
+	// dataset on the worker.
+	App           string
+	DataSeed      int64
+	TrainN, ValN  int
+	Arch          []int
+	Seed          int64
+	Matcher       string // "", "LP", "LCS"
+	Parent        []byte // encoded provider checkpoint, nil for scratch
+	PartialEpochs int
+	BatchSizeHint int // 0 -> space default
+}
+
+// RPCResult returns a scored candidate to the coordinator.
+type RPCResult struct {
+	ID          int
+	WorkerID    string
+	Score       float64
+	Params      int
+	Copied      int
+	TrainMillis float64
+	Checkpoint  []byte
+	Err         string
+}
+
+// Coordinator is the scheduler-side RPC endpoint: workers poll NextTask and
+// push Submit. It is the stand-in for DeepHyper's Ray head node.
+type Coordinator struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []RPCTask
+	shutdown bool
+	results  chan RPCResult
+}
+
+// NewCoordinator creates a coordinator with a buffered result stream.
+func NewCoordinator() *Coordinator {
+	c := &Coordinator{results: make(chan RPCResult, 64)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Enqueue adds a task for the next free worker.
+func (c *Coordinator) Enqueue(t RPCTask) {
+	c.mu.Lock()
+	c.queue = append(c.queue, t)
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// Results streams worker submissions.
+func (c *Coordinator) Results() <-chan RPCResult { return c.results }
+
+// Shutdown makes every pending and future NextTask return a shutdown task.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	c.shutdown = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Service is the exported RPC receiver ("Service.NextTask",
+// "Service.Submit").
+type Service struct {
+	c *Coordinator
+}
+
+// NextTask blocks until a task or shutdown is available. net/rpc runs each
+// call on its own goroutine, so blocking here parks only the asking worker.
+func (s *Service) NextTask(workerID string, reply *RPCTask) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.shutdown {
+		c.cond.Wait()
+	}
+	if len(c.queue) == 0 {
+		*reply = RPCTask{Shutdown: true}
+		return nil
+	}
+	*reply = c.queue[0]
+	c.queue = c.queue[1:]
+	return nil
+}
+
+// Submit delivers a result to the coordinator's stream.
+func (s *Service) Submit(res RPCResult, ack *bool) error {
+	s.c.results <- res
+	*ack = true
+	return nil
+}
+
+// Serve registers the coordinator service and accepts connections until the
+// listener closes.
+func (c *Coordinator) Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.Register(&Service{c: c}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Worker executes tasks fetched from a coordinator. It caches one
+// application per configuration so repeated tasks do not regenerate data.
+type Worker struct {
+	// ID labels the worker in results.
+	ID string
+
+	appMu  sync.Mutex
+	appKey string
+	app    *apps.App
+}
+
+// appFor returns (building if needed) the application a task needs.
+func (w *Worker) appFor(t RPCTask) (*apps.App, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", t.App, t.DataSeed, t.TrainN, t.ValN)
+	w.appMu.Lock()
+	defer w.appMu.Unlock()
+	if w.appKey == key {
+		return w.app, nil
+	}
+	app, err := apps.New(t.App, t.DataSeed, apps.Config{Data: data.Config{TrainN: t.TrainN, ValN: t.ValN}})
+	if err != nil {
+		return nil, err
+	}
+	w.appKey, w.app = key, app
+	return app, nil
+}
+
+// Execute runs one task locally (exported for tests and for embedding the
+// worker in-process).
+func (w *Worker) Execute(t RPCTask) RPCResult {
+	res := RPCResult{ID: t.ID, WorkerID: w.ID}
+	fail := func(err error) RPCResult {
+		res.Err = err.Error()
+		return res
+	}
+	app, err := w.appFor(t)
+	if err != nil {
+		return fail(err)
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	net, err := app.Space.Build(t.Arch, rng)
+	if err != nil {
+		return fail(err)
+	}
+	res.Params = net.ParamCount()
+	if t.Matcher != "" && len(t.Parent) > 0 {
+		m, ok := core.MatcherByName(t.Matcher)
+		if !ok || m == nil {
+			return fail(fmt.Errorf("cluster: unknown matcher %q", t.Matcher))
+		}
+		parent, err := checkpoint.Decode(bytes.NewReader(t.Parent))
+		if err != nil {
+			return fail(err)
+		}
+		stats, err := core.Transfer(m, parent.Sources(), net)
+		if err != nil {
+			return fail(err)
+		}
+		res.Copied = stats.Copied
+	}
+	epochs := t.PartialEpochs
+	if epochs <= 0 {
+		epochs = app.PartialEpochs
+	}
+	batch := t.BatchSizeHint
+	if batch <= 0 {
+		batch = app.Space.BatchSize
+	}
+	start := time.Now()
+	h, err := nn.Fit(net, app.Space.Loss, app.Space.Metric, nn.NewAdam(),
+		app.Dataset.Train, app.Dataset.Val,
+		nn.FitConfig{Epochs: epochs, BatchSize: batch, RNG: rng})
+	res.TrainMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return fail(err)
+	}
+	res.Score = h.FinalScore()
+	var buf bytes.Buffer
+	if err := checkpoint.FromNetwork(t.Arch, res.Score, net).Encode(&buf); err != nil {
+		return fail(err)
+	}
+	res.Checkpoint = buf.Bytes()
+	return res
+}
+
+// Run connects to the coordinator and processes tasks until shutdown.
+func (w *Worker) Run(addr string) error {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s dialing %s: %w", w.ID, addr, err)
+	}
+	defer client.Close()
+	for {
+		var task RPCTask
+		if err := client.Call("Service.NextTask", w.ID, &task); err != nil {
+			return fmt.Errorf("cluster: worker %s fetching task: %w", w.ID, err)
+		}
+		if task.Shutdown {
+			return nil
+		}
+		res := w.Execute(task)
+		var ack bool
+		if err := client.Call("Service.Submit", res, &ack); err != nil {
+			return fmt.Errorf("cluster: worker %s submitting result: %w", w.ID, err)
+		}
+	}
+}

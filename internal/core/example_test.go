@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"swtnas/internal/core"
+)
+
+// The paper's Figure 3 scenario: the receiver has one extra convolutional
+// layer, so LP stops at the first layer while LCS also recovers the final
+// dense layer.
+func ExampleLCS_Match() {
+	provider := core.ShapeSeq{{3, 3, 3, 8}, {128, 10}}
+	receiver := core.ShapeSeq{{3, 3, 3, 8}, {3, 3, 8, 8}, {128, 10}}
+	for _, p := range (core.LCS{}).Match(provider, receiver) {
+		fmt.Printf("provider[%d] -> receiver[%d]\n", p.Provider, p.Receiver)
+	}
+	// Output:
+	// provider[0] -> receiver[0]
+	// provider[1] -> receiver[2]
+}
+
+func ExampleLP_Match() {
+	provider := core.ShapeSeq{{3, 3, 3, 8}, {128, 10}}
+	receiver := core.ShapeSeq{{3, 3, 3, 8}, {3, 3, 8, 8}, {128, 10}}
+	fmt.Println(len((core.LP{}).Match(provider, receiver)))
+	// Output:
+	// 1
+}
+
+func ExampleShapeSeq_String() {
+	seq := core.ShapeSeq{{3, 3, 3, 8}, {128, 10}}
+	fmt.Println(seq)
+	// Output:
+	// [(3, 3, 3, 8), (128, 10)]
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swtnas/internal/nn"
+)
+
+// TestQuickLCSLengthSymmetric: the LCS length is symmetric in its arguments
+// (the alignment itself need not be).
+func TestQuickLCSLengthSymmetric(t *testing.T) {
+	f := func(x, y []uint8) bool {
+		if len(x) > 10 {
+			x = x[:10]
+		}
+		if len(y) > 10 {
+			y = y[:10]
+		}
+		a, b := seqFromLetters(x), seqFromLetters(y)
+		return len((LCS{}).Match(a, b)) == len((LCS{}).Match(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransferIdempotent: transferring the same sources twice leaves the
+// receiver exactly as after the first transfer.
+func TestTransferIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	build := func(seed int64) *nn.Network {
+		r := rand.New(rand.NewSource(seed))
+		net := nn.NewNetwork([]int{4})
+		h := net.MustAdd(nn.NewDense("d1", 4, 8, 0, r), nn.GraphInput(0))
+		net.MustAdd(nn.NewDense("d2", 8, 3, 0, r), h)
+		return net
+	}
+	provider := build(1)
+	for _, p := range provider.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] += rng.NormFloat64()
+		}
+	}
+	src := SourcesFromNetwork(provider)
+	receiver := build(2)
+	s1, err := Transfer(LCS{}, src, receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]float64, 0)
+	for _, p := range receiver.Params() {
+		snapshot = append(snapshot, append([]float64(nil), p.W.Data...))
+	}
+	s2, err := Transfer(LCS{}, src, receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Copied != s2.Copied || s1.Scalars != s2.Scalars {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for i, p := range receiver.Params() {
+		for j := range p.W.Data {
+			if p.W.Data[j] != snapshot[i][j] {
+				t.Fatal("second transfer changed the receiver")
+			}
+		}
+	}
+}
+
+// TestTransferNeverTouchesProvider: transfer is strictly provider->receiver.
+func TestTransferNeverTouchesProvider(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	provider := mlp(8, 73)
+	before := make([][]float64, 0)
+	for _, p := range provider.Params() {
+		before = append(before, append([]float64(nil), p.W.Data...))
+	}
+	receiver := mlp(8, 74)
+	// Mutate the receiver after transfer; the provider must be unchanged
+	// even though SourcesFromNetwork shares tensors.
+	if _, err := Transfer(LP{}, SourcesFromNetwork(provider), receiver); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range receiver.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] = rng.NormFloat64()
+		}
+	}
+	for i, p := range provider.Params() {
+		for j := range p.W.Data {
+			if p.W.Data[j] != before[i][j] {
+				t.Fatal("transfer aliased provider and receiver storage")
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNames(t *testing.T) {
+	want := []string{"cifar10", "mnist", "nt3", "uno"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 1, Config{TrainN: 32, ValN: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Fatalf("name = %q, want %q", ds.Name, name)
+		}
+		if ds.Train.N() != 32 || ds.Val.N() != 16 {
+			t.Fatalf("%s sizes = %d/%d", name, ds.Train.N(), ds.Val.N())
+		}
+		if err := ds.Train.Validate(); err != nil {
+			t.Fatalf("%s train: %v", name, err)
+		}
+		if err := ds.Val.Validate(); err != nil {
+			t.Fatalf("%s val: %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus", 1, Config{}); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := ByName(name, 7, Config{TrainN: 16, ValN: 8})
+		b, _ := ByName(name, 7, Config{TrainN: 16, ValN: 8})
+		c, _ := ByName(name, 8, Config{TrainN: 16, ValN: 8})
+		for i, v := range a.Train.Inputs[0].Data {
+			if b.Train.Inputs[0].Data[i] != v {
+				t.Fatalf("%s: same seed produced different data", name)
+			}
+		}
+		same := true
+		for i, v := range a.Train.Inputs[0].Data {
+			if c.Train.Inputs[0].Data[i] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical data", name)
+		}
+	}
+}
+
+func TestClassificationLabelsBalanced(t *testing.T) {
+	ds := CIFAR10Like(1, Config{TrainN: 100, ValN: 20})
+	counts := map[int]int{}
+	for _, l := range ds.Train.Targets {
+		counts[int(l)]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("class count = %d, want 10", len(counts))
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("class %d has %d samples, want 10", k, c)
+		}
+	}
+}
+
+func TestNT3Shapes(t *testing.T) {
+	ds := NT3Like(1, Config{})
+	if ds.NumClasses != 2 {
+		t.Fatalf("classes = %d", ds.NumClasses)
+	}
+	if len(ds.InputShapes) != 1 || ds.InputShapes[0][0] != 256 || ds.InputShapes[0][1] != 1 {
+		t.Fatalf("input shapes = %v", ds.InputShapes)
+	}
+	// The defining NT3 property: far fewer observations than the others.
+	if ds.Train.N() >= CIFAR10Like(1, Config{}).Train.N() {
+		t.Fatal("NT3 must have the smallest training set")
+	}
+}
+
+func TestUnoShapesAndTargets(t *testing.T) {
+	ds := UnoLike(3, Config{TrainN: 200, ValN: 50})
+	if ds.NumClasses != 0 {
+		t.Fatalf("uno must be regression, got %d classes", ds.NumClasses)
+	}
+	if len(ds.Train.Inputs) != 4 {
+		t.Fatalf("uno wants 4 inputs, got %d", len(ds.Train.Inputs))
+	}
+	mean, std := meanStd(ds.Train.Targets)
+	if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+		t.Fatalf("targets not standardized: mean %v std %v", mean, std)
+	}
+}
+
+func TestImagePrototypesDiffer(t *testing.T) {
+	// Two classes must have distinguishable means, otherwise the task is
+	// unlearnable.
+	ds := MNISTLike(5, Config{TrainN: 200, ValN: 20})
+	sample := ds.Train.Inputs[0].Numel() / ds.Train.N()
+	mean := func(class int) []float64 {
+		m := make([]float64, sample)
+		n := 0
+		for i := 0; i < ds.Train.N(); i++ {
+			if int(ds.Train.Targets[i]) != class {
+				continue
+			}
+			row := ds.Train.Inputs[0].Data[i*sample : (i+1)*sample]
+			for j, v := range row {
+				m[j] += v
+			}
+			n++
+		}
+		for j := range m {
+			m[j] /= float64(n)
+		}
+		return m
+	}
+	m0, m1 := mean(0), mean(1)
+	dist := 0.0
+	for j := range m0 {
+		d := m0[j] - m1[j]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 1 {
+		t.Fatalf("class means too close: %v", math.Sqrt(dist))
+	}
+}

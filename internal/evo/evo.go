@@ -1,0 +1,141 @@
+// Package evo implements the NAS search strategies: regularized (aging)
+// evolution — the strategy the paper integrates weight transfer into
+// (Algorithm 1) — and random search as a baseline.
+package evo
+
+import (
+	"math/rand"
+	"sync"
+
+	"swtnas/internal/search"
+)
+
+// Individual is one scored candidate inside a strategy's state.
+type Individual struct {
+	// ID is the candidate id assigned by the scheduler.
+	ID int
+	// Arch is the architecture sequence.
+	Arch search.Arch
+	// Score is the estimated objective metric.
+	Score float64
+}
+
+// Proposal is a candidate the strategy wants evaluated next.
+type Proposal struct {
+	// Arch is the proposed architecture sequence.
+	Arch search.Arch
+	// ParentID is the provider candidate for weight transfer, or -1 when
+	// the candidate should train from scratch (random/seed candidates).
+	ParentID int
+	// ParentArch is the provider's architecture (empty when ParentID<0).
+	ParentArch search.Arch
+}
+
+// Strategy proposes candidates and absorbs results. Implementations are
+// safe for concurrent use: the scheduler may call Propose and Report from
+// its own goroutine while evaluators run.
+type Strategy interface {
+	// Name identifies the strategy in traces.
+	Name() string
+	// Propose returns the next candidate to evaluate.
+	Propose(rng *rand.Rand) Proposal
+	// Report delivers a scored candidate.
+	Report(ind Individual)
+}
+
+// RandomSearch proposes uniformly random candidates, never reusing parents.
+type RandomSearch struct {
+	space *search.Space
+}
+
+// NewRandomSearch creates a random-search strategy over the space.
+func NewRandomSearch(space *search.Space) *RandomSearch {
+	return &RandomSearch{space: space}
+}
+
+// Name returns "random".
+func (s *RandomSearch) Name() string { return "random" }
+
+// Propose returns a uniformly random candidate with no provider.
+func (s *RandomSearch) Propose(rng *rand.Rand) Proposal {
+	return Proposal{Arch: s.space.Random(rng), ParentID: -1}
+}
+
+// Report is a no-op for random search.
+func (s *RandomSearch) Report(Individual) {}
+
+// RegularizedEvolution is the aging-evolution strategy of Real et al.
+// (AAAI'19) as described in the paper's Algorithm 1: a FIFO population of
+// the N most recently scored candidates; each proposal samples S of them,
+// takes the best as parent, and mutates one variable node — so the
+// architecture distance between parent (provider) and child (receiver) is
+// exactly 1, which is what makes provider selection free.
+type RegularizedEvolution struct {
+	space *search.Space
+	// N is the population size (paper: 64), S the sample size (paper: 32).
+	N, S int
+
+	mu  sync.Mutex
+	pop []Individual // FIFO queue, oldest first
+}
+
+// NewRegularizedEvolution creates the strategy with the paper's defaults
+// when n or s are non-positive (N=64, S=32).
+func NewRegularizedEvolution(space *search.Space, n, s int) *RegularizedEvolution {
+	if n <= 0 {
+		n = 64
+	}
+	if s <= 0 {
+		s = 32
+	}
+	if s > n {
+		s = n
+	}
+	return &RegularizedEvolution{space: space, N: n, S: s}
+}
+
+// Name returns "regularized-evolution".
+func (s *RegularizedEvolution) Name() string { return "regularized-evolution" }
+
+// Propose returns a random candidate while the population is filling, and a
+// single-node mutation of the best of S sampled individuals afterwards.
+func (s *RegularizedEvolution) Propose(rng *rand.Rand) Proposal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pop) < s.N {
+		return Proposal{Arch: s.space.Random(rng), ParentID: -1}
+	}
+	// Sample S distinct individuals (Algorithm 1 line 6) and take the best.
+	perm := rng.Perm(len(s.pop))
+	best := s.pop[perm[0]]
+	for _, idx := range perm[1:s.S] {
+		if cand := s.pop[idx]; cand.Score > best.Score {
+			best = cand
+		}
+	}
+	child, err := s.space.Mutate(best.Arch, rng)
+	if err != nil {
+		// The space has no mutable nodes; degenerate but valid — repeat
+		// the parent architecture.
+		child = best.Arch.Clone()
+	}
+	return Proposal{Arch: child, ParentID: best.ID, ParentArch: best.Arch.Clone()}
+}
+
+// Report pushes the scored candidate into the population, aging out the
+// oldest member beyond capacity (Algorithm 1 lines 4-5).
+func (s *RegularizedEvolution) Report(ind Individual) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pop = append(s.pop, ind)
+	if len(s.pop) > s.N {
+		s.pop = s.pop[1:]
+	}
+}
+
+// PopulationSize reports the current population fill (tests/diagnostics).
+func (s *RegularizedEvolution) PopulationSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pop)
+}

@@ -1,0 +1,155 @@
+package evo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"swtnas/internal/nn"
+	"swtnas/internal/search"
+)
+
+func toySpace() *search.Space {
+	nodes := []*search.VariableNode{
+		{Name: "n0", Ops: []search.Op{search.OpIdentity(), search.OpDense(4), search.OpDense(8)}},
+		{Name: "n1", Ops: []search.Op{search.OpIdentity(), search.OpDropout(0.5)}},
+	}
+	s := &search.Space{Name: "toy", Nodes: nodes, InputShapes: [][]int{{4}}}
+	s.Assemble = func(b *search.Builder, arch search.Arch) error {
+		ref := nn.GraphInput(0)
+		var err error
+		for i := range nodes {
+			if ref, err = b.ApplyNode(i, ref); err != nil {
+				return err
+			}
+		}
+		flat, err := b.Flat(ref)
+		if err != nil {
+			return err
+		}
+		_, err = b.Net.Add(nn.NewDense("head", b.ShapeOf(flat)[0], 2, 0, b.RNG), flat)
+		return err
+	}
+	return s
+}
+
+func TestRandomSearchProposals(t *testing.T) {
+	s := NewRandomSearch(toySpace())
+	if s.Name() != "random" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		p := s.Propose(rng)
+		if p.ParentID != -1 {
+			t.Fatalf("random search proposed a parent: %+v", p)
+		}
+	}
+	s.Report(Individual{}) // must not panic
+}
+
+func TestEvolutionFillsPopulationWithRandoms(t *testing.T) {
+	space := toySpace()
+	s := NewRegularizedEvolution(space, 8, 4)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 8; i++ {
+		p := s.Propose(rng)
+		if p.ParentID != -1 {
+			t.Fatalf("proposal %d has a parent before the population filled", i)
+		}
+		s.Report(Individual{ID: i, Arch: p.Arch, Score: rng.Float64()})
+	}
+	if s.PopulationSize() != 8 {
+		t.Fatalf("population = %d", s.PopulationSize())
+	}
+	// From now on every proposal must be a d=1 mutation of a population
+	// member (Algorithm 1 line 9: "d between the parent and the child is
+	// always one!").
+	for i := 0; i < 50; i++ {
+		p := s.Propose(rng)
+		if p.ParentID < 0 {
+			t.Fatal("post-fill proposal lacks a parent")
+		}
+		if d := search.Distance(p.ParentArch, p.Arch); d != 1 {
+			t.Fatalf("distance = %d, want 1", d)
+		}
+	}
+}
+
+func TestEvolutionAgesOutOldest(t *testing.T) {
+	s := NewRegularizedEvolution(toySpace(), 4, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		s.Report(Individual{ID: i, Arch: toySpace().Random(rng), Score: 0})
+	}
+	if s.PopulationSize() != 4 {
+		t.Fatalf("population = %d, want 4 (aging)", s.PopulationSize())
+	}
+	// The survivors are the most recent, regardless of score: give the
+	// oldest a huge score and check it still ages out.
+	s2 := NewRegularizedEvolution(toySpace(), 2, 2)
+	s2.Report(Individual{ID: 0, Score: 100})
+	s2.Report(Individual{ID: 1, Score: 0})
+	s2.Report(Individual{ID: 2, Score: 0})
+	p := s2.Propose(rng)
+	if p.ParentID == 0 {
+		t.Fatal("aged-out individual was selected as parent")
+	}
+}
+
+func TestEvolutionSelectsBestOfSample(t *testing.T) {
+	// With S == N the sample is effectively the whole population, so the
+	// best individual must always be the parent.
+	space := toySpace()
+	s := NewRegularizedEvolution(space, 6, 6)
+	rng := rand.New(rand.NewSource(4))
+	bestID := 3
+	for i := 0; i < 6; i++ {
+		score := 0.1
+		if i == bestID {
+			score = 0.9
+		}
+		s.Report(Individual{ID: i, Arch: space.Random(rng), Score: score})
+	}
+	for i := 0; i < 20; i++ {
+		p := s.Propose(rng)
+		if p.ParentID != bestID {
+			t.Fatalf("parent = %d, want %d", p.ParentID, bestID)
+		}
+	}
+}
+
+func TestEvolutionDefaults(t *testing.T) {
+	s := NewRegularizedEvolution(toySpace(), 0, 0)
+	if s.N != 64 || s.S != 32 {
+		t.Fatalf("defaults = N%d S%d, want N64 S32 (paper Section VII-C)", s.N, s.S)
+	}
+	s2 := NewRegularizedEvolution(toySpace(), 4, 9)
+	if s2.S != 4 {
+		t.Fatalf("S must clamp to N, got %d", s2.S)
+	}
+}
+
+func TestEvolutionConcurrentReports(t *testing.T) {
+	space := toySpace()
+	s := NewRegularizedEvolution(space, 16, 8)
+	rng := rand.New(rand.NewSource(5))
+	arches := make([]search.Arch, 64)
+	for i := range arches {
+		arches[i] = space.Random(rng)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				s.Report(Individual{ID: w*16 + i, Arch: arches[w*16+i], Score: float64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.PopulationSize() != 16 {
+		t.Fatalf("population = %d, want 16", s.PopulationSize())
+	}
+}

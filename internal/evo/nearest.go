@@ -1,0 +1,76 @@
+package evo
+
+import (
+	"math/rand"
+	"sync"
+
+	"swtnas/internal/search"
+)
+
+// NearestProviderSearch extends weight transfer beyond evolution, the
+// generalization the paper sketches in Section IX: candidates are proposed
+// uniformly at random (no mutation lineage), and the provider is chosen as
+// the minimum-architecture-distance candidate among a sliding window of
+// recently scored ones. Scanning a bounded window keeps provider selection
+// O(Window) per proposal — the paper's requirement that the scheduler must
+// not iterate over every checkpointed candidate.
+type NearestProviderSearch struct {
+	space *search.Space
+	// Window bounds how many recent candidates are scanned.
+	Window int
+	// MaxDistance disables transfer when the best provider is farther
+	// than this (Section V: transfer from a distant provider is likely
+	// harmful). Zero means "any distance".
+	MaxDistance int
+
+	mu     sync.Mutex
+	recent []Individual
+}
+
+// NewNearestProviderSearch creates the strategy. window <= 0 defaults to 64;
+// maxDistance <= 0 disables the distance cutoff.
+func NewNearestProviderSearch(space *search.Space, window, maxDistance int) *NearestProviderSearch {
+	if window <= 0 {
+		window = 64
+	}
+	return &NearestProviderSearch{space: space, Window: window, MaxDistance: maxDistance}
+}
+
+// Name returns "nearest-provider-random".
+func (s *NearestProviderSearch) Name() string { return "nearest-provider-random" }
+
+// Propose draws a random candidate and attaches the nearest recent
+// candidate as provider (ties broken by higher score, then recency).
+func (s *NearestProviderSearch) Propose(rng *rand.Rand) Proposal {
+	arch := s.space.Random(rng)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bestIdx := -1
+	bestD := -1
+	for i, ind := range s.recent {
+		d := search.Distance(ind.Arch, arch)
+		if d < 0 {
+			continue
+		}
+		better := bestIdx < 0 || d < bestD ||
+			(d == bestD && ind.Score > s.recent[bestIdx].Score)
+		if better {
+			bestIdx, bestD = i, d
+		}
+	}
+	if bestIdx < 0 || (s.MaxDistance > 0 && bestD > s.MaxDistance) {
+		return Proposal{Arch: arch, ParentID: -1}
+	}
+	p := s.recent[bestIdx]
+	return Proposal{Arch: arch, ParentID: p.ID, ParentArch: p.Arch.Clone()}
+}
+
+// Report records the candidate in the sliding window.
+func (s *NearestProviderSearch) Report(ind Individual) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recent = append(s.recent, ind)
+	if len(s.recent) > s.Window {
+		s.recent = s.recent[1:]
+	}
+}

@@ -1,0 +1,98 @@
+package evo
+
+import (
+	"math/rand"
+	"testing"
+
+	"swtnas/internal/search"
+)
+
+func TestNearestProviderEmptyWindow(t *testing.T) {
+	s := NewNearestProviderSearch(toySpace(), 8, 0)
+	if s.Name() != "nearest-provider-random" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	p := s.Propose(rand.New(rand.NewSource(1)))
+	if p.ParentID != -1 {
+		t.Fatal("no candidates yet: proposal must have no parent")
+	}
+}
+
+func TestNearestProviderPicksMinimumDistance(t *testing.T) {
+	space := toySpace()
+	s := NewNearestProviderSearch(space, 8, 0)
+	rng := rand.New(rand.NewSource(2))
+	// Seed the window with known architectures.
+	s.Report(Individual{ID: 0, Arch: search.Arch{0, 0}, Score: 0.1})
+	s.Report(Individual{ID: 1, Arch: search.Arch{2, 1}, Score: 0.2})
+	for i := 0; i < 50; i++ {
+		p := s.Propose(rng)
+		if p.ParentID < 0 {
+			t.Fatal("provider expected")
+		}
+		dChosen := search.Distance(p.ParentArch, p.Arch)
+		for _, other := range []search.Arch{{0, 0}, {2, 1}} {
+			if d := search.Distance(other, p.Arch); d < dChosen {
+				t.Fatalf("chose provider at d=%d when d=%d was available", dChosen, d)
+			}
+		}
+	}
+}
+
+func TestNearestProviderTieBreaksByScore(t *testing.T) {
+	space := toySpace()
+	s := NewNearestProviderSearch(space, 8, 0)
+	// Two providers at the same distance from everything relevant: the
+	// higher-scored one must win.
+	s.Report(Individual{ID: 0, Arch: search.Arch{0, 0}, Score: 0.1})
+	s.Report(Individual{ID: 1, Arch: search.Arch{0, 0}, Score: 0.9})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		p := s.Propose(rng)
+		if p.ParentID != 1 {
+			t.Fatalf("parent = %d, want the higher-scored 1", p.ParentID)
+		}
+	}
+}
+
+func TestNearestProviderMaxDistanceCutoff(t *testing.T) {
+	space := toySpace() // 2 variable nodes -> max distance 2
+	s := NewNearestProviderSearch(space, 8, 0)
+	s.MaxDistance = 0 // no cutoff: always a parent once the window is seeded
+	s.Report(Individual{ID: 0, Arch: search.Arch{0, 0}, Score: 0})
+	rng := rand.New(rand.NewSource(4))
+	if p := s.Propose(rng); p.ParentID != 0 {
+		t.Fatal("without cutoff a provider must be chosen")
+	}
+	// With an impossible cutoff, only exact matches (d=0) would qualify;
+	// most random proposals differ, so some must come back parentless.
+	s2 := NewNearestProviderSearch(space, 8, 1)
+	s2.Report(Individual{ID: 0, Arch: search.Arch{0, 0}, Score: 0})
+	sawNoParent := false
+	for i := 0; i < 100; i++ {
+		p := s2.Propose(rng)
+		if p.ParentID == -1 {
+			sawNoParent = true
+		} else if d := search.Distance(p.ParentArch, p.Arch); d > 1 {
+			t.Fatalf("cutoff violated: d = %d", d)
+		}
+	}
+	if !sawNoParent {
+		t.Fatal("cutoff never rejected a distant provider")
+	}
+}
+
+func TestNearestProviderWindowSlides(t *testing.T) {
+	space := toySpace()
+	s := NewNearestProviderSearch(space, 2, 0)
+	for i := 0; i < 5; i++ {
+		s.Report(Individual{ID: i, Arch: space.Random(rand.New(rand.NewSource(int64(i)))), Score: 0})
+	}
+	s.mu.Lock()
+	n := len(s.recent)
+	oldest := s.recent[0].ID
+	s.mu.Unlock()
+	if n != 2 || oldest != 3 {
+		t.Fatalf("window = %d entries, oldest id %d; want 2 entries, oldest 3", n, oldest)
+	}
+}

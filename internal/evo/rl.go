@@ -1,0 +1,184 @@
+package evo
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"swtnas/internal/search"
+)
+
+// ReinforceSearch is a policy-gradient search strategy in the spirit of the
+// RL-based NAS the paper builds on (Balaprakash et al., SC'19; Zoph & Le):
+// each variable node holds an independent categorical policy over its
+// choices, updated by REINFORCE with an exponential-moving-average baseline.
+//
+// The strategy proposes no providers itself; wrap it with
+// AugmentWithNearestProvider to combine RL search with selective weight
+// transfer (the Section IX generalization).
+type ReinforceSearch struct {
+	space *search.Space
+	// LR is the policy-gradient step size.
+	LR float64
+	// BaselineDecay is the EMA factor of the reward baseline.
+	BaselineDecay float64
+
+	mu       sync.Mutex
+	logits   [][]float64
+	baseline float64
+	seen     bool
+}
+
+// NewReinforceSearch creates the strategy with lr=0.05 and baseline decay
+// 0.9 when non-positive values are given.
+func NewReinforceSearch(space *search.Space, lr, baselineDecay float64) *ReinforceSearch {
+	if lr <= 0 {
+		lr = 0.05
+	}
+	if baselineDecay <= 0 || baselineDecay >= 1 {
+		baselineDecay = 0.9
+	}
+	logits := make([][]float64, len(space.Nodes))
+	for i, n := range space.Nodes {
+		logits[i] = make([]float64, len(n.Ops))
+	}
+	return &ReinforceSearch{space: space, LR: lr, BaselineDecay: baselineDecay, logits: logits}
+}
+
+// Name returns "reinforce".
+func (s *ReinforceSearch) Name() string { return "reinforce" }
+
+func softmax(logits []float64) []float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	p := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		p[i] = math.Exp(v - maxv)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+func sample(p []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Propose samples an architecture from the per-node policies.
+func (s *ReinforceSearch) Propose(rng *rand.Rand) Proposal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arch := make(search.Arch, len(s.logits))
+	for i, l := range s.logits {
+		arch[i] = sample(softmax(l), rng)
+	}
+	return Proposal{Arch: arch, ParentID: -1}
+}
+
+// Report applies one REINFORCE update for the scored architecture.
+func (s *ReinforceSearch) Report(ind Individual) {
+	if len(ind.Arch) != len(s.logits) {
+		return // foreign architecture; ignore
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seen {
+		s.baseline = ind.Score
+		s.seen = true
+	}
+	adv := ind.Score - s.baseline
+	s.baseline = s.BaselineDecay*s.baseline + (1-s.BaselineDecay)*ind.Score
+	for i, c := range ind.Arch {
+		if c < 0 || c >= len(s.logits[i]) {
+			return
+		}
+		p := softmax(s.logits[i])
+		for j := range s.logits[i] {
+			if j == c {
+				s.logits[i][j] += s.LR * adv * (1 - p[j])
+			} else {
+				s.logits[i][j] -= s.LR * adv * p[j]
+			}
+		}
+	}
+}
+
+// Policy returns the current choice distribution of one variable node
+// (diagnostics and tests).
+func (s *ReinforceSearch) Policy(node int) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return softmax(s.logits[node])
+}
+
+// AugmentWithNearestProvider decorates any strategy with sliding-window
+// nearest-provider selection: proposals that carry no provider get the
+// minimum-architecture-distance recent candidate attached, enabling weight
+// transfer for strategies without mutation lineage (random search, RL).
+func AugmentWithNearestProvider(inner Strategy, window, maxDistance int) Strategy {
+	if window <= 0 {
+		window = 64
+	}
+	return &augmentedStrategy{inner: inner, window: window, maxDistance: maxDistance}
+}
+
+type augmentedStrategy struct {
+	inner       Strategy
+	window      int
+	maxDistance int
+
+	mu     sync.Mutex
+	recent []Individual
+}
+
+func (s *augmentedStrategy) Name() string { return s.inner.Name() + "+nearest-provider" }
+
+func (s *augmentedStrategy) Propose(rng *rand.Rand) Proposal {
+	p := s.inner.Propose(rng)
+	if p.ParentID >= 0 {
+		return p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bestIdx, bestD := -1, -1
+	for i, ind := range s.recent {
+		d := search.Distance(ind.Arch, p.Arch)
+		if d < 0 {
+			continue
+		}
+		if bestIdx < 0 || d < bestD || (d == bestD && ind.Score > s.recent[bestIdx].Score) {
+			bestIdx, bestD = i, d
+		}
+	}
+	if bestIdx < 0 || (s.maxDistance > 0 && bestD > s.maxDistance) {
+		return p
+	}
+	p.ParentID = s.recent[bestIdx].ID
+	p.ParentArch = s.recent[bestIdx].Arch.Clone()
+	return p
+}
+
+func (s *augmentedStrategy) Report(ind Individual) {
+	s.inner.Report(ind)
+	s.mu.Lock()
+	s.recent = append(s.recent, ind)
+	if len(s.recent) > s.window {
+		s.recent = s.recent[1:]
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,131 @@
+package evo
+
+import (
+	"math/rand"
+	"testing"
+
+	"swtnas/internal/search"
+)
+
+func TestReinforceDefaults(t *testing.T) {
+	s := NewReinforceSearch(toySpace(), 0, 0)
+	if s.LR != 0.05 || s.BaselineDecay != 0.9 {
+		t.Fatalf("defaults = %v / %v", s.LR, s.BaselineDecay)
+	}
+	if s.Name() != "reinforce" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	// Fresh policy is uniform.
+	p := s.Policy(0)
+	for _, v := range p {
+		if v < 0.32 || v > 0.35 {
+			t.Fatalf("initial policy not uniform: %v", p)
+		}
+	}
+}
+
+func TestReinforceProposesValidArchitectures(t *testing.T) {
+	space := toySpace()
+	s := NewReinforceSearch(space, 0, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := s.Propose(rng)
+		if err := space.Validate(p.Arch); err != nil {
+			t.Fatal(err)
+		}
+		if p.ParentID != -1 {
+			t.Fatal("bare RL strategy must not propose providers")
+		}
+	}
+}
+
+func TestReinforceLearnsBestChoice(t *testing.T) {
+	// Reward = 1 when node 0 picks choice 2, else 0. The policy must
+	// concentrate on choice 2.
+	space := toySpace()
+	s := NewReinforceSearch(space, 0.1, 0.8)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		p := s.Propose(rng)
+		score := 0.0
+		if p.Arch[0] == 2 {
+			score = 1
+		}
+		s.Report(Individual{ID: i, Arch: p.Arch, Score: score})
+	}
+	pol := s.Policy(0)
+	if pol[2] < 0.8 {
+		t.Fatalf("policy did not concentrate on the rewarded choice: %v", pol)
+	}
+}
+
+func TestReinforceIgnoresForeignArch(t *testing.T) {
+	s := NewReinforceSearch(toySpace(), 0, 0)
+	s.Report(Individual{ID: 0, Arch: search.Arch{1}, Score: 5}) // wrong length
+	p := s.Policy(0)
+	for _, v := range p {
+		if v < 0.32 || v > 0.35 {
+			t.Fatalf("foreign report changed the policy: %v", p)
+		}
+	}
+}
+
+func TestAugmentWithNearestProvider(t *testing.T) {
+	space := toySpace()
+	inner := NewRandomSearch(space)
+	s := AugmentWithNearestProvider(inner, 8, 0)
+	if s.Name() != "random+nearest-provider" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	rng := rand.New(rand.NewSource(3))
+	// No candidates yet: proposals stay parentless.
+	if p := s.Propose(rng); p.ParentID != -1 {
+		t.Fatal("empty window must not attach a provider")
+	}
+	s.Report(Individual{ID: 7, Arch: search.Arch{0, 0}, Score: 0.5})
+	p := s.Propose(rng)
+	if p.ParentID != 7 {
+		t.Fatalf("parent = %d, want 7", p.ParentID)
+	}
+	if search.Distance(p.ParentArch, p.Arch) < 0 {
+		t.Fatal("parent arch must be comparable")
+	}
+}
+
+func TestAugmentRespectsInnerProvider(t *testing.T) {
+	// If the inner strategy already names a provider (evolution), the
+	// decorator must not override it.
+	space := toySpace()
+	evoS := NewRegularizedEvolution(space, 2, 2)
+	s := AugmentWithNearestProvider(evoS, 8, 0)
+	rng := rand.New(rand.NewSource(4))
+	s.Report(Individual{ID: 0, Arch: space.Random(rng), Score: 0.1})
+	s.Report(Individual{ID: 1, Arch: space.Random(rng), Score: 0.2})
+	p := s.Propose(rng)
+	if p.ParentID < 0 {
+		t.Fatal("evolution proposal lost its parent")
+	}
+	if d := search.Distance(p.ParentArch, p.Arch); d != 1 {
+		t.Fatalf("decorator changed the evolution parent (d=%d)", d)
+	}
+}
+
+func TestAugmentWindowAndCutoff(t *testing.T) {
+	space := toySpace()
+	s := AugmentWithNearestProvider(NewRandomSearch(space), 2, 1).(*augmentedStrategy)
+	for i := 0; i < 5; i++ {
+		s.Report(Individual{ID: i, Arch: space.Random(rand.New(rand.NewSource(int64(i)))), Score: 0})
+	}
+	if len(s.recent) != 2 {
+		t.Fatalf("window = %d, want 2", len(s.recent))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		p := s.Propose(rng)
+		if p.ParentID >= 0 {
+			if d := search.Distance(p.ParentArch, p.Arch); d > 1 {
+				t.Fatalf("cutoff violated: d=%d", d)
+			}
+		}
+	}
+}

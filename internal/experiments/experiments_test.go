@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyCfg exercises every experiment end to end in a few seconds.
+func tinyCfg(apps ...string) Config {
+	return Config{
+		Seed: 1, Seeds: 1, Budget: 12, Workers: 1, PopN: 4, PopS: 2,
+		TrainN: 24, ValN: 12,
+		Pairs: 3, TraceBudget: 20, TracePairs: 30,
+		TopK: 2, TauSamples: 4, MaxD: 2, PairsPerD: 2,
+		FullEpochs: 3,
+		Apps:       apps,
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	p := Paper()
+	if p.Seeds != 5 || p.Budget != 400 || p.PopN != 64 || p.PopS != 32 || p.TopK != 10 ||
+		p.Pairs != 1000 || p.TracePairs != 10000 || p.TauSamples != 100 {
+		t.Fatalf("Paper() does not match the paper's counts: %+v", p)
+	}
+	q := Quick()
+	if q.Budget >= p.Budget || q.Seeds >= p.Seeds {
+		t.Fatal("Quick() must be smaller than Paper()")
+	}
+	if len(Schemes()) != 3 || Schemes()[0] != "baseline" {
+		t.Fatalf("Schemes() = %v", Schemes())
+	}
+}
+
+func TestSuiteCachesAppsAndCampaigns(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	a1, err := s.App("nt3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := s.App("nt3")
+	if a1 != a2 {
+		t.Fatal("App must be cached")
+	}
+	c1, err := s.Campaign("nt3", "LCS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := s.Campaign("nt3", "LCS")
+	if c1 != c2 {
+		t.Fatal("Campaign must be cached")
+	}
+	if len(c1.Traces) != 1 || len(c1.Traces[0].Records) != 12 {
+		t.Fatalf("campaign shape: %d traces", len(c1.Traces))
+	}
+	if _, err := s.Campaign("nt3", "bogus"); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3", "uno"))
+	var sb strings.Builder
+	rows, err := s.Table1(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].VNs != 8 || rows[1].VNs != 13 {
+		t.Fatalf("VNs = %d/%d, want 8/13 (Table I)", rows[0].VNs, rows[1].VNs)
+	}
+	if rows[1].Loss != "MAE" || rows[1].Objective != "R2" {
+		t.Fatalf("uno row = %+v", rows[1])
+	}
+	if !strings.Contains(sb.String(), "Table I") {
+		t.Fatal("missing table header")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	s := NewSuite(tinyCfg("uno"))
+	rows, err := s.Fig2(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Pairs != 30 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Uno's identical per-node choice sets make nearly every pair
+	// shareable (paper: ~100%).
+	if rows[0].SharePct < 80 {
+		t.Fatalf("uno shareable = %v%%, want ~100%%", rows[0].SharePct)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	s := NewSuite(tinyCfg("cifar10"))
+	var sb strings.Builder
+	if err := s.Fig3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"provider shape sequence", "LP transfers", "LCS transfers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4And5(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	rows, err := s.Fig4(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // LP + LCS
+		t.Fatalf("fig4 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TransferablePct < 0 || r.TransferablePct > 100 {
+			t.Fatalf("bad pct: %+v", r)
+		}
+		if r.PositivePct+r.NegativePct > r.TransferablePct+1e-9 {
+			t.Fatalf("positive+negative exceeds transferable: %+v", r)
+		}
+	}
+	// LCS scope >= LP scope (paper Section IV-A: LP is a subset of LCS).
+	var lp, lcs PairRow
+	for _, r := range rows {
+		if r.Matcher == "LP" {
+			lp = r
+		} else {
+			lcs = r
+		}
+	}
+	if lcs.TransferablePct < lp.TransferablePct {
+		t.Fatalf("LCS scope (%v) < LP scope (%v)", lcs.TransferablePct, lp.TransferablePct)
+	}
+
+	rows5, err := s.Fig5(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows5) != 2*2 { // MaxD × matchers
+		t.Fatalf("fig5 rows = %d", len(rows5))
+	}
+	for _, r := range rows5 {
+		if r.D < 1 || r.D > 2 {
+			t.Fatalf("bad distance bucket: %+v", r)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	points, summaries, err := s.Fig7(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 || len(summaries) != 1 {
+		t.Fatalf("points=%d summaries=%d", len(points), len(summaries))
+	}
+	for _, p := range points {
+		if p.SlotEnd <= 0 || p.N <= 0 {
+			t.Fatalf("bad point: %+v", p)
+		}
+	}
+	for _, scheme := range Schemes() {
+		if _, ok := summaries[0].TailMeans[scheme]; !ok {
+			t.Fatalf("summary missing scheme %s", scheme)
+		}
+	}
+}
+
+func TestPhase2AndDerived(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	models, err := s.Phase2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// topK(2) × schemes(3) × seeds(1)
+	if len(models) != 6 {
+		t.Fatalf("phase2 models = %d, want 6", len(models))
+	}
+	for _, m := range models {
+		if m.EpochsES < 1 || m.EpochsES > 3 {
+			t.Fatalf("epochs = %d", m.EpochsES)
+		}
+		if m.Params <= 0 {
+			t.Fatalf("params = %d", m.Params)
+		}
+	}
+	// Cached second call.
+	again, _ := s.Phase2()
+	if &again[0] != &models[0] {
+		t.Fatal("phase2 must be cached")
+	}
+
+	rows8, speedups, err := s.Fig8(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != 3 {
+		t.Fatalf("fig8 rows = %d", len(rows8))
+	}
+	for _, scheme := range []string{"LP", "LCS"} {
+		if speedups[scheme] <= 0 {
+			t.Fatalf("speedup[%s] = %v", scheme, speedups[scheme])
+		}
+	}
+
+	rows3, err := s.Table3(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows3) != 3 {
+		t.Fatalf("table3 rows = %d", len(rows3))
+	}
+	rows4, err := s.Table4(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows4) != 3 {
+		t.Fatalf("table4 rows = %d", len(rows4))
+	}
+	for _, r := range rows4 {
+		if r.Min > r.Mean || r.Mean > r.Max {
+			t.Fatalf("param ordering broken: %+v", r)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	rows, err := s.Fig9(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("fig9 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tau < -1 || r.Tau > 1 {
+			t.Fatalf("tau out of range: %+v", r)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	rows, err := s.Fig10(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*3 { // schemes × GPU counts
+		t.Fatalf("fig10 rows = %d", len(rows))
+	}
+	byKey := map[string]time.Duration{}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Fatalf("bad makespan: %+v", r)
+		}
+		byKey[r.Scheme+string(rune('0'+r.GPUs/8))] = r.Makespan
+	}
+	// More GPUs must never be slower for the same scheme.
+	for _, scheme := range Schemes() {
+		if byKey[scheme+"1"] < byKey[scheme+"4"] {
+			t.Fatalf("%s: 8 GPUs faster than 32", scheme)
+		}
+	}
+}
+
+func TestFig11(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	rows, err := s.Fig11(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].MeanKB <= 0 || rows[0].MaxKB < rows[0].MeanKB {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"io"
+
+	"swtnas/internal/stats"
+)
+
+// Fig11Row is one bar of Figure 11: the average checkpoint size of an
+// application's candidates.
+type Fig11Row struct {
+	App      string
+	MeanKB   float64
+	MaxKB    float64
+	Examined int
+}
+
+// Fig11 reproduces Figure 11: average checkpoint sizes per application,
+// measured over the candidates of the LCS campaign's first repetition.
+func (s *Suite) Fig11(w io.Writer) ([]Fig11Row, error) {
+	line(w, "Fig 11: average checkpoint sizes of evaluated applications")
+	var rows []Fig11Row
+	for _, name := range s.Cfg.Apps {
+		c, err := s.Campaign(name, "LCS")
+		if err != nil {
+			return nil, err
+		}
+		var sizes []float64
+		for _, r := range c.Traces[0].Records {
+			sizes = append(sizes, float64(r.CheckpointBytes)/1024)
+		}
+		row := Fig11Row{
+			App:      name,
+			MeanKB:   stats.Mean(sizes),
+			MaxKB:    stats.Max(sizes),
+			Examined: len(sizes),
+		}
+		rows = append(rows, row)
+		line(w, "  %-8s mean %9.1f KB  max %9.1f KB  (n=%d)", row.App, row.MeanKB, row.MaxKB, row.Examined)
+	}
+	return rows, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"swtnas/internal/core"
+	"swtnas/internal/tensor"
+)
+
+// Fig3 prints the paper's Figure 3 illustration on live models: a provider
+// and a receiver (one mutation apart) from the CIFAR-10-like space, their
+// shape sequences, and which tensors LP and LCS would transfer.
+func (s *Suite) Fig3(w io.Writer) error {
+	app, err := s.App(s.Cfg.Apps[0])
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 3000))
+	providerArch := app.Space.Random(rng)
+	receiverArch, err := app.Space.Mutate(providerArch, rng)
+	if err != nil {
+		return err
+	}
+	provider, err := buildReceiver(app, providerArch, s.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	receiver, err := buildReceiver(app, receiverArch, s.Cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	pSeq := core.ShapeSeqOfNetwork(provider)
+	rSeq := core.ShapeSeqOfNetwork(receiver)
+	line(w, "Fig 3: weight-transfer mechanics on two %s candidates (d=1)", app.Name)
+	line(w, "  provider arch %s", providerArch)
+	line(w, "  receiver arch %s", receiverArch)
+	line(w, "  provider shape sequence: %s", pSeq)
+	line(w, "  receiver shape sequence: %s", rSeq)
+	for _, m := range []core.Matcher{core.LP{}, core.LCS{}} {
+		pairs := m.Match(pSeq, rSeq)
+		line(w, "  %s transfers %d of %d receiver tensors:", m.Name(), len(pairs), len(rSeq))
+		for _, p := range pairs {
+			line(w, "    provider[%d] %s -> receiver[%d]", p.Provider, tensor.ShapeString(pSeq[p.Provider]), p.Receiver)
+		}
+	}
+	return nil
+}

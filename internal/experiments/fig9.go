@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"swtnas/internal/nas"
+	"swtnas/internal/nn"
+	"swtnas/internal/stats"
+)
+
+// Fig9Row is one bar of Figure 9: Kendall's τ between the estimated scores
+// and the fully trained ("ground truth") objective metrics.
+type Fig9Row struct {
+	App    string
+	Scheme string
+	Tau    float64
+	TauStd float64
+}
+
+// Fig9 reproduces Figure 9: for each scheme, TauSamples candidates per
+// search are fully trained from their checkpoints (early stopping, as in
+// phase 2), and Kendall's τ is computed between estimation-phase scores and
+// the fully trained metrics. τ is computed per repetition and averaged.
+func (s *Suite) Fig9(w io.Writer) ([]Fig9Row, error) {
+	line(w, "Fig 9: Kendall's tau between estimated scores and fully trained metrics")
+	var rows []Fig9Row
+	for _, name := range s.Cfg.Apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		full := s.fullEpochs(app)
+		for _, scheme := range Schemes() {
+			c, err := s.Campaign(name, scheme)
+			if err != nil {
+				return nil, err
+			}
+			var taus []float64
+			for rep, tr := range c.Traces {
+				rng := rand.New(rand.NewSource(s.Cfg.Seed + 9000 + int64(rep)))
+				n := len(tr.Records)
+				k := s.Cfg.TauSamples
+				if k > n {
+					k = n
+				}
+				perm := rng.Perm(n)[:k]
+				var est, truth []float64
+				for _, idx := range perm {
+					rec := tr.Records[idx]
+					ckpt, err := c.Stores[rep].Load(nas.CandidateID(rec.ID))
+					if err != nil {
+						return nil, err
+					}
+					net, err := buildReceiver(app, rec.Arch, s.Cfg.Seed+int64(rec.ID))
+					if err != nil {
+						return nil, err
+					}
+					if err := ckpt.RestoreInto(net); err != nil {
+						return nil, err
+					}
+					h, err := nn.Fit(net, app.Space.Loss, app.Space.Metric, nn.NewAdam(),
+						app.Dataset.Train, app.Dataset.Val, nn.FitConfig{
+							Epochs: full, BatchSize: app.Space.BatchSize,
+							RNG:               rand.New(rand.NewSource(s.Cfg.Seed + int64(rec.ID) + 1)),
+							EarlyStopDelta:    app.Space.EarlyStopDelta,
+							EarlyStopPatience: app.EarlyStopPatience,
+						})
+					if err != nil {
+						return nil, err
+					}
+					est = append(est, rec.Score)
+					truth = append(truth, h.FinalScore())
+				}
+				tau, err := stats.KendallTau(est, truth)
+				if err != nil {
+					return nil, err
+				}
+				taus = append(taus, tau)
+			}
+			row := Fig9Row{App: name, Scheme: scheme}
+			row.Tau, row.TauStd = stats.MeanStd(taus)
+			rows = append(rows, row)
+			line(w, "  %-8s %-8s tau %6.3f ± %.3f", row.App, row.Scheme, row.Tau, row.TauStd)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"swtnas/internal/trace"
+)
+
+func TestSparkline(t *testing.T) {
+	points := []Fig7Point{
+		{App: "a", Scheme: "LCS", SlotEnd: time.Second, Mean: 0.0},
+		{App: "a", Scheme: "LCS", SlotEnd: 2 * time.Second, Mean: 0.5},
+		{App: "a", Scheme: "LCS", SlotEnd: 3 * time.Second, Mean: 1.0},
+		{App: "a", Scheme: "baseline", SlotEnd: time.Second, Mean: 0.2},
+		{App: "b", Scheme: "LCS", SlotEnd: time.Second, Mean: 99}, // other app: ignored
+	}
+	s := sparkline(points, "a", "LCS", 5)
+	if len(s) != 5 {
+		t.Fatalf("width = %d", len(s))
+	}
+	// Rising series: first cell lowest ramp char, third highest.
+	if s[0] != ' ' && s[0] != '.' {
+		t.Fatalf("low cell = %q in %q", s[0], s)
+	}
+	if s[2] != '@' {
+		t.Fatalf("high cell = %q in %q", s[2], s)
+	}
+	if strings.TrimRight(s[3:], " ") != "" {
+		t.Fatalf("unused cells not blank: %q", s)
+	}
+	// Constant series across all points must not divide by zero.
+	flat := []Fig7Point{{App: "c", Scheme: "LP", SlotEnd: time.Second, Mean: 0.7}}
+	if out := sparkline(flat, "c", "LP", 3); len(out) != 3 {
+		t.Fatalf("flat sparkline = %q", out)
+	}
+}
+
+func TestTopKWithin(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{ID: 0, Score: 0.9, CompletedAt: 1 * time.Second},
+		{ID: 1, Score: 0.8, CompletedAt: 2 * time.Second},
+		{ID: 2, Score: 0.99, CompletedAt: 10 * time.Second}, // after cutoff
+		{ID: 3, Score: 0.5, CompletedAt: 3 * time.Second},
+	}}
+	got := topKWithin(tr, 5*time.Second, 2)
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("topKWithin = %+v", got)
+	}
+}
+
+func TestMutateKExactDistance(t *testing.T) {
+	s := NewSuite(tinyCfg("nt3"))
+	app, err := s.App("nt3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for k := 1; k <= 4; k++ {
+		for i := 0; i < 20; i++ {
+			arch := app.Space.Random(rng)
+			child, err := mutateK(app.Space, arch, k, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := 0
+			for j := range arch {
+				if arch[j] != child[j] {
+					d++
+				}
+			}
+			if d != k {
+				t.Fatalf("mutateK(%d) produced distance %d", k, d)
+			}
+		}
+	}
+	// Requesting more mutations than mutable nodes must fail.
+	if _, err := mutateK(app.Space, app.Space.Random(rng), 99, rng); err == nil {
+		t.Fatal("impossible k must error")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(1, 4) != 25 || pct(0, 0) != 0 {
+		t.Fatalf("pct = %v / %v", pct(1, 4), pct(0, 0))
+	}
+}
+
+func TestFig10Anchors(t *testing.T) {
+	// Without NT3 among the apps, scales default to 1.
+	s := NewSuite(tinyCfg("uno"))
+	ts, bs, err := s.fig10Anchors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 1 || bs != 1 {
+		t.Fatalf("anchors without nt3 = %v / %v", ts, bs)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"io"
+
+	"swtnas/internal/tensor"
+)
+
+// Table1Row summarizes one application's search space (paper Table I).
+type Table1Row struct {
+	App         string
+	TrainN      int
+	ValN        int
+	InputShapes string
+	SpaceSize   string
+	VNs         int
+	Loss        string
+	Objective   string
+}
+
+// Table1 reproduces Table I: the evaluated applications and their search
+// spaces (dataset sizes, space size, #VNs, loss, objective).
+func (s *Suite) Table1(w io.Writer) ([]Table1Row, error) {
+	line(w, "Table I: evaluated applications and search spaces")
+	line(w, "%-8s %8s %6s %-24s %14s %5s %5s %5s", "App", "Train", "Val", "Inputs", "Space", "#VNs", "Loss", "Obj.")
+	var rows []Table1Row
+	for _, name := range s.Cfg.Apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		shapes := ""
+		for i, sh := range app.Dataset.InputShapes {
+			if i > 0 {
+				shapes += " "
+			}
+			shapes += tensor.ShapeString(sh)
+		}
+		obj := app.Space.Metric.Name()
+		row := Table1Row{
+			App:         name,
+			TrainN:      app.Dataset.Train.N(),
+			ValN:        app.Dataset.Val.N(),
+			InputShapes: shapes,
+			SpaceSize:   app.Space.Size().String(),
+			VNs:         app.Space.NumNodes(),
+			Loss:        app.Space.Loss.Name(),
+			Objective:   obj,
+		}
+		rows = append(rows, row)
+		line(w, "%-8s %8d %6d %-24s %14s %5d %5s %5s",
+			row.App, row.TrainN, row.ValN, row.InputShapes, row.SpaceSize, row.VNs, row.Loss, row.Objective)
+	}
+	return rows, nil
+}

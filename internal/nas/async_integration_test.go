@@ -1,0 +1,105 @@
+package nas
+
+import (
+	"testing"
+
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/evo"
+)
+
+// TestRunWithAsyncStore drives a transfer-scheme search through the
+// asynchronous checkpoint store: provider reads must be served from the
+// pending in-flight copies without ever observing a missing checkpoint.
+func TestRunWithAsyncStore(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	async := checkpoint.NewAsyncStore(checkpoint.NewMemStore(), 4)
+	tr, err := Run(Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
+		Matcher:  core.LCS{},
+		Store:    async,
+		Budget:   12,
+		Workers:  2,
+		Seed:     21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := async.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := async.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 12 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	transferred := 0
+	for _, r := range tr.Records {
+		if r.TransferCopied > 0 {
+			transferred++
+		}
+	}
+	if transferred == 0 {
+		t.Fatal("async-store search never transferred weights")
+	}
+	// Every candidate must be durably persisted after Flush.
+	inner := checkpoint.NewMemStore()
+	_ = inner
+	ids, err := async.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 12 {
+		t.Fatalf("persisted %d checkpoints, want 12", len(ids))
+	}
+}
+
+// TestRunWithEncodedStore drives a search through a lossy compressed store:
+// f32 round-tripping of provider weights must still accelerate children.
+func TestRunWithEncodedStore(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	tr, err := Run(Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
+		Matcher:  core.LP{},
+		Store:    checkpoint.NewMemStoreEncoded(checkpoint.EncodingF32Gzip),
+		Budget:   10,
+		Seed:     22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Records {
+		if r.CheckpointBytes <= 0 {
+			t.Fatal("missing checkpoint size")
+		}
+	}
+}
+
+// TestRunWithRLStrategy combines REINFORCE proposals with nearest-provider
+// weight transfer end to end.
+func TestRunWithRLStrategy(t *testing.T) {
+	app := tinyApp(t, "uno")
+	rl := evo.NewReinforceSearch(app.Space, 0, 0)
+	tr, err := Run(Config{
+		App:      app,
+		Strategy: evo.AugmentWithNearestProvider(rl, 16, 0),
+		Matcher:  core.LCS{},
+		Budget:   10,
+		Seed:     23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transferred := 0
+	for _, r := range tr.Records {
+		if r.TransferCopied > 0 {
+			transferred++
+		}
+	}
+	if transferred == 0 {
+		t.Fatal("RL+nearest-provider search never transferred weights")
+	}
+}

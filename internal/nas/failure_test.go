@@ -1,0 +1,109 @@
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/evo"
+	"swtnas/internal/search"
+)
+
+// badStrategy proposes an invalid architecture to exercise the scheduler's
+// failure path.
+type badStrategy struct{}
+
+func (badStrategy) Name() string { return "bad" }
+func (badStrategy) Propose(*rand.Rand) evo.Proposal {
+	return evo.Proposal{Arch: search.Arch{99}, ParentID: -1}
+}
+func (badStrategy) Report(evo.Individual) {}
+
+func TestRunSurfacesBuildErrors(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	if _, err := Run(Config{App: app, Strategy: badStrategy{}, Budget: 3, Workers: 2, Seed: 1}); err == nil {
+		t.Fatal("invalid proposals must fail the run")
+	}
+}
+
+// phantomParentStrategy proposes a parent that was never evaluated, which
+// must surface as a provider-load failure under a transfer scheme.
+type phantomParentStrategy struct{ space *search.Space }
+
+func (phantomParentStrategy) Name() string { return "phantom" }
+func (s phantomParentStrategy) Propose(rng *rand.Rand) evo.Proposal {
+	return evo.Proposal{Arch: s.space.Random(rng), ParentID: 12345}
+}
+func (phantomParentStrategy) Report(evo.Individual) {}
+
+func TestRunSurfacesMissingProvider(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	_, err := Run(Config{
+		App:      app,
+		Strategy: phantomParentStrategy{space: app.Space},
+		Matcher:  core.LCS{},
+		Budget:   2,
+		Seed:     1,
+	})
+	if err == nil {
+		t.Fatal("missing provider checkpoint must fail the run")
+	}
+}
+
+// failingStore injects storage faults.
+type failingStore struct {
+	checkpoint.Store
+	failSave bool
+}
+
+func (s *failingStore) Save(id string, m *checkpoint.Model) (int64, error) {
+	if s.failSave {
+		return 0, fmt.Errorf("injected save failure")
+	}
+	return s.Store.Save(id, m)
+}
+
+func TestRunSurfacesCheckpointFailures(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	store := &failingStore{Store: checkpoint.NewMemStore(), failSave: true}
+	_, err := Run(Config{App: app, Store: store, Budget: 2, Seed: 1})
+	if err == nil {
+		t.Fatal("checkpoint save failure must fail the run")
+	}
+}
+
+func TestSchemeName(t *testing.T) {
+	if SchemeName(nil) != "baseline" {
+		t.Fatalf("nil matcher = %q", SchemeName(nil))
+	}
+	if SchemeName(core.LP{}) != "LP" || SchemeName(core.LCS{}) != "LCS" {
+		t.Fatal("matcher names wrong")
+	}
+}
+
+func TestRunWithNearestProviderStrategy(t *testing.T) {
+	// The Section IX generalization: random search with nearest-provider
+	// selection must run end to end and transfer at least once.
+	app := tinyApp(t, "uno")
+	tr, err := Run(Config{
+		App:      app,
+		Strategy: evo.NewNearestProviderSearch(app.Space, 16, 0),
+		Matcher:  core.LCS{},
+		Budget:   8,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transferred := 0
+	for _, r := range tr.Records {
+		if r.TransferCopied > 0 {
+			transferred++
+		}
+	}
+	if transferred == 0 {
+		t.Fatal("nearest-provider search never transferred weights")
+	}
+}

@@ -1,0 +1,5 @@
+package nas
+
+import "math/rand"
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,234 @@
+// Package nas is the distributed NAS framework of the paper's Section VI —
+// the DeepHyper-equivalent. A scheduler runs the search strategy and feeds
+// candidate-evaluation tasks to a pool of evaluators; each evaluator builds
+// the candidate network, optionally warm-starts it from its parent's
+// checkpoint via LP/LCS weight transfer (Section VII-C steps 1-4), trains it
+// for the partial-training budget, scores it, and checkpoints it.
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"swtnas/internal/apps"
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/evo"
+	"swtnas/internal/nn"
+	"swtnas/internal/search"
+	"swtnas/internal/trace"
+)
+
+// CandidateID renders the checkpoint id of a candidate number.
+func CandidateID(id int) string { return fmt.Sprintf("cand-%06d", id) }
+
+// Task is one candidate evaluation.
+type Task struct {
+	// ID is the candidate number within the search.
+	ID int
+	// Arch is the candidate architecture.
+	Arch search.Arch
+	// ParentID names the provider candidate for weight transfer,
+	// -1 for training from scratch.
+	ParentID int
+	// Seed makes the candidate's initialization and shuffling
+	// reproducible.
+	Seed int64
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	ID              int
+	Arch            search.Arch
+	ParentID        int
+	Score           float64
+	Params          int
+	ShapeSeq        core.ShapeSeq
+	Transfer        core.Stats
+	TrainTime       time.Duration
+	CheckpointBytes int64
+	// CompletedAt is filled by the scheduler: offset from search start.
+	CompletedAt time.Duration
+	Err         error
+}
+
+// Evaluator scores candidates for one application. An Evaluator is
+// stateless between calls except for the shared checkpoint store, so any
+// number of Evaluate calls may run concurrently.
+type Evaluator struct {
+	// App supplies the space, dataset and training budget.
+	App *apps.App
+	// Matcher enables weight transfer; nil trains every candidate from
+	// scratch (the paper's baseline).
+	Matcher core.Matcher
+	// Store persists candidate checkpoints and serves provider reads.
+	Store checkpoint.Store
+	// Epochs overrides App.PartialEpochs when positive.
+	Epochs int
+}
+
+// Evaluate runs one candidate end to end. Transfer failures are not fatal:
+// a receiver that cannot be warm-started trains from its fresh weights,
+// like the paper's non-transferable pairs.
+func (e *Evaluator) Evaluate(task Task) Result {
+	res := Result{ID: task.ID, Arch: task.Arch, ParentID: task.ParentID}
+	rng := rand.New(rand.NewSource(task.Seed))
+	net, err := e.App.Space.Build(task.Arch, rng)
+	if err != nil {
+		res.Err = fmt.Errorf("nas: building candidate %d: %w", task.ID, err)
+		return res
+	}
+	res.Params = net.ParamCount()
+	res.ShapeSeq = core.ShapeSeqOfNetwork(net)
+
+	if e.Matcher != nil && task.ParentID >= 0 {
+		parent, err := e.Store.Load(CandidateID(task.ParentID))
+		if err != nil {
+			res.Err = fmt.Errorf("nas: loading provider %d: %w", task.ParentID, err)
+			return res
+		}
+		stats, err := core.Transfer(e.Matcher, parent.Sources(), net)
+		if err != nil {
+			res.Err = fmt.Errorf("nas: transferring into candidate %d: %w", task.ID, err)
+			return res
+		}
+		res.Transfer = stats
+	}
+
+	epochs := e.Epochs
+	if epochs <= 0 {
+		epochs = e.App.PartialEpochs
+	}
+	start := time.Now()
+	h, err := nn.Fit(net, e.App.Space.Loss, e.App.Space.Metric, nn.NewAdam(),
+		e.App.Dataset.Train, e.App.Dataset.Val,
+		nn.FitConfig{Epochs: epochs, BatchSize: e.App.Space.BatchSize, RNG: rng})
+	res.TrainTime = time.Since(start)
+	if err != nil {
+		res.Err = fmt.Errorf("nas: training candidate %d: %w", task.ID, err)
+		return res
+	}
+	res.Score = h.FinalScore()
+
+	ckpt := checkpoint.FromNetwork(task.Arch, res.Score, net)
+	n, err := e.Store.Save(CandidateID(task.ID), ckpt)
+	if err != nil {
+		res.Err = fmt.Errorf("nas: checkpointing candidate %d: %w", task.ID, err)
+		return res
+	}
+	res.CheckpointBytes = n
+	return res
+}
+
+// Config parameterizes a search run.
+type Config struct {
+	// App is the application under search.
+	App *apps.App
+	// Strategy proposes candidates; nil defaults to regularized evolution
+	// with the paper's N=64 / S=32.
+	Strategy evo.Strategy
+	// Matcher selects the estimation scheme: nil baseline, core.LP{},
+	// core.LCS{}.
+	Matcher core.Matcher
+	// Store defaults to an in-memory store.
+	Store checkpoint.Store
+	// Workers is the evaluator-pool size (the per-node GPU count of the
+	// paper's Ray setup); defaults to 1.
+	Workers int
+	// Budget is the number of candidates to evaluate.
+	Budget int
+	// Seed drives proposals and per-candidate seeds.
+	Seed int64
+}
+
+// SchemeName renders the scheme label used across the evaluation.
+func SchemeName(m core.Matcher) string {
+	if m == nil {
+		return "baseline"
+	}
+	return m.Name()
+}
+
+// Run executes a full candidate-estimation phase and returns its trace.
+// Evaluation errors abort the run: every architecture in the shipped spaces
+// is buildable, so an error indicates a real defect rather than a bad
+// candidate.
+func Run(cfg Config) (*trace.Trace, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("nas: config needs an App")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("nas: budget %d must be positive", cfg.Budget)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > cfg.Budget {
+		workers = cfg.Budget
+	}
+	store := cfg.Store
+	if store == nil {
+		store = checkpoint.NewMemStore()
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = evo.NewRegularizedEvolution(cfg.App.Space, 0, 0)
+	}
+
+	eval := &Evaluator{App: cfg.App, Matcher: cfg.Matcher, Store: store}
+	tasks := make(chan Task, workers)
+	results := make(chan Result, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range tasks {
+				results <- eval.Evaluate(t)
+			}
+		}()
+	}
+	defer close(tasks)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	issued := 0
+	issue := func() {
+		p := strategy.Propose(rng)
+		tasks <- Task{
+			ID:       issued,
+			Arch:     p.Arch,
+			ParentID: p.ParentID,
+			Seed:     cfg.Seed*1_000_003 + int64(issued),
+		}
+		issued++
+	}
+
+	tr := &trace.Trace{App: cfg.App.Name, Scheme: SchemeName(cfg.Matcher), Seed: cfg.Seed}
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		issue()
+	}
+	for completed := 0; completed < cfg.Budget; completed++ {
+		res := <-results
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		res.CompletedAt = time.Since(start)
+		strategy.Report(evo.Individual{ID: res.ID, Arch: res.Arch, Score: res.Score})
+		tr.Records = append(tr.Records, trace.Record{
+			ID:              res.ID,
+			Arch:            res.Arch,
+			Score:           res.Score,
+			ShapeSeq:        res.ShapeSeq,
+			Params:          res.Params,
+			ParentID:        res.ParentID,
+			TransferCopied:  res.Transfer.Copied,
+			TrainTime:       res.TrainTime,
+			CheckpointBytes: res.CheckpointBytes,
+			CompletedAt:     res.CompletedAt,
+		})
+		if issued < cfg.Budget {
+			issue()
+		}
+	}
+	return tr, nil
+}

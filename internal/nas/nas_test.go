@@ -1,0 +1,187 @@
+package nas
+
+import (
+	"testing"
+	"time"
+
+	"swtnas/internal/apps"
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/data"
+	"swtnas/internal/evo"
+)
+
+func tinyApp(t *testing.T, name string) *apps.App {
+	t.Helper()
+	app, err := apps.New(name, 1, apps.Config{Data: data.Config{TrainN: 32, ValN: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestCandidateID(t *testing.T) {
+	if got := CandidateID(42); got != "cand-000042" {
+		t.Fatalf("CandidateID = %q", got)
+	}
+}
+
+func TestEvaluatorBaseline(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	store := checkpoint.NewMemStore()
+	e := &Evaluator{App: app, Store: store}
+	arch := app.Space.Random(randSource(1))
+	res := e.Evaluate(Task{ID: 0, Arch: arch, ParentID: -1, Seed: 7})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Params <= 0 || len(res.ShapeSeq) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Transfer.Copied != 0 {
+		t.Fatal("baseline must not transfer")
+	}
+	if res.CheckpointBytes <= 0 {
+		t.Fatal("candidate was not checkpointed")
+	}
+	if _, err := store.Load(CandidateID(0)); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+}
+
+func TestEvaluatorTransfersFromParent(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	store := checkpoint.NewMemStore()
+	e := &Evaluator{App: app, Store: store, Matcher: core.LCS{}}
+	rng := randSource(2)
+	parentArch := app.Space.Random(rng)
+	parent := e.Evaluate(Task{ID: 0, Arch: parentArch, ParentID: -1, Seed: 1})
+	if parent.Err != nil {
+		t.Fatal(parent.Err)
+	}
+	childArch, err := app.Space.Mutate(parentArch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := e.Evaluate(Task{ID: 1, Arch: childArch, ParentID: 0, Seed: 2})
+	if child.Err != nil {
+		t.Fatal(child.Err)
+	}
+	if !child.Transfer.Transferable() {
+		t.Fatalf("expected transfer from d=1 parent, stats = %+v", child.Transfer)
+	}
+}
+
+func TestEvaluatorMissingParentFails(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	e := &Evaluator{App: app, Store: checkpoint.NewMemStore(), Matcher: core.LP{}}
+	res := e.Evaluate(Task{ID: 0, Arch: app.Space.Random(randSource(3)), ParentID: 99, Seed: 1})
+	if res.Err == nil {
+		t.Fatal("missing provider checkpoint must fail the evaluation")
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	if _, err := Run(Config{App: nil, Budget: 1}); err == nil {
+		t.Fatal("nil app must error")
+	}
+	if _, err := Run(Config{App: app, Budget: 0}); err == nil {
+		t.Fatal("zero budget must error")
+	}
+}
+
+func TestRunBaselineSearch(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	tr, err := Run(Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
+		Budget:   10,
+		Workers:  2,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 10 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	if tr.Scheme != "baseline" || tr.App != "nt3" {
+		t.Fatalf("trace header = %+v", tr)
+	}
+	var prev time.Duration
+	ids := map[int]bool{}
+	for _, r := range tr.Records {
+		if r.CompletedAt < prev {
+			t.Fatal("records not in completion order")
+		}
+		prev = r.CompletedAt
+		if ids[r.ID] {
+			t.Fatalf("duplicate candidate id %d", r.ID)
+		}
+		ids[r.ID] = true
+		if r.TransferCopied != 0 {
+			t.Fatal("baseline must not transfer")
+		}
+	}
+}
+
+func TestRunLCSSearchTransfers(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	tr, err := Run(Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
+		Matcher:  core.LCS{},
+		Budget:   16,
+		Workers:  1,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Scheme != "LCS" {
+		t.Fatalf("scheme = %q", tr.Scheme)
+	}
+	// After the 4-member population fills, children must be mutations
+	// with transfer attempts; most d=1 NT3 mutations share layers.
+	transferred := 0
+	withParent := 0
+	for _, r := range tr.Records {
+		if r.ParentID >= 0 {
+			withParent++
+			if r.TransferCopied > 0 {
+				transferred++
+			}
+		}
+	}
+	if withParent == 0 {
+		t.Fatal("no proposals used a parent")
+	}
+	if transferred == 0 {
+		t.Fatal("no weights were ever transferred")
+	}
+}
+
+func TestRunSingleWorkerDeterministic(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	run := func() []float64 {
+		tr, err := Run(Config{
+			App:      app,
+			Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
+			Matcher:  core.LP{},
+			Budget:   8,
+			Workers:  1,
+			Seed:     17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Scores()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run not deterministic at record %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

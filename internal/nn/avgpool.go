@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"fmt"
+
+	"swtnas/internal/tensor"
+)
+
+// AvgPool2D is average pooling over [B, H, W, C] inputs with a square
+// window, with the same degenerate-window identity fallback as MaxPool2D.
+type AvgPool2D struct {
+	name         string
+	Size, Stride int
+	identity     bool
+	inH, inW, ch int
+	outH, outW   int
+	inShape      []int
+}
+
+// NewAvgPool2D creates an average-pooling layer.
+func NewAvgPool2D(name string, size, stride int) *AvgPool2D {
+	if size < 1 || stride < 1 {
+		panic(fmt.Sprintf("nn: pool size %d / stride %d must be >= 1", size, stride))
+	}
+	return &AvgPool2D{name: name, Size: size, Stride: stride}
+}
+
+func (p *AvgPool2D) Name() string     { return p.name }
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// IsIdentity reports whether the pool degraded to a pass-through.
+func (p *AvgPool2D) IsIdentity() bool { return p.identity }
+
+func (p *AvgPool2D) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("avgpool2d wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) != 3 {
+		return nil, fmt.Errorf("avgpool2d wants input (H, W, C), got %s", tensor.ShapeString(s))
+	}
+	p.inH, p.inW, p.ch = s[0], s[1], s[2]
+	p.inShape = append([]int(nil), s...)
+	p.identity = p.inH < p.Size || p.inW < p.Size
+	if p.identity {
+		p.outH, p.outW = p.inH, p.inW
+		return append([]int(nil), s...), nil
+	}
+	p.outH = (p.inH-p.Size)/p.Stride + 1
+	p.outW = (p.inW-p.Size)/p.Stride + 1
+	return []int{p.outH, p.outW, p.ch}, nil
+}
+
+func (p *AvgPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	if p.identity {
+		return x
+	}
+	b := x.Shape[0]
+	out := tensor.New(b, p.outH, p.outW, p.ch)
+	inRow := p.inW * p.ch
+	inv := 1.0 / float64(p.Size*p.Size)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		xb := bi * p.inH * inRow
+		for oy := 0; oy < p.outH; oy++ {
+			for ox := 0; ox < p.outW; ox++ {
+				for c := 0; c < p.ch; c++ {
+					sum := 0.0
+					for ky := 0; ky < p.Size; ky++ {
+						y := oy*p.Stride + ky
+						for kx := 0; kx < p.Size; kx++ {
+							sum += x.Data[xb+y*inRow+(ox*p.Stride+kx)*p.ch+c]
+						}
+					}
+					out.Data[oi] = sum * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *AvgPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	if p.identity {
+		return []*tensor.Tensor{dOut}
+	}
+	b := dOut.Shape[0]
+	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	inRow := p.inW * p.ch
+	inv := 1.0 / float64(p.Size*p.Size)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		xb := bi * p.inH * inRow
+		for oy := 0; oy < p.outH; oy++ {
+			for ox := 0; ox < p.outW; ox++ {
+				for c := 0; c < p.ch; c++ {
+					g := dOut.Data[oi] * inv
+					oi++
+					for ky := 0; ky < p.Size; ky++ {
+						y := oy*p.Stride + ky
+						for kx := 0; kx < p.Size; kx++ {
+							dIn.Data[xb+y*inRow+(ox*p.Stride+kx)*p.ch+c] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// GlobalAvgPool averages each channel over all spatial positions, turning
+// [B, ..., C] into [B, C].
+type GlobalAvgPool struct {
+	name    string
+	inShape []int
+	spatial int
+}
+
+// NewGlobalAvgPool creates a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+func (p *GlobalAvgPool) Name() string     { return p.name }
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+func (p *GlobalAvgPool) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("globalavgpool wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) < 2 {
+		return nil, fmt.Errorf("globalavgpool wants spatial input, got %s", tensor.ShapeString(s))
+	}
+	p.inShape = append([]int(nil), s...)
+	c := s[len(s)-1]
+	p.spatial = tensor.Numel(s) / c
+	return []int{c}, nil
+}
+
+func (p *GlobalAvgPool) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	b := x.Shape[0]
+	c := p.inShape[len(p.inShape)-1]
+	out := tensor.New(b, c)
+	inv := 1.0 / float64(p.spatial)
+	for bi := 0; bi < b; bi++ {
+		base := bi * p.spatial * c
+		ob := out.Data[bi*c : (bi+1)*c]
+		for s := 0; s < p.spatial; s++ {
+			row := x.Data[base+s*c : base+(s+1)*c]
+			for ci, v := range row {
+				ob[ci] += v
+			}
+		}
+		for ci := range ob {
+			ob[ci] *= inv
+		}
+	}
+	return out
+}
+
+func (p *GlobalAvgPool) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	b := dOut.Shape[0]
+	c := p.inShape[len(p.inShape)-1]
+	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	inv := 1.0 / float64(p.spatial)
+	for bi := 0; bi < b; bi++ {
+		base := bi * p.spatial * c
+		gb := dOut.Data[bi*c : (bi+1)*c]
+		for s := 0; s < p.spatial; s++ {
+			row := dIn.Data[base+s*c : base+(s+1)*c]
+			for ci := range row {
+				row[ci] = gb[ci] * inv
+			}
+		}
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// Add sums two equally shaped activations element-wise — the residual
+// (skip) connection primitive.
+type Add struct {
+	name string
+}
+
+// NewAdd creates an element-wise addition layer.
+func NewAdd(name string) *Add { return &Add{name: name} }
+
+func (a *Add) Name() string     { return a.name }
+func (a *Add) Params() []*Param { return nil }
+
+func (a *Add) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("add wants 2 inputs, got %d", len(in))
+	}
+	if !tensor.SameShape(in[0], in[1]) {
+		return nil, fmt.Errorf("add wants equal shapes, got %s and %s",
+			tensor.ShapeString(in[0]), tensor.ShapeString(in[1]))
+	}
+	return append([]int(nil), in[0]...), nil
+}
+
+func (a *Add) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	out := in[0].Clone()
+	for i, v := range in[1].Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+func (a *Add) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dOut, dOut}
+}

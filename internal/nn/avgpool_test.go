@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swtnas/internal/tensor"
+)
+
+func TestAvgPool2DKnownValues(t *testing.T) {
+	p := NewAvgPool2D("p", 2, 2)
+	s, err := p.OutShape([][]int{{4, 4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(s, []int{2, 2, 1}) {
+		t.Fatalf("shape = %v", s)
+	}
+	in := tensor.New(1, 4, 4, 1)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	out := p.Forward([]*tensor.Tensor{in}, true)
+	// Window means: (0+1+4+5)/4=2.5, (2+3+6+7)/4=4.5, ...
+	want := []float64{2.5, 4.5, 10.5, 12.5}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-12 {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestAvgPool2DIdentityFallback(t *testing.T) {
+	p := NewAvgPool2D("p", 5, 5)
+	s, err := p.OutShape([][]int{{2, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIdentity() || !tensor.SameShape(s, []int{2, 2, 3}) {
+		t.Fatalf("expected identity fallback, shape %v", s)
+	}
+	in := tensor.New(1, 2, 2, 3)
+	if p.Forward([]*tensor.Tensor{in}, true) != in {
+		t.Fatal("identity avg pool must pass through")
+	}
+}
+
+func TestAvgPool2DInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	checkInputGradient(t, NewAvgPool2D("p", 2, 2), []*tensor.Tensor{randInput(rng, 2, 4, 4, 3)})
+	checkInputGradient(t, NewAvgPool2D("p", 2, 3), []*tensor.Tensor{randInput(rng, 2, 7, 7, 2)})
+}
+
+func TestGlobalAvgPoolValues(t *testing.T) {
+	p := NewGlobalAvgPool("g")
+	s, err := p.OutShape([][]int{{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(s, []int{2}) {
+		t.Fatalf("shape = %v", s)
+	}
+	// channels interleaved: c0 = {1,3,5,7} mean 4; c1 = {2,4,6,8} mean 5
+	in := tensor.FromData([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 1, 2, 2, 2)
+	out := p.Forward([]*tensor.Tensor{in}, true)
+	if math.Abs(out.Data[0]-4) > 1e-12 || math.Abs(out.Data[1]-5) > 1e-12 {
+		t.Fatalf("out = %v", out.Data)
+	}
+	if _, err := p.OutShape([][]int{{4}}); err == nil {
+		t.Fatal("flat input must error")
+	}
+}
+
+func TestGlobalAvgPoolInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	checkInputGradient(t, NewGlobalAvgPool("g"), []*tensor.Tensor{randInput(rng, 3, 3, 3, 2)})
+}
+
+func TestAddValuesAndGradient(t *testing.T) {
+	a := NewAdd("add")
+	s, err := a.OutShape([][]int{{3}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(s, []int{3}) {
+		t.Fatalf("shape = %v", s)
+	}
+	x := tensor.FromData([]float64{1, 2, 3}, 1, 3)
+	y := tensor.FromData([]float64{10, 20, 30}, 1, 3)
+	out := a.Forward([]*tensor.Tensor{x, y}, true)
+	if out.Data[0] != 11 || out.Data[2] != 33 {
+		t.Fatalf("out = %v", out.Data)
+	}
+	if x.Data[0] != 1 {
+		t.Fatal("Add must not mutate its inputs")
+	}
+	if _, err := a.OutShape([][]int{{3}, {4}}); err == nil {
+		t.Fatal("mismatched shapes must error")
+	}
+	if _, err := a.OutShape([][]int{{3}}); err == nil {
+		t.Fatal("single input must error")
+	}
+	rng := rand.New(rand.NewSource(43))
+	checkInputGradient(t, NewAdd("add"), []*tensor.Tensor{randInput(rng, 2, 4), randInput(rng, 2, 4)})
+}
+
+func TestResidualBlockGradients(t *testing.T) {
+	// A full residual block: x -> dense -> act -> dense, plus skip, summed.
+	rng := rand.New(rand.NewSource(44))
+	net := NewNetwork([]int{6})
+	h := net.MustAdd(NewDense("d1", 6, 6, 0, rng), GraphInput(0))
+	act := net.MustAdd(NewActivation("a", ReLU), h)
+	h2 := net.MustAdd(NewDense("d2", 6, 6, 0, rng), act)
+	sum := net.MustAdd(NewAdd("res"), h2, GraphInput(0))
+	net.MustAdd(NewDense("head", 6, 2, 0, rng), sum)
+	checkGradients(t, net, SoftmaxCrossEntropy{}, []*tensor.Tensor{randInput(rng, 4, 6)}, classTargets(rng, 4, 2))
+}

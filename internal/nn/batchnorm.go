@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"swtnas/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel (last axis) across the batch
+// and any spatial axes, then applies a learned affine transform
+// y = gamma*x̂ + beta. During training it also maintains running mean and
+// variance estimates (non-trainable, but checkpointed and transferred with
+// the layer) that inference uses.
+type BatchNorm struct {
+	name string
+	C    int
+	// Momentum is the exponential-moving-average factor of the running
+	// statistics: running = Momentum*running + (1-Momentum)*batch.
+	Momentum float64
+	// Eps stabilizes the inverse standard deviation.
+	Eps float64
+
+	Gamma, Beta          *Param
+	RunMean, RunVar      *Param // non-trainable (nil Grad)
+	lastXHat             []float64
+	lastInvStd, lastMean []float64
+	inShape              []int
+	seen                 bool // running stats initialized from a batch yet?
+}
+
+// NewBatchNorm creates a batch-normalization layer over c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	gamma := tensor.New(c)
+	gamma.Fill(1)
+	runVar := tensor.New(c)
+	runVar.Fill(1)
+	return &BatchNorm{
+		name: name, C: c, Momentum: 0.9, Eps: 1e-5,
+		Gamma:   &Param{Name: name + "/gamma", W: gamma, Grad: tensor.New(c)},
+		Beta:    &Param{Name: name + "/beta", W: tensor.New(c), Grad: tensor.New(c)},
+		RunMean: &Param{Name: name + "/running_mean", W: tensor.New(c)},
+		RunVar:  &Param{Name: name + "/running_var", W: runVar},
+	}
+}
+
+func (b *BatchNorm) Name() string { return b.name }
+
+// Params lists gamma first (the transfer signature), then beta and the
+// running statistics, so weight transfer moves the whole normalization state.
+func (b *BatchNorm) Params() []*Param {
+	return []*Param{b.Gamma, b.Beta, b.RunMean, b.RunVar}
+}
+
+func (b *BatchNorm) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("batchnorm wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) == 0 || s[len(s)-1] != b.C {
+		return nil, fmt.Errorf("batchnorm wants trailing channel dim %d, got %s", b.C, tensor.ShapeString(s))
+	}
+	b.inShape = append([]int(nil), s...)
+	return append([]int(nil), s...), nil
+}
+
+func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	n := x.Numel() / b.C // samples per channel (batch × spatial)
+	out := tensor.New(x.Shape...)
+	gamma, beta := b.Gamma.W.Data, b.Beta.W.Data
+
+	if !training {
+		rm, rv := b.RunMean.W.Data, b.RunVar.W.Data
+		for i, v := range x.Data {
+			c := i % b.C
+			out.Data[i] = gamma[c]*(v-rm[c])/math.Sqrt(rv[c]+b.Eps) + beta[c]
+		}
+		b.lastXHat = nil
+		return out
+	}
+
+	mean := make([]float64, b.C)
+	for i, v := range x.Data {
+		mean[i%b.C] += v
+	}
+	for c := range mean {
+		mean[c] /= float64(n)
+	}
+	variance := make([]float64, b.C)
+	for i, v := range x.Data {
+		d := v - mean[i%b.C]
+		variance[i%b.C] += d * d
+	}
+	invStd := make([]float64, b.C)
+	for c := range variance {
+		variance[c] /= float64(n)
+		invStd[c] = 1 / math.Sqrt(variance[c]+b.Eps)
+	}
+
+	if cap(b.lastXHat) < x.Numel() {
+		b.lastXHat = make([]float64, x.Numel())
+	}
+	b.lastXHat = b.lastXHat[:x.Numel()]
+	for i, v := range x.Data {
+		c := i % b.C
+		xh := (v - mean[c]) * invStd[c]
+		b.lastXHat[i] = xh
+		out.Data[i] = gamma[c]*xh + beta[c]
+	}
+	b.lastInvStd, b.lastMean = invStd, mean
+
+	rm, rv := b.RunMean.W.Data, b.RunVar.W.Data
+	if !b.seen {
+		copy(rm, mean)
+		copy(rv, variance)
+		b.seen = true
+	} else {
+		for c := 0; c < b.C; c++ {
+			rm[c] = b.Momentum*rm[c] + (1-b.Momentum)*mean[c]
+			rv[c] = b.Momentum*rv[c] + (1-b.Momentum)*variance[c]
+		}
+	}
+	return out
+}
+
+func (b *BatchNorm) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	if b.lastXHat == nil {
+		panic("nn: BatchNorm.Backward without a training Forward pass")
+	}
+	n := dOut.Numel() / b.C
+	gamma := b.Gamma.W.Data
+	dGamma, dBeta := b.Gamma.Grad.Data, b.Beta.Grad.Data
+
+	sumDy := make([]float64, b.C)
+	sumDyXHat := make([]float64, b.C)
+	for i, g := range dOut.Data {
+		c := i % b.C
+		sumDy[c] += g
+		sumDyXHat[c] += g * b.lastXHat[i]
+	}
+	for c := 0; c < b.C; c++ {
+		dGamma[c] += sumDyXHat[c]
+		dBeta[c] += sumDy[c]
+	}
+	dIn := tensor.New(dOut.Shape...)
+	nf := float64(n)
+	for i, g := range dOut.Data {
+		c := i % b.C
+		dIn.Data[i] = gamma[c] * b.lastInvStd[c] / nf *
+			(nf*g - sumDy[c] - b.lastXHat[i]*sumDyXHat[c])
+	}
+	return []*tensor.Tensor{dIn}
+}

@@ -1,0 +1,320 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swtnas/internal/tensor"
+)
+
+// Padding selects the convolution border mode, mirroring Keras "valid"/"same".
+type Padding int
+
+// Border modes.
+const (
+	Valid Padding = iota
+	Same
+)
+
+// String returns the Keras padding name.
+func (p Padding) String() string {
+	if p == Same {
+		return "same"
+	}
+	return "valid"
+}
+
+// Conv2D is a stride-1 2-D convolution over [B, H, W, C] inputs with weights
+// [KH, KW, C, F].
+//
+// If "valid" padding would produce an empty output (the input is smaller
+// than the kernel, which random NAS candidates can reach after aggressive
+// pooling), the layer degrades to "same" padding instead of failing; the
+// chosen mode is visible via EffectivePadding. This mirrors the guard rails
+// NAS frameworks put around degenerate candidates.
+type Conv2D struct {
+	name       string
+	KH, KW     int
+	InC, OutC  int
+	Pad        Padding
+	effPad     Padding
+	W, B       *Param
+	lastIn     *tensor.Tensor
+	inH, inW   int
+	outH, outW int
+}
+
+// NewConv2D creates a conv layer with He-normal weights (ReLU-friendly).
+func NewConv2D(name string, kh, kw, inC, outC int, pad Padding, l2 float64, rng *rand.Rand) *Conv2D {
+	w := tensor.New(kh, kw, inC, outC)
+	w.HeNormal(rng, kh*kw*inC)
+	return &Conv2D{
+		name: name, KH: kh, KW: kw, InC: inC, OutC: outC, Pad: pad,
+		W: &Param{Name: name + "/W", W: w, Grad: tensor.New(kh, kw, inC, outC), L2: l2},
+		B: &Param{Name: name + "/b", W: tensor.New(outC), Grad: tensor.New(outC)},
+	}
+}
+
+func (c *Conv2D) Name() string     { return c.name }
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// EffectivePadding returns the padding actually applied after shape
+// inference (it differs from Pad only for the degenerate-valid fallback).
+func (c *Conv2D) EffectivePadding() Padding { return c.effPad }
+
+func (c *Conv2D) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("conv2d wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) != 3 || s[2] != c.InC {
+		return nil, fmt.Errorf("conv2d wants input (H, W, %d), got %s", c.InC, tensor.ShapeString(s))
+	}
+	c.inH, c.inW = s[0], s[1]
+	c.effPad = c.Pad
+	if c.effPad == Valid && (c.inH < c.KH || c.inW < c.KW) {
+		c.effPad = Same
+	}
+	if c.effPad == Same {
+		c.outH, c.outW = c.inH, c.inW
+	} else {
+		c.outH, c.outW = c.inH-c.KH+1, c.inW-c.KW+1
+	}
+	return []int{c.outH, c.outW, c.OutC}, nil
+}
+
+func (c *Conv2D) padOffsets() (int, int) {
+	if c.effPad == Same {
+		return (c.KH - 1) / 2, (c.KW - 1) / 2
+	}
+	return 0, 0
+}
+
+func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	c.lastIn = x
+	b := x.Shape[0]
+	padH, padW := c.padOffsets()
+	out := tensor.New(b, c.outH, c.outW, c.OutC)
+	w, bias := c.W.W.Data, c.B.W.Data
+	inRow := c.inW * c.InC
+	outRow := c.outW * c.OutC
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
+		ob := out.Data[bi*c.outH*outRow : (bi+1)*c.outH*outRow]
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				oslice := ob[oy*outRow+ox*c.OutC : oy*outRow+ox*c.OutC+c.OutC]
+				copy(oslice, bias)
+				for ky := 0; ky < c.KH; ky++ {
+					y := oy + ky - padH
+					if y < 0 || y >= c.inH {
+						continue
+					}
+					for kx := 0; kx < c.KW; kx++ {
+						xp := ox + kx - padW
+						if xp < 0 || xp >= c.inW {
+							continue
+						}
+						xs := xb[y*inRow+xp*c.InC : y*inRow+xp*c.InC+c.InC]
+						wbase := ((ky*c.KW + kx) * c.InC) * c.OutC
+						for ci, xv := range xs {
+							if xv == 0 {
+								continue
+							}
+							wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
+							for f, wv := range wr {
+								oslice[f] += xv * wv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	x := c.lastIn
+	b := x.Shape[0]
+	padH, padW := c.padOffsets()
+	dIn := tensor.New(x.Shape...)
+	w := c.W.W.Data
+	dw, db := c.W.Grad.Data, c.B.Grad.Data
+	inRow := c.inW * c.InC
+	outRow := c.outW * c.OutC
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
+		dxb := dIn.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
+		gb := dOut.Data[bi*c.outH*outRow : (bi+1)*c.outH*outRow]
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				gslice := gb[oy*outRow+ox*c.OutC : oy*outRow+ox*c.OutC+c.OutC]
+				for f, g := range gslice {
+					db[f] += g
+				}
+				for ky := 0; ky < c.KH; ky++ {
+					y := oy + ky - padH
+					if y < 0 || y >= c.inH {
+						continue
+					}
+					for kx := 0; kx < c.KW; kx++ {
+						xp := ox + kx - padW
+						if xp < 0 || xp >= c.inW {
+							continue
+						}
+						base := y*inRow + xp*c.InC
+						wbase := ((ky*c.KW + kx) * c.InC) * c.OutC
+						for ci := 0; ci < c.InC; ci++ {
+							xv := xb[base+ci]
+							wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
+							dwr := dw[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
+							s := 0.0
+							for f, g := range gslice {
+								dwr[f] += xv * g
+								s += g * wr[f]
+							}
+							dxb[base+ci] += s
+						}
+					}
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// Conv1D is a stride-1 1-D convolution over [B, L, C] inputs with weights
+// [K, C, F]. It powers the NT3-like gene-sequence search space. The same
+// degenerate-valid fallback as Conv2D applies.
+type Conv1D struct {
+	name      string
+	K         int
+	InC, OutC int
+	Pad       Padding
+	effPad    Padding
+	W, B      *Param
+	lastIn    *tensor.Tensor
+	inL, outL int
+}
+
+// NewConv1D creates a 1-D conv layer with He-normal weights.
+func NewConv1D(name string, k, inC, outC int, pad Padding, l2 float64, rng *rand.Rand) *Conv1D {
+	w := tensor.New(k, inC, outC)
+	w.HeNormal(rng, k*inC)
+	return &Conv1D{
+		name: name, K: k, InC: inC, OutC: outC, Pad: pad,
+		W: &Param{Name: name + "/W", W: w, Grad: tensor.New(k, inC, outC), L2: l2},
+		B: &Param{Name: name + "/b", W: tensor.New(outC), Grad: tensor.New(outC)},
+	}
+}
+
+func (c *Conv1D) Name() string     { return c.name }
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// EffectivePadding returns the padding applied after shape inference.
+func (c *Conv1D) EffectivePadding() Padding { return c.effPad }
+
+func (c *Conv1D) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("conv1d wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) != 2 || s[1] != c.InC {
+		return nil, fmt.Errorf("conv1d wants input (L, %d), got %s", c.InC, tensor.ShapeString(s))
+	}
+	c.inL = s[0]
+	c.effPad = c.Pad
+	if c.effPad == Valid && c.inL < c.K {
+		c.effPad = Same
+	}
+	if c.effPad == Same {
+		c.outL = c.inL
+	} else {
+		c.outL = c.inL - c.K + 1
+	}
+	return []int{c.outL, c.OutC}, nil
+}
+
+func (c *Conv1D) padOffset() int {
+	if c.effPad == Same {
+		return (c.K - 1) / 2
+	}
+	return 0
+}
+
+func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	c.lastIn = x
+	b := x.Shape[0]
+	pad := c.padOffset()
+	out := tensor.New(b, c.outL, c.OutC)
+	w, bias := c.W.W.Data, c.B.W.Data
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
+		ob := out.Data[bi*c.outL*c.OutC : (bi+1)*c.outL*c.OutC]
+		for ol := 0; ol < c.outL; ol++ {
+			oslice := ob[ol*c.OutC : (ol+1)*c.OutC]
+			copy(oslice, bias)
+			for k := 0; k < c.K; k++ {
+				p := ol + k - pad
+				if p < 0 || p >= c.inL {
+					continue
+				}
+				xs := xb[p*c.InC : (p+1)*c.InC]
+				wbase := k * c.InC * c.OutC
+				for ci, xv := range xs {
+					if xv == 0 {
+						continue
+					}
+					wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
+					for f, wv := range wr {
+						oslice[f] += xv * wv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	x := c.lastIn
+	b := x.Shape[0]
+	pad := c.padOffset()
+	dIn := tensor.New(x.Shape...)
+	w := c.W.W.Data
+	dw, db := c.W.Grad.Data, c.B.Grad.Data
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
+		dxb := dIn.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
+		gb := dOut.Data[bi*c.outL*c.OutC : (bi+1)*c.outL*c.OutC]
+		for ol := 0; ol < c.outL; ol++ {
+			gslice := gb[ol*c.OutC : (ol+1)*c.OutC]
+			for f, g := range gslice {
+				db[f] += g
+			}
+			for k := 0; k < c.K; k++ {
+				p := ol + k - pad
+				if p < 0 || p >= c.inL {
+					continue
+				}
+				base := p * c.InC
+				wbase := k * c.InC * c.OutC
+				for ci := 0; ci < c.InC; ci++ {
+					xv := xb[base+ci]
+					wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
+					dwr := dw[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
+					s := 0.0
+					for f, g := range gslice {
+						dwr[f] += xv * g
+						s += g * wr[f]
+					}
+					dxb[base+ci] += s
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{dIn}
+}

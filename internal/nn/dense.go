@@ -1,0 +1,416 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swtnas/internal/tensor"
+)
+
+// Dense is a fully connected layer: out = in·W + b with in [B, In].
+type Dense struct {
+	name    string
+	In, Out int
+	W, B    *Param
+	lastIn  *tensor.Tensor
+}
+
+// NewDense creates a dense layer with Glorot-uniform weights.
+func NewDense(name string, in, out int, l2 float64, rng *rand.Rand) *Dense {
+	w := tensor.New(in, out)
+	w.GlorotUniform(rng, in, out)
+	return &Dense{
+		name: name, In: in, Out: out,
+		W: &Param{Name: name + "/W", W: w, Grad: tensor.New(in, out), L2: l2},
+		B: &Param{Name: name + "/b", W: tensor.New(out), Grad: tensor.New(out)},
+	}
+}
+
+func (d *Dense) Name() string     { return d.name }
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+func (d *Dense) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("dense wants 1 input, got %d", len(in))
+	}
+	if len(in[0]) != 1 || in[0][0] != d.In {
+		return nil, fmt.Errorf("dense wants input shape (%d), got %s", d.In, tensor.ShapeString(in[0]))
+	}
+	return []int{d.Out}, nil
+}
+
+func (d *Dense) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	b := x.Shape[0]
+	d.lastIn = x
+	out := tensor.New(b, d.Out)
+	w, bias := d.W.W.Data, d.B.W.Data
+	for i := 0; i < b; i++ {
+		xi := x.Data[i*d.In : (i+1)*d.In]
+		oi := out.Data[i*d.Out : (i+1)*d.Out]
+		copy(oi, bias)
+		for k, xv := range xi {
+			if xv == 0 {
+				continue
+			}
+			wr := w[k*d.Out : (k+1)*d.Out]
+			for j, wv := range wr {
+				oi[j] += xv * wv
+			}
+		}
+	}
+	return out
+}
+
+func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	x := d.lastIn
+	b := x.Shape[0]
+	dIn := tensor.New(b, d.In)
+	w := d.W.W.Data
+	dw, db := d.W.Grad.Data, d.B.Grad.Data
+	for i := 0; i < b; i++ {
+		xi := x.Data[i*d.In : (i+1)*d.In]
+		doi := dOut.Data[i*d.Out : (i+1)*d.Out]
+		dii := dIn.Data[i*d.In : (i+1)*d.In]
+		for j, g := range doi {
+			db[j] += g
+		}
+		for k, xv := range xi {
+			wr := w[k*d.Out : (k+1)*d.Out]
+			dwr := dw[k*d.Out : (k+1)*d.Out]
+			s := 0.0
+			for j, g := range doi {
+				dwr[j] += xv * g
+				s += g * wr[j]
+			}
+			dii[k] = s
+		}
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// Identity passes its input through unchanged. It is the "skip" choice many
+// variable nodes offer.
+type Identity struct{ name string }
+
+// NewIdentity creates an identity layer.
+func NewIdentity(name string) *Identity { return &Identity{name: name} }
+
+func (l *Identity) Name() string     { return l.name }
+func (l *Identity) Params() []*Param { return nil }
+
+func (l *Identity) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("identity wants 1 input, got %d", len(in))
+	}
+	return append([]int(nil), in[0]...), nil
+}
+
+func (l *Identity) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	return in[0]
+}
+
+func (l *Identity) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dOut}
+}
+
+// Flatten reshapes [B, d1, ..., dk] to [B, d1*...*dk].
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+func (l *Flatten) Name() string     { return l.name }
+func (l *Flatten) Params() []*Param { return nil }
+
+func (l *Flatten) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("flatten wants 1 input, got %d", len(in))
+	}
+	l.inShape = append([]int(nil), in[0]...)
+	return []int{tensor.Numel(in[0])}, nil
+}
+
+func (l *Flatten) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	b := in[0].Shape[0]
+	out, err := in[0].Reshape(b, in[0].Numel()/b)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (l *Flatten) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	b := dOut.Shape[0]
+	shape := append([]int{b}, l.inShape...)
+	dIn, err := dOut.Reshape(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// Concat concatenates flat feature vectors along the feature axis:
+// k inputs of shape [B, Di] become [B, ΣDi]. It is the merge operator of the
+// Uno-like multi-input search space.
+type Concat struct {
+	name string
+	dims []int
+}
+
+// NewConcat creates a concat layer.
+func NewConcat(name string) *Concat { return &Concat{name: name} }
+
+func (l *Concat) Name() string     { return l.name }
+func (l *Concat) Params() []*Param { return nil }
+
+func (l *Concat) OutShape(in [][]int) ([]int, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("concat wants at least 1 input")
+	}
+	total := 0
+	l.dims = l.dims[:0]
+	for _, s := range in {
+		if len(s) != 1 {
+			return nil, fmt.Errorf("concat wants flat inputs, got %s", tensor.ShapeString(s))
+		}
+		l.dims = append(l.dims, s[0])
+		total += s[0]
+	}
+	return []int{total}, nil
+}
+
+func (l *Concat) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	b := in[0].Shape[0]
+	total := 0
+	for _, d := range l.dims {
+		total += d
+	}
+	out := tensor.New(b, total)
+	for i := 0; i < b; i++ {
+		off := i * total
+		for k, t := range in {
+			d := l.dims[k]
+			copy(out.Data[off:off+d], t.Data[i*d:(i+1)*d])
+			off += d
+		}
+	}
+	return out
+}
+
+func (l *Concat) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	b := dOut.Shape[0]
+	total := dOut.Shape[1]
+	dIns := make([]*tensor.Tensor, len(l.dims))
+	for k, d := range l.dims {
+		dIns[k] = tensor.New(b, d)
+	}
+	for i := 0; i < b; i++ {
+		off := i * total
+		for k, d := range l.dims {
+			copy(dIns[k].Data[i*d:(i+1)*d], dOut.Data[off:off+d])
+			off += d
+		}
+	}
+	return dIns
+}
+
+// ActKind enumerates the supported activation functions.
+type ActKind int
+
+// Activation kinds available to the search spaces.
+const (
+	ReLU ActKind = iota
+	Tanh
+	Sigmoid
+	// LeakyReLU uses slope 0.01 for negative inputs.
+	LeakyReLU
+	// ELU uses alpha 1.
+	ELU
+)
+
+// String returns the Keras-style activation name.
+func (k ActKind) String() string {
+	switch k {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	case LeakyReLU:
+		return "leaky_relu"
+	case ELU:
+		return "elu"
+	}
+	return fmt.Sprintf("ActKind(%d)", int(k))
+}
+
+// leakySlope is the LeakyReLU negative-side slope.
+const leakySlope = 0.01
+
+// Activation applies an element-wise nonlinearity.
+type Activation struct {
+	name    string
+	Kind    ActKind
+	lastOut *tensor.Tensor
+	lastIn  *tensor.Tensor
+}
+
+// NewActivation creates an activation layer.
+func NewActivation(name string, kind ActKind) *Activation {
+	return &Activation{name: name, Kind: kind}
+}
+
+func (l *Activation) Name() string     { return l.name }
+func (l *Activation) Params() []*Param { return nil }
+
+func (l *Activation) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("activation wants 1 input, got %d", len(in))
+	}
+	return append([]int(nil), in[0]...), nil
+}
+
+func (l *Activation) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	out := tensor.New(x.Shape...)
+	switch l.Kind {
+	case ReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+	case Tanh:
+		for i, v := range x.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+	case Sigmoid:
+		for i, v := range x.Data {
+			out.Data[i] = 1 / (1 + math.Exp(-v))
+		}
+	case LeakyReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = leakySlope * v
+			}
+		}
+	case ELU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = math.Exp(v) - 1
+			}
+		}
+	}
+	l.lastIn, l.lastOut = x, out
+	return out
+}
+
+func (l *Activation) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	dIn := tensor.New(dOut.Shape...)
+	switch l.Kind {
+	case ReLU:
+		for i, v := range l.lastIn.Data {
+			if v > 0 {
+				dIn.Data[i] = dOut.Data[i]
+			}
+		}
+	case Tanh:
+		for i, y := range l.lastOut.Data {
+			dIn.Data[i] = dOut.Data[i] * (1 - y*y)
+		}
+	case Sigmoid:
+		for i, y := range l.lastOut.Data {
+			dIn.Data[i] = dOut.Data[i] * y * (1 - y)
+		}
+	case LeakyReLU:
+		for i, v := range l.lastIn.Data {
+			if v > 0 {
+				dIn.Data[i] = dOut.Data[i]
+			} else {
+				dIn.Data[i] = leakySlope * dOut.Data[i]
+			}
+		}
+	case ELU:
+		for i, v := range l.lastIn.Data {
+			if v > 0 {
+				dIn.Data[i] = dOut.Data[i]
+			} else {
+				// d/dv (e^v - 1) = e^v = y + 1.
+				dIn.Data[i] = dOut.Data[i] * (l.lastOut.Data[i] + 1)
+			}
+		}
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// Dropout zeroes each activation with probability Rate during training and
+// scales the survivors by 1/(1-Rate) (inverted dropout). At inference it is
+// the identity.
+type Dropout struct {
+	name string
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer drawing masks from rng.
+func NewDropout(name string, rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{name: name, Rate: rate, rng: rng}
+}
+
+func (l *Dropout) Name() string     { return l.name }
+func (l *Dropout) Params() []*Param { return nil }
+
+func (l *Dropout) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("dropout wants 1 input, got %d", len(in))
+	}
+	return append([]int(nil), in[0]...), nil
+}
+
+func (l *Dropout) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	if !training || l.Rate == 0 {
+		l.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]float64, len(x.Data))
+	}
+	l.mask = l.mask[:len(x.Data)]
+	keep := 1 / (1 - l.Rate)
+	for i, v := range x.Data {
+		if l.rng.Float64() < l.Rate {
+			l.mask[i] = 0
+		} else {
+			l.mask[i] = keep
+			out.Data[i] = v * keep
+		}
+	}
+	return out
+}
+
+func (l *Dropout) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	if l.mask == nil {
+		return []*tensor.Tensor{dOut}
+	}
+	dIn := tensor.New(dOut.Shape...)
+	for i, g := range dOut.Data {
+		dIn.Data[i] = g * l.mask[i]
+	}
+	return []*tensor.Tensor{dIn}
+}

@@ -1,0 +1,103 @@
+// Package nn is a from-scratch neural-network training stack: layers with
+// exact backpropagation, a DAG graph executor, losses, metrics, optimizers
+// and a Keras-like fit loop with early stopping.
+//
+// It stands in for the TensorFlow/Keras stack used by the paper
+// ("Accelerating DNN Architecture Search at Scale Using Selective Weight
+// Transfer", CLUSTER'21): candidate models produced by the NAS search spaces
+// are real networks trained with real gradients, so warm-starting them from a
+// provider checkpoint genuinely changes their convergence — the effect the
+// paper measures.
+//
+// Concurrency: a Network and its layers are owned by a single goroutine
+// (one evaluator trains one candidate); nothing in this package is
+// internally synchronized.
+package nn
+
+import (
+	"fmt"
+
+	"swtnas/internal/tensor"
+)
+
+// Param is one parameter tensor of a layer.
+type Param struct {
+	// Name identifies the tensor inside a checkpoint, e.g. "dense1/W".
+	Name string
+	// W holds the values; Grad the accumulated gradient of the current
+	// backward pass. Grad is nil for non-trainable tensors (e.g. the
+	// running statistics of a batch-normalization layer).
+	W, Grad *tensor.Tensor
+	// L2 is the L2 regularization coefficient applied to this tensor
+	// (0 disables it). The paper's CIFAR-10 space uses 0.0005.
+	L2 float64
+}
+
+// Trainable reports whether the optimizer should update this parameter.
+func (p *Param) Trainable() bool { return p.Grad != nil }
+
+// Layer is one operator in a computation graph. Forward must be called
+// before Backward within the same pass: layers cache whatever intermediate
+// state their gradient needs.
+type Layer interface {
+	// Name returns the unique layer name within its network.
+	Name() string
+	// OutShape returns the per-sample output shape for the given
+	// per-sample input shapes (the batch dimension is implicit).
+	OutShape(in [][]int) ([]int, error)
+	// Forward computes the batched output. training toggles
+	// behaviour that differs between fitting and inference
+	// (dropout masks, batch-norm statistics).
+	Forward(in []*tensor.Tensor, training bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the output and returns the
+	// gradients w.r.t. each input, in the same order as Forward's inputs.
+	// Parameter gradients are accumulated into the layer's Params.
+	Backward(dOut *tensor.Tensor) []*tensor.Tensor
+	// Params returns the layer's parameter tensors (possibly empty).
+	// The first returned parameter is the layer's matching signature for
+	// weight transfer (see internal/core).
+	Params() []*Param
+}
+
+// ParamGroup couples all parameter tensors of one layer with the shape the
+// weight-transfer matchers use as the layer's signature. Transferring a
+// group copies every tensor in it (weights, biases, batch-norm statistics).
+type ParamGroup struct {
+	// Layer is the owning layer's name.
+	Layer string
+	// Signature is the shape of the layer's primary weight tensor; two
+	// groups are transferable iff their signatures are identical
+	// (paper Section IV-A).
+	Signature []int
+	// Params lists every tensor of the layer, primary weight first.
+	Params []*Param
+}
+
+// Compatible reports whether weights can be transferred from src into g:
+// identical signatures and identical shapes for every coupled tensor.
+func (g *ParamGroup) Compatible(src *ParamGroup) bool {
+	if !tensor.SameShape(g.Signature, src.Signature) || len(g.Params) != len(src.Params) {
+		return false
+	}
+	for i := range g.Params {
+		if !tensor.SameShape(g.Params[i].W.Shape, src.Params[i].W.Shape) {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom copies every tensor of src into g. It returns an error if the
+// groups are not Compatible.
+func (g *ParamGroup) CopyFrom(src *ParamGroup) error {
+	if !g.Compatible(src) {
+		return fmt.Errorf("nn: param group %q%s not compatible with %q%s",
+			g.Layer, tensor.ShapeString(g.Signature), src.Layer, tensor.ShapeString(src.Signature))
+	}
+	for i := range g.Params {
+		if err := g.Params[i].W.CopyFrom(src.Params[i].W); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"swtnas/internal/tensor"
+)
+
+// Loss computes a scalar training loss and its gradient with respect to the
+// network predictions. Targets are encoded as float64: class indices for
+// classification, raw values for regression.
+type Loss interface {
+	Name() string
+	// Forward returns the mean loss over the batch and d(loss)/d(pred).
+	Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor)
+}
+
+// Metric scores predictions against targets (higher is better for every
+// metric in this package, matching the paper's "objective metrics").
+type Metric interface {
+	Name() string
+	Eval(pred *tensor.Tensor, targets []float64) float64
+}
+
+// SoftmaxCrossEntropy is categorical cross-entropy on logits [B, K]; the
+// softmax is fused into the loss for numerical stability.
+type SoftmaxCrossEntropy struct{}
+
+// Name returns "CE", the paper's Table I abbreviation.
+func (SoftmaxCrossEntropy) Name() string { return "CE" }
+
+// Forward computes the mean cross-entropy and the fused softmax gradient
+// (softmax(pred) - onehot(target)) / B.
+func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor) {
+	b, k := pred.Shape[0], pred.Shape[1]
+	if len(targets) != b {
+		panic(fmt.Sprintf("nn: %d targets for batch of %d", len(targets), b))
+	}
+	grad := tensor.New(b, k)
+	loss := 0.0
+	for i := 0; i < b; i++ {
+		row := pred.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		g := grad.Data[i*k : (i+1)*k]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		label := int(targets[i])
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
+		}
+		loss += -(row[label] - maxv - math.Log(sum))
+		inv := 1 / sum
+		for j := range g {
+			g[j] *= inv
+		}
+		g[label] -= 1
+	}
+	grad.Scale(1 / float64(b))
+	return loss / float64(b), grad
+}
+
+// MAE is the mean absolute error on [B, 1] (or [B]) predictions, the loss
+// the paper uses for the Uno regression application.
+type MAE struct{}
+
+// Name returns "MAE".
+func (MAE) Name() string { return "MAE" }
+
+// Forward computes mean |pred-target| and its subgradient sign(pred-target)/B.
+func (MAE) Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor) {
+	b := pred.Shape[0]
+	if pred.Numel() != b {
+		panic(fmt.Sprintf("nn: MAE wants one output per sample, got shape %s", tensor.ShapeString(pred.Shape)))
+	}
+	grad := tensor.New(pred.Shape...)
+	loss := 0.0
+	for i := 0; i < b; i++ {
+		d := pred.Data[i] - targets[i]
+		loss += math.Abs(d)
+		switch {
+		case d > 0:
+			grad.Data[i] = 1
+		case d < 0:
+			grad.Data[i] = -1
+		}
+	}
+	grad.Scale(1 / float64(b))
+	return loss / float64(b), grad
+}
+
+// Accuracy is the fraction of argmax predictions equal to the class label.
+type Accuracy struct{}
+
+// Name returns "ACC".
+func (Accuracy) Name() string { return "ACC" }
+
+// Eval scores logits [B, K] against class labels.
+func (Accuracy) Eval(pred *tensor.Tensor, targets []float64) float64 {
+	b, k := pred.Shape[0], pred.Shape[1]
+	correct := 0
+	for i := 0; i < b; i++ {
+		row := pred.Data[i*k : (i+1)*k]
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		if arg == int(targets[i]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b)
+}
+
+// R2 is the coefficient of determination 1 - SS_res/SS_tot, the objective
+// metric of the Uno application.
+type R2 struct{}
+
+// Name returns "R2".
+func (R2) Name() string { return "R2" }
+
+// Eval scores [B, 1] (or [B]) predictions against regression targets.
+// A constant target vector yields 0 (no variance to explain).
+func (R2) Eval(pred *tensor.Tensor, targets []float64) float64 {
+	b := pred.Shape[0]
+	mean := 0.0
+	for _, t := range targets {
+		mean += t
+	}
+	mean /= float64(b)
+	ssRes, ssTot := 0.0, 0.0
+	for i := 0; i < b; i++ {
+		d := targets[i] - pred.Data[i]
+		ssRes += d * d
+		m := targets[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

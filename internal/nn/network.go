@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"fmt"
+
+	"swtnas/internal/tensor"
+)
+
+// InputRef encodes a node input: values >= 0 index previously added nodes,
+// values < 0 reference graph inputs (GraphInput(i) == -(i+1)).
+type InputRef int
+
+// GraphInput returns the InputRef addressing the i-th network input.
+func GraphInput(i int) InputRef { return InputRef(-(i + 1)) }
+
+func (r InputRef) isGraphInput() bool { return r < 0 }
+func (r InputRef) graphInputIndex() int {
+	return int(-r) - 1
+}
+
+type node struct {
+	layer  Layer
+	inputs []InputRef
+	out    *tensor.Tensor // forward cache for the current pass
+	grad   *tensor.Tensor // accumulated dOut for the current backward pass
+	users  int            // number of consumers (incl. being the output)
+}
+
+// Network is a DAG of layers evaluated in insertion (topological) order.
+// The last added node is the network output unless SetOutput overrides it.
+type Network struct {
+	nodes       []*node
+	numInputs   int
+	inputShapes [][]int // per-sample shapes of the graph inputs
+	nodeShapes  [][]int // per-sample output shape of each node
+	output      int
+}
+
+// NewNetwork creates a network with the given per-sample input shapes
+// (one per graph input, batch dimension excluded).
+func NewNetwork(inputShapes ...[]int) *Network {
+	shapes := make([][]int, len(inputShapes))
+	for i, s := range inputShapes {
+		shapes[i] = append([]int(nil), s...)
+	}
+	return &Network{numInputs: len(inputShapes), inputShapes: shapes, output: -1}
+}
+
+// NumInputs returns the number of graph inputs.
+func (n *Network) NumInputs() int { return n.numInputs }
+
+// Add appends a layer consuming the given inputs and returns its node index.
+// Inputs must reference graph inputs or previously added nodes; shape
+// inference runs eagerly and errors are returned to the caller (NAS builders
+// rely on this to validate candidate architectures).
+func (n *Network) Add(l Layer, inputs ...InputRef) (InputRef, error) {
+	inShapes := make([][]int, len(inputs))
+	for i, ref := range inputs {
+		switch {
+		case ref.isGraphInput():
+			gi := ref.graphInputIndex()
+			if gi >= n.numInputs {
+				return 0, fmt.Errorf("nn: layer %q references graph input %d of %d", l.Name(), gi, n.numInputs)
+			}
+			inShapes[i] = n.inputShapes[gi]
+		case int(ref) >= len(n.nodes):
+			return 0, fmt.Errorf("nn: layer %q references future node %d", l.Name(), ref)
+		default:
+			inShapes[i] = n.nodeShapes[ref]
+		}
+	}
+	out, err := l.OutShape(inShapes)
+	if err != nil {
+		return 0, fmt.Errorf("nn: layer %q: %w", l.Name(), err)
+	}
+	n.nodes = append(n.nodes, &node{layer: l, inputs: append([]InputRef(nil), inputs...)})
+	n.nodeShapes = append(n.nodeShapes, out)
+	n.output = len(n.nodes) - 1
+	return InputRef(n.output), nil
+}
+
+// MustAdd is Add for statically known-valid graphs; it panics on error.
+func (n *Network) MustAdd(l Layer, inputs ...InputRef) InputRef {
+	ref, err := n.Add(l, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+// SetOutput designates the node whose value Forward returns.
+func (n *Network) SetOutput(ref InputRef) error {
+	if ref.isGraphInput() || int(ref) >= len(n.nodes) {
+		return fmt.Errorf("nn: invalid output ref %d", ref)
+	}
+	n.output = int(ref)
+	return nil
+}
+
+// OutputShape returns the per-sample shape of the network output.
+func (n *Network) OutputShape() []int {
+	if n.output < 0 {
+		return nil
+	}
+	return n.nodeShapes[n.output]
+}
+
+// Forward evaluates the graph on a batch. Each input tensor's first
+// dimension is the batch size; all batch sizes must agree.
+func (n *Network) Forward(inputs []*tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	if len(inputs) != n.numInputs {
+		return nil, fmt.Errorf("nn: forward got %d inputs, want %d", len(inputs), n.numInputs)
+	}
+	if n.output < 0 {
+		return nil, fmt.Errorf("nn: network has no nodes")
+	}
+	for _, nd := range n.nodes {
+		nd.users = 0
+		nd.grad = nil
+	}
+	for _, nd := range n.nodes {
+		for _, ref := range nd.inputs {
+			if !ref.isGraphInput() {
+				n.nodes[ref].users++
+			}
+		}
+	}
+	n.nodes[n.output].users++
+	for _, nd := range n.nodes {
+		ins := make([]*tensor.Tensor, len(nd.inputs))
+		for i, ref := range nd.inputs {
+			if ref.isGraphInput() {
+				ins[i] = inputs[ref.graphInputIndex()]
+			} else {
+				ins[i] = n.nodes[ref].out
+			}
+		}
+		nd.out = nd.layer.Forward(ins, training)
+	}
+	return n.nodes[n.output].out, nil
+}
+
+// Backward propagates dOut (gradient w.r.t. the network output of the most
+// recent Forward pass) through the graph, accumulating parameter gradients.
+func (n *Network) Backward(dOut *tensor.Tensor) error {
+	if n.output < 0 {
+		return fmt.Errorf("nn: network has no nodes")
+	}
+	out := n.nodes[n.output]
+	if out.out == nil {
+		return fmt.Errorf("nn: Backward called before Forward")
+	}
+	out.grad = dOut
+	for i := len(n.nodes) - 1; i >= 0; i-- {
+		nd := n.nodes[i]
+		if nd.grad == nil {
+			continue // dead branch: no consumer contributed gradient
+		}
+		dIns := nd.layer.Backward(nd.grad)
+		if len(dIns) != len(nd.inputs) {
+			return fmt.Errorf("nn: layer %q returned %d input grads, want %d", nd.layer.Name(), len(dIns), len(nd.inputs))
+		}
+		for j, ref := range nd.inputs {
+			if ref.isGraphInput() || dIns[j] == nil {
+				continue
+			}
+			pred := n.nodes[ref]
+			if pred.grad == nil {
+				pred.grad = dIns[j].Clone()
+			} else if err := pred.grad.AddScaled(dIns[j], 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ZeroGrads clears every trainable parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		if p.Grad != nil {
+			p.Grad.Zero()
+		}
+	}
+}
+
+// Params returns every parameter tensor in topological layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, nd := range n.nodes {
+		ps = append(ps, nd.layer.Params()...)
+	}
+	return ps
+}
+
+// ParamGroups returns the per-layer parameter groups in topological order.
+// The sequence of group signatures is the network's shape sequence used by
+// the LP and LCS weight-transfer matchers.
+func (n *Network) ParamGroups() []ParamGroup {
+	var gs []ParamGroup
+	for _, nd := range n.nodes {
+		ps := nd.layer.Params()
+		if len(ps) == 0 {
+			continue
+		}
+		gs = append(gs, ParamGroup{
+			Layer:     nd.layer.Name(),
+			Signature: append([]int(nil), ps[0].W.Shape...),
+			Params:    ps,
+		})
+	}
+	return gs
+}
+
+// ParamCount returns the total number of trainable scalar parameters,
+// the model-complexity proxy of the paper's Table IV.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, p := range n.Params() {
+		if p.Trainable() {
+			c += p.W.Numel()
+		}
+	}
+	return c
+}
+
+// ShapeOf returns the per-sample shape of a node output or graph input,
+// or nil for invalid references. NAS builders use it to infer the widths of
+// layers they append.
+func (n *Network) ShapeOf(ref InputRef) []int {
+	if ref.isGraphInput() {
+		gi := ref.graphInputIndex()
+		if gi >= n.numInputs {
+			return nil
+		}
+		return n.inputShapes[gi]
+	}
+	if int(ref) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodeShapes[ref]
+}
+
+// Layers returns the layers in topological order (read-only use).
+func (n *Network) Layers() []Layer {
+	ls := make([]Layer, len(n.nodes))
+	for i, nd := range n.nodes {
+		ls[i] = nd.layer
+	}
+	return ls
+}

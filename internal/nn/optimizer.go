@@ -1,0 +1,109 @@
+package nn
+
+import "math"
+
+// Optimizer updates trainable parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers
+	// zero them via Network.ZeroGrads before the next accumulation).
+	Step(params []*Param)
+}
+
+type adamState struct {
+	m, v []float64
+}
+
+// Adam implements Kingma & Ba's optimizer with the paper's hyper-parameters
+// as defaults: lr=0.001, β₁=0.9, β₂=0.999, ε=1e-7 (Section VII-A).
+// L2 regularization declared on a parameter is added to its gradient before
+// the moment update, matching a Keras kernel_regularizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	state                 map[*Param]*adamState
+}
+
+// NewAdam returns an Adam optimizer with the paper's settings.
+func NewAdam() *Adam {
+	return &Adam{LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, state: map[*Param]*adamState{}}
+}
+
+// SetLR updates the learning rate (LRSettable).
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// Step applies one Adam update to every trainable parameter.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if !p.Trainable() {
+			continue
+		}
+		st, ok := a.state[p]
+		if !ok {
+			st = &adamState{m: make([]float64, p.W.Numel()), v: make([]float64, p.W.Numel())}
+			a.state[p] = st
+		}
+		w, g := p.W.Data, p.Grad.Data
+		for i := range w {
+			gi := g[i]
+			if p.L2 != 0 {
+				gi += 2 * p.L2 * w[i]
+			}
+			st.m[i] = a.Beta1*st.m[i] + (1-a.Beta1)*gi
+			st.v[i] = a.Beta2*st.v[i] + (1-a.Beta2)*gi*gi
+			mHat := st.m[i] / c1
+			vHat := st.v[i] / c2
+			w[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent with optional momentum, provided
+// as a baseline optimizer for tests and ablations.
+type SGD struct {
+	LR, Momentum float64
+	vel          map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param][]float64{}}
+}
+
+// SetLR updates the learning rate (LRSettable).
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// Step applies one SGD update to every trainable parameter.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if !p.Trainable() {
+			continue
+		}
+		w, g := p.W.Data, p.Grad.Data
+		if s.Momentum == 0 {
+			for i := range w {
+				gi := g[i]
+				if p.L2 != 0 {
+					gi += 2 * p.L2 * w[i]
+				}
+				w[i] -= s.LR * gi
+			}
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float64, len(w))
+			s.vel[p] = v
+		}
+		for i := range w {
+			gi := g[i]
+			if p.L2 != 0 {
+				gi += 2 * p.L2 * w[i]
+			}
+			v[i] = s.Momentum*v[i] - s.LR*gi
+			w[i] += v[i]
+		}
+	}
+}

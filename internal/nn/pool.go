@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"swtnas/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over [B, H, W, C] inputs with a square
+// window. When the input's spatial extent is smaller than the window (a
+// state random NAS candidates can reach by stacking pools), the layer
+// degrades to the identity; IsIdentity reports that.
+type MaxPool2D struct {
+	name         string
+	Size, Stride int
+	identity     bool
+	inH, inW, ch int
+	outH, outW   int
+	argmax       []int // linear input index per output element
+	inShape      []int
+}
+
+// NewMaxPool2D creates a pooling layer.
+func NewMaxPool2D(name string, size, stride int) *MaxPool2D {
+	if size < 1 || stride < 1 {
+		panic(fmt.Sprintf("nn: pool size %d / stride %d must be >= 1", size, stride))
+	}
+	return &MaxPool2D{name: name, Size: size, Stride: stride}
+}
+
+func (p *MaxPool2D) Name() string     { return p.name }
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// IsIdentity reports whether the last shape inference degraded the pool to a
+// pass-through because the window does not fit.
+func (p *MaxPool2D) IsIdentity() bool { return p.identity }
+
+func (p *MaxPool2D) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("maxpool2d wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) != 3 {
+		return nil, fmt.Errorf("maxpool2d wants input (H, W, C), got %s", tensor.ShapeString(s))
+	}
+	p.inH, p.inW, p.ch = s[0], s[1], s[2]
+	p.inShape = append([]int(nil), s...)
+	p.identity = p.inH < p.Size || p.inW < p.Size
+	if p.identity {
+		p.outH, p.outW = p.inH, p.inW
+		return append([]int(nil), s...), nil
+	}
+	p.outH = (p.inH-p.Size)/p.Stride + 1
+	p.outW = (p.inW-p.Size)/p.Stride + 1
+	return []int{p.outH, p.outW, p.ch}, nil
+}
+
+func (p *MaxPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	if p.identity {
+		return x
+	}
+	b := x.Shape[0]
+	out := tensor.New(b, p.outH, p.outW, p.ch)
+	if cap(p.argmax) < out.Numel() {
+		p.argmax = make([]int, out.Numel())
+	}
+	p.argmax = p.argmax[:out.Numel()]
+	inRow := p.inW * p.ch
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		xb := bi * p.inH * inRow
+		for oy := 0; oy < p.outH; oy++ {
+			for ox := 0; ox < p.outW; ox++ {
+				for c := 0; c < p.ch; c++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.Size; ky++ {
+						y := oy*p.Stride + ky
+						for kx := 0; kx < p.Size; kx++ {
+							xp := ox*p.Stride + kx
+							idx := xb + y*inRow + xp*p.ch + c
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *MaxPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	if p.identity {
+		return []*tensor.Tensor{dOut}
+	}
+	b := dOut.Shape[0]
+	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	for oi, g := range dOut.Data {
+		dIn.Data[p.argmax[oi]] += g
+	}
+	return []*tensor.Tensor{dIn}
+}
+
+// MaxPool1D is max pooling over [B, L, C] inputs, with the same
+// degenerate-window identity fallback as MaxPool2D.
+type MaxPool1D struct {
+	name         string
+	Size, Stride int
+	identity     bool
+	inL, ch      int
+	outL         int
+	argmax       []int
+	inShape      []int
+}
+
+// NewMaxPool1D creates a 1-D pooling layer.
+func NewMaxPool1D(name string, size, stride int) *MaxPool1D {
+	if size < 1 || stride < 1 {
+		panic(fmt.Sprintf("nn: pool size %d / stride %d must be >= 1", size, stride))
+	}
+	return &MaxPool1D{name: name, Size: size, Stride: stride}
+}
+
+func (p *MaxPool1D) Name() string     { return p.name }
+func (p *MaxPool1D) Params() []*Param { return nil }
+
+// IsIdentity reports whether the pool degraded to a pass-through.
+func (p *MaxPool1D) IsIdentity() bool { return p.identity }
+
+func (p *MaxPool1D) OutShape(in [][]int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("maxpool1d wants 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if len(s) != 2 {
+		return nil, fmt.Errorf("maxpool1d wants input (L, C), got %s", tensor.ShapeString(s))
+	}
+	p.inL, p.ch = s[0], s[1]
+	p.inShape = append([]int(nil), s...)
+	p.identity = p.inL < p.Size
+	if p.identity {
+		p.outL = p.inL
+		return append([]int(nil), s...), nil
+	}
+	p.outL = (p.inL-p.Size)/p.Stride + 1
+	return []int{p.outL, p.ch}, nil
+}
+
+func (p *MaxPool1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+	x := in[0]
+	if p.identity {
+		return x
+	}
+	b := x.Shape[0]
+	out := tensor.New(b, p.outL, p.ch)
+	if cap(p.argmax) < out.Numel() {
+		p.argmax = make([]int, out.Numel())
+	}
+	p.argmax = p.argmax[:out.Numel()]
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		xb := bi * p.inL * p.ch
+		for ol := 0; ol < p.outL; ol++ {
+			for c := 0; c < p.ch; c++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for k := 0; k < p.Size; k++ {
+					idx := xb + (ol*p.Stride+k)*p.ch + c
+					if v := x.Data[idx]; v > best {
+						best, bestIdx = v, idx
+					}
+				}
+				out.Data[oi] = best
+				p.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+func (p *MaxPool1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+	if p.identity {
+		return []*tensor.Tensor{dOut}
+	}
+	b := dOut.Shape[0]
+	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	for oi, g := range dOut.Data {
+		dIn.Data[p.argmax[oi]] += g
+	}
+	return []*tensor.Tensor{dIn}
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swtnas/internal/tensor"
+)
+
+func TestClipGradients(t *testing.T) {
+	g1 := tensor.FromData([]float64{3, 0}, 2)
+	g2 := tensor.FromData([]float64{0, 4}, 2)
+	params := []*Param{
+		{Name: "a", W: tensor.New(2), Grad: g1},
+		{Name: "b", W: tensor.New(2), Grad: g2},
+		{Name: "stat", W: tensor.New(2)}, // non-trainable: untouched
+	}
+	norm := clipGradients(params, 2.5) // global norm = 5
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	if math.Abs(g1.Data[0]-1.5) > 1e-12 || math.Abs(g2.Data[1]-2) > 1e-12 {
+		t.Fatalf("clipped grads = %v %v, want scaled by 0.5", g1.Data, g2.Data)
+	}
+	// Below the threshold nothing changes.
+	norm = clipGradients(params, 100)
+	if math.Abs(norm-2.5) > 1e-12 {
+		t.Fatalf("second norm = %v", norm)
+	}
+	if g1.Data[0] != 1.5 {
+		t.Fatal("grads must be untouched below threshold")
+	}
+}
+
+func TestFitWithClipNormStaysFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d", 2, 2, 0, rng), GraphInput(0))
+	d := twoBlobs(rng, 32)
+	h, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, NewSGD(10, 0) /* huge LR */, d, d,
+		FitConfig{Epochs: 5, BatchSize: 8, RNG: rng, ClipNorm: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range h.TrainLoss {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss diverged despite clipping: %v", h.TrainLoss)
+		}
+	}
+}
+
+func TestLRScheduleApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d", 2, 2, 0, rng), GraphInput(0))
+	d := twoBlobs(rng, 16)
+	adam := NewAdam()
+	var seen []float64
+	_, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, adam, d, d, FitConfig{
+		Epochs: 3, BatchSize: 8, RNG: rng,
+		LRSchedule: func(epoch int) float64 {
+			lr := 0.01 / float64(epoch+1)
+			seen = append(seen, lr)
+			return lr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("schedule called %d times", len(seen))
+	}
+	if math.Abs(adam.LR-0.01/3) > 1e-15 {
+		t.Fatalf("final LR = %v", adam.LR)
+	}
+}
+
+type fixedOpt struct{}
+
+func (fixedOpt) Step([]*Param) {}
+
+func TestLRScheduleRequiresSettableOptimizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d", 2, 2, 0, rng), GraphInput(0))
+	d := twoBlobs(rng, 16)
+	_, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, fixedOpt{}, d, d, FitConfig{
+		Epochs: 1, BatchSize: 8, LRSchedule: func(int) float64 { return 0.1 },
+	})
+	if err == nil {
+		t.Fatal("LR schedule with non-settable optimizer must error")
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	a := NewAdam()
+	a.SetLR(0.5)
+	if a.LR != 0.5 {
+		t.Fatal("Adam.SetLR failed")
+	}
+	s := NewSGD(0.1, 0)
+	s.SetLR(0.2)
+	if s.LR != 0.2 {
+		t.Fatal("SGD.SetLR failed")
+	}
+}
+
+func TestOnEpochCallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d", 2, 2, 0, rng), GraphInput(0))
+	d := twoBlobs(rng, 16)
+	var epochs []int
+	h, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, NewAdam(), d, d, FitConfig{
+		Epochs: 3, BatchSize: 8, RNG: rng,
+		OnEpoch: func(epoch int, loss, score float64) {
+			epochs = append(epochs, epoch)
+			if math.IsNaN(loss) || math.IsNaN(score) {
+				t.Errorf("callback got NaN: %v %v", loss, score)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != h.EpochsRun || epochs[0] != 0 || epochs[2] != 2 {
+		t.Fatalf("callback epochs = %v", epochs)
+	}
+}

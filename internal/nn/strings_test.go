@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestActKindString(t *testing.T) {
+	cases := map[ActKind]string{ReLU: "relu", Tanh: "tanh", Sigmoid: "sigmoid"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if ActKind(9).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}
+
+func TestPaddingString(t *testing.T) {
+	if Valid.String() != "valid" || Same.String() != "same" {
+		t.Fatalf("padding strings = %q / %q", Valid.String(), Same.String())
+	}
+}
+
+func TestLossMetricNames(t *testing.T) {
+	if (SoftmaxCrossEntropy{}).Name() != "CE" || (MAE{}).Name() != "MAE" {
+		t.Fatal("loss names wrong (Table I abbreviations)")
+	}
+	if (Accuracy{}).Name() != "ACC" || (R2{}).Name() != "R2" {
+		t.Fatal("metric names wrong (Table I abbreviations)")
+	}
+}
+
+func TestParamTrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 2, 2, 0, rng)
+	if !d.W.Trainable() || !d.B.Trainable() {
+		t.Fatal("dense params must be trainable")
+	}
+	bn := NewBatchNorm("bn", 2)
+	if bn.RunMean.Trainable() || bn.RunVar.Trainable() {
+		t.Fatal("running stats must not be trainable")
+	}
+	if !bn.Gamma.Trainable() || !bn.Beta.Trainable() {
+		t.Fatal("gamma/beta must be trainable")
+	}
+}
+
+func TestEvaluateMultiInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork([]int{2}, []int{3})
+	a := net.MustAdd(NewDense("a", 2, 4, 0, rng), GraphInput(0))
+	b := net.MustAdd(NewDense("b", 3, 4, 0, rng), GraphInput(1))
+	cat := net.MustAdd(NewConcat("cat"), a, b)
+	net.MustAdd(NewDense("head", 8, 1, 0, rng), cat)
+
+	n := 9
+	d := &Data{Targets: make([]float64, n)}
+	x1 := randInput(rng, n, 2)
+	x2 := randInput(rng, n, 3)
+	d.Inputs = append(d.Inputs, x1, x2)
+	for i := range d.Targets {
+		d.Targets[i] = rng.NormFloat64()
+	}
+	whole, err := Evaluate(net, R2{}, d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := Evaluate(net, R2{}, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != batched {
+		t.Fatalf("multi-input batched evaluate %v != whole %v", batched, whole)
+	}
+}
+
+func TestConvL2Propagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c2 := NewConv2D("c", 3, 3, 1, 2, Same, 0.0005, rng)
+	if c2.W.L2 != 0.0005 || c2.B.L2 != 0 {
+		t.Fatalf("conv2d L2 = %v / %v", c2.W.L2, c2.B.L2)
+	}
+	c1 := NewConv1D("c", 3, 1, 2, Same, 0.001, rng)
+	if c1.W.L2 != 0.001 {
+		t.Fatalf("conv1d L2 = %v", c1.W.L2)
+	}
+}
+
+func TestNetworkSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork([]int{4})
+	net.MustAdd(NewDense("d1", 4, 8, 0, rng), GraphInput(0))
+	net.MustAdd(NewActivation("a", ReLU), 0)
+	net.MustAdd(NewDense("d2", 8, 2, 0, rng), 1)
+	var sb strings.Builder
+	net.Summary(&sb)
+	out := sb.String()
+	for _, want := range []string{"d1", "a", "d2", "(8)", "(2)", "total params: 58 (58 trainable)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

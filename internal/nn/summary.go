@@ -1,0 +1,28 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"swtnas/internal/tensor"
+)
+
+// Summary writes a Keras-style model description: one row per layer with
+// its output shape and parameter count, then the totals.
+func (n *Network) Summary(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %-16s %10s\n", "Layer", "Output", "Params")
+	total, trainable := 0, 0
+	for i, nd := range n.nodes {
+		params := 0
+		for _, p := range nd.layer.Params() {
+			params += p.W.Numel()
+			total += p.W.Numel()
+			if p.Trainable() {
+				trainable += p.W.Numel()
+			}
+		}
+		fmt.Fprintf(w, "%-24s %-16s %10d\n",
+			nd.layer.Name(), tensor.ShapeString(n.nodeShapes[i]), params)
+	}
+	fmt.Fprintf(w, "total params: %d (%d trainable)\n", total, trainable)
+}

@@ -1,0 +1,273 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swtnas/internal/tensor"
+)
+
+// Data is a dataset split: one batched tensor per network input (first
+// dimension = number of samples) plus the per-sample targets.
+type Data struct {
+	Inputs  []*tensor.Tensor
+	Targets []float64
+}
+
+// N returns the number of samples.
+func (d *Data) N() int {
+	if len(d.Inputs) == 0 {
+		return 0
+	}
+	return d.Inputs[0].Shape[0]
+}
+
+// Validate checks that every input tensor and the targets agree on N.
+func (d *Data) Validate() error {
+	n := d.N()
+	for i, in := range d.Inputs {
+		if len(in.Shape) < 1 || in.Shape[0] != n {
+			return fmt.Errorf("nn: input %d has %v samples, want %d", i, in.Shape, n)
+		}
+	}
+	if len(d.Targets) != n {
+		return fmt.Errorf("nn: %d targets for %d samples", len(d.Targets), n)
+	}
+	return nil
+}
+
+// Gather returns a new Data holding the rows selected by idx, in order.
+func (d *Data) Gather(idx []int) *Data {
+	out := &Data{Targets: make([]float64, len(idx))}
+	for _, in := range d.Inputs {
+		rowLen := in.Numel() / in.Shape[0]
+		shape := append([]int{len(idx)}, in.Shape[1:]...)
+		g := tensor.New(shape...)
+		for i, r := range idx {
+			copy(g.Data[i*rowLen:(i+1)*rowLen], in.Data[r*rowLen:(r+1)*rowLen])
+		}
+		out.Inputs = append(out.Inputs, g)
+	}
+	for i, r := range idx {
+		out.Targets[i] = d.Targets[r]
+	}
+	return out
+}
+
+// Slice returns the half-open row range [lo, hi) without copying targets'
+// backing arrays more than needed.
+func (d *Data) Slice(lo, hi int) *Data {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return d.Gather(idx)
+}
+
+// FitConfig controls a training run.
+type FitConfig struct {
+	// Epochs is the maximum number of passes over the training data.
+	Epochs int
+	// BatchSize is the minibatch size (paper: 64 for CIFAR/MNIST,
+	// 32 for NT3/Uno).
+	BatchSize int
+	// RNG shuffles samples each epoch; nil disables shuffling.
+	RNG *rand.Rand
+	// EarlyStopDelta / EarlyStopPatience implement the paper's rule
+	// (Section VIII-B): stop when the validation objective changes by at
+	// most Delta for Patience consecutive epochs. Patience 0 disables.
+	EarlyStopDelta    float64
+	EarlyStopPatience int
+	// ClipNorm rescales each step's gradients when their global L2 norm
+	// exceeds it (0 disables clipping).
+	ClipNorm float64
+	// LRSchedule, when set, overrides the optimizer's learning rate at
+	// the start of each epoch (0-based); the optimizer must implement
+	// LRSettable.
+	LRSchedule func(epoch int) float64
+	// OnEpoch, when set, is called after each epoch with the mean
+	// training loss and validation score (progress reporting).
+	OnEpoch func(epoch int, trainLoss, valScore float64)
+}
+
+// LRSettable is implemented by optimizers whose learning rate can be driven
+// by FitConfig.LRSchedule.
+type LRSettable interface {
+	SetLR(lr float64)
+}
+
+// clipGradients rescales all trainable gradients to a global L2 norm of at
+// most maxNorm and returns the pre-clip norm.
+func clipGradients(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		if p.Trainable() {
+			n := p.Grad.L2Norm()
+			total += n * n
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			if p.Trainable() {
+				p.Grad.Scale(scale)
+			}
+		}
+	}
+	return norm
+}
+
+// History records the outcome of Fit.
+type History struct {
+	// TrainLoss is the mean minibatch loss per epoch.
+	TrainLoss []float64
+	// ValScore is the validation objective metric per epoch.
+	ValScore []float64
+	// EpochsRun counts completed epochs (== len(ValScore)).
+	EpochsRun int
+	// EarlyStopped reports whether the early-stopping rule fired.
+	EarlyStopped bool
+}
+
+// FinalScore returns the last validation score, or -Inf when no epoch ran.
+func (h *History) FinalScore() float64 {
+	if len(h.ValScore) == 0 {
+		return math.Inf(-1)
+	}
+	return h.ValScore[len(h.ValScore)-1]
+}
+
+// BestScore returns the maximum validation score, or -Inf when no epoch ran.
+func (h *History) BestScore() float64 {
+	best := math.Inf(-1)
+	for _, s := range h.ValScore {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Fit trains net with the given loss/metric/optimizer. It returns the
+// training history; the network is left holding the final weights.
+func Fit(net *Network, loss Loss, metric Metric, opt Optimizer, train, val *Data, cfg FitConfig) (*History, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if err := val.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("nn: batch size %d must be positive", cfg.BatchSize)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("nn: epochs %d must be positive", cfg.Epochs)
+	}
+	n := train.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	h := &History{}
+	flat := 0 // consecutive epochs with |Δscore| <= delta
+	prevScore := math.NaN()
+	if cfg.LRSchedule != nil {
+		if _, ok := opt.(LRSettable); !ok {
+			return nil, fmt.Errorf("nn: optimizer %T does not support LR schedules", opt)
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRSchedule != nil {
+			opt.(LRSettable).SetLR(cfg.LRSchedule(epoch))
+		}
+		if cfg.RNG != nil {
+			cfg.RNG.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		epochLoss := 0.0
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			batch := train.Gather(order[lo:hi])
+			pred, err := net.Forward(batch.Inputs, true)
+			if err != nil {
+				return nil, err
+			}
+			l, grad := loss.Forward(pred, batch.Targets)
+			epochLoss += l
+			batches++
+			net.ZeroGrads()
+			if err := net.Backward(grad); err != nil {
+				return nil, err
+			}
+			params := net.Params()
+			if cfg.ClipNorm > 0 {
+				clipGradients(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		h.TrainLoss = append(h.TrainLoss, epochLoss/float64(batches))
+		score, err := Evaluate(net, metric, val, cfg.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		h.ValScore = append(h.ValScore, score)
+		h.EpochsRun++
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, h.TrainLoss[len(h.TrainLoss)-1], score)
+		}
+
+		if cfg.EarlyStopPatience > 0 {
+			if !math.IsNaN(prevScore) && math.Abs(score-prevScore) <= cfg.EarlyStopDelta {
+				flat++
+				if flat >= cfg.EarlyStopPatience {
+					h.EarlyStopped = true
+					return h, nil
+				}
+			} else {
+				flat = 0
+			}
+			prevScore = score
+		}
+	}
+	return h, nil
+}
+
+// Evaluate computes the metric over data in inference mode, batched so the
+// memory footprint stays bounded.
+func Evaluate(net *Network, metric Metric, data *Data, batchSize int) (float64, error) {
+	if err := data.Validate(); err != nil {
+		return 0, err
+	}
+	if batchSize <= 0 {
+		return 0, fmt.Errorf("nn: batch size %d must be positive", batchSize)
+	}
+	n := data.N()
+	if n == 0 {
+		return 0, fmt.Errorf("nn: cannot evaluate on empty data")
+	}
+	var all *tensor.Tensor
+	rowLen := 0
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		batch := data.Slice(lo, hi)
+		pred, err := net.Forward(batch.Inputs, false)
+		if err != nil {
+			return 0, err
+		}
+		if all == nil {
+			rowLen = pred.Numel() / pred.Shape[0]
+			shape := append([]int{n}, pred.Shape[1:]...)
+			all = tensor.New(shape...)
+		}
+		copy(all.Data[lo*rowLen:hi*rowLen], pred.Data)
+	}
+	return metric.Eval(all, data.Targets), nil
+}

@@ -1,0 +1,111 @@
+// Package oneshot implements a weight-sharing ("one-shot" / supernet)
+// candidate estimator, the alternative NAS-acceleration family the paper
+// contrasts with in Section IX: instead of per-candidate checkpoints, all
+// candidates read and write one shared parameter pool. The paper's argument
+// — supported by the cited DSNAS/few-shot-NAS literature — is that shared
+// weights estimate candidates with *poor rank correlation* compared to
+// selective weight transfer; this package exists so that claim can be
+// measured (see the one-shot ablation benchmark).
+//
+// Sharing granularity: one pool entry per (occurrence index, layer
+// signature, coupled-tensor shapes). Two candidates' k-th layers share
+// weights iff they have identical signatures and couplings — the natural
+// analogue of ENAS's per-position operation weights in this package's
+// layer-sequence world.
+package oneshot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"swtnas/internal/nn"
+	"swtnas/internal/tensor"
+)
+
+// Supernet is the shared parameter pool. It is safe for concurrent use;
+// Pull and Push copy whole layer groups under one lock so candidates never
+// observe a torn layer.
+type Supernet struct {
+	mu   sync.Mutex
+	pool map[string][]*tensor.Tensor
+}
+
+// New creates an empty supernet.
+func New() *Supernet {
+	return &Supernet{pool: map[string][]*tensor.Tensor{}}
+}
+
+// key identifies a shareable slot: position among the network's parameter
+// groups + the full coupled-shape fingerprint.
+func key(pos int, g nn.ParamGroup) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", pos)
+	for _, p := range g.Params {
+		sb.WriteString(tensor.ShapeString(p.W.Shape))
+	}
+	return sb.String()
+}
+
+// Pull copies shared weights into every layer of net that has a pool entry
+// and returns how many layers were initialized from the pool. Layers
+// without an entry keep their fresh initialization (they will create an
+// entry on Push).
+func (s *Supernet) Pull(net *nn.Network) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hit := 0
+	for pos, g := range net.ParamGroups() {
+		stored, ok := s.pool[key(pos, g)]
+		if !ok {
+			continue
+		}
+		for i, p := range g.Params {
+			copy(p.W.Data, stored[i].Data)
+		}
+		hit++
+	}
+	return hit
+}
+
+// Push copies net's current weights back into the pool, creating entries
+// for layers seen for the first time.
+func (s *Supernet) Push(net *nn.Network) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for pos, g := range net.ParamGroups() {
+		k := key(pos, g)
+		stored, ok := s.pool[k]
+		if !ok {
+			stored = make([]*tensor.Tensor, len(g.Params))
+			for i, p := range g.Params {
+				stored[i] = p.W.Clone()
+			}
+			s.pool[k] = stored
+			continue
+		}
+		for i, p := range g.Params {
+			copy(stored[i].Data, p.W.Data)
+		}
+	}
+}
+
+// Entries reports the number of distinct shared slots.
+func (s *Supernet) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pool)
+}
+
+// Bytes reports the pool's parameter storage footprint.
+func (s *Supernet) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, ts := range s.pool {
+		for _, t := range ts {
+			n += int64(t.Numel()) * 8
+		}
+	}
+	return n
+}

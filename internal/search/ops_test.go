@@ -1,0 +1,209 @@
+package search
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"swtnas/internal/nn"
+	"swtnas/internal/tensor"
+)
+
+// applyOp runs a single op against a fresh builder over the given input
+// shape and returns the builder and output shape.
+func applyOp(t *testing.T, op Op, inShape []int) (*Builder, []int, error) {
+	t.Helper()
+	b := &Builder{Net: nn.NewNetwork(inShape), RNG: rand.New(rand.NewSource(1))}
+	ref, err := op.Apply(b, nn.GraphInput(0))
+	if err != nil {
+		return b, nil, err
+	}
+	return b, b.ShapeOf(ref), nil
+}
+
+func TestOpIdentity(t *testing.T) {
+	_, shape, err := applyOp(t, OpIdentity(), []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{7}) {
+		t.Fatalf("shape = %v", shape)
+	}
+}
+
+func TestOpDenseFlattensImplicitly(t *testing.T) {
+	b, shape, err := applyOp(t, OpDense(5), []int{4, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{5}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	// A Flatten layer must have been inserted before the dense layer.
+	layers := b.Net.Layers()
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d, want flatten+dense", len(layers))
+	}
+	if _, ok := layers[0].(*nn.Flatten); !ok {
+		t.Fatalf("first layer = %T, want Flatten", layers[0])
+	}
+}
+
+func TestOpDenseActAppendsActivation(t *testing.T) {
+	b, shape, err := applyOp(t, OpDenseAct(6, nn.Tanh), []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{6}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	layers := b.Net.Layers()
+	act, ok := layers[len(layers)-1].(*nn.Activation)
+	if !ok || act.Kind != nn.Tanh {
+		t.Fatalf("last layer = %T", layers[len(layers)-1])
+	}
+}
+
+func TestOpConv2DInfersChannels(t *testing.T) {
+	_, shape, err := applyOp(t, OpConv2D(4, 3, nn.Same, 0), []int{6, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{6, 6, 4}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	if _, _, err := applyOp(t, OpConv2D(4, 3, nn.Same, 0), []int{6}); err == nil {
+		t.Fatal("conv2d on flat input must error")
+	}
+}
+
+func TestOpConv1DInfersChannels(t *testing.T) {
+	_, shape, err := applyOp(t, OpConv1D(4, 3, nn.Valid, 0), []int{9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{7, 4}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	if _, _, err := applyOp(t, OpConv1D(4, 3, nn.Valid, 0), []int{9}); err == nil {
+		t.Fatal("conv1d on flat input must error")
+	}
+}
+
+func TestOpPoolAndBatchNorm(t *testing.T) {
+	_, shape, err := applyOp(t, OpPool2D(2, 2), []int{6, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{3, 3, 3}) {
+		t.Fatalf("pool2d shape = %v", shape)
+	}
+	_, shape, err = applyOp(t, OpPool1D(3, 3), []int{9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{3, 2}) {
+		t.Fatalf("pool1d shape = %v", shape)
+	}
+	_, shape, err = applyOp(t, OpBatchNorm(), []int{6, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{6, 6, 3}) {
+		t.Fatalf("bn shape = %v", shape)
+	}
+}
+
+func TestOpDropout(t *testing.T) {
+	_, shape, err := applyOp(t, OpDropout(0.4), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(shape, []int{5}) {
+		t.Fatalf("shape = %v", shape)
+	}
+}
+
+func TestOpLabels(t *testing.T) {
+	cases := map[string]Op{
+		"Identity":                OpIdentity(),
+		"Dense(64)":               OpDense(64),
+		"Dense(50, relu)":         OpDenseAct(50, nn.ReLU),
+		"Dropout(0.5)":            OpDropout(0.5),
+		"MaxPool2D(2, s2)":        OpPool2D(2, 2),
+		"MaxPool1D(3, s2)":        OpPool1D(3, 2),
+		"BatchNorm":               OpBatchNorm(),
+		"Conv1D(8, 3, valid)":     OpConv1D(8, 3, nn.Valid, 0),
+		"Conv2D(8, 3x3, same)":    OpConv2D(8, 3, nn.Same, 0),
+		"Conv2D(8, 3x3, valid, l": OpConv2D(8, 3, nn.Valid, 0.0005),
+	}
+	for want, op := range cases {
+		if !strings.HasPrefix(op.Label, want) {
+			t.Errorf("label %q does not start with %q", op.Label, want)
+		}
+	}
+}
+
+func TestBuilderFreshNamesUnique(t *testing.T) {
+	b := &Builder{Net: nn.NewNetwork([]int{2}), RNG: rand.New(rand.NewSource(1))}
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		n := b.FreshName("dense")
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBuilderFlatOnAlreadyFlat(t *testing.T) {
+	b := &Builder{Net: nn.NewNetwork([]int{5}), RNG: rand.New(rand.NewSource(1))}
+	ref, err := b.Flat(nn.GraphInput(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != nn.GraphInput(0) {
+		t.Fatal("flat input must pass through unchanged")
+	}
+	if len(b.Net.Layers()) != 0 {
+		t.Fatal("no layer should be added for already-flat input")
+	}
+}
+
+func TestApplyNodeOutOfRange(t *testing.T) {
+	s := testSpace()
+	b := &Builder{Net: nn.NewNetwork(s.InputShapes...), RNG: rand.New(rand.NewSource(1))}
+	// ApplyNode is only valid inside Space.Build; simulate misuse.
+	bSpace := &Builder{Net: b.Net, RNG: b.RNG}
+	_ = bSpace
+	// Build with an Assemble that indexes a bad node.
+	bad := &Space{
+		Name:        "bad",
+		Nodes:       s.Nodes,
+		InputShapes: s.InputShapes,
+		Assemble: func(b *Builder, arch Arch) error {
+			_, err := b.ApplyNode(99, nn.GraphInput(0))
+			return err
+		},
+	}
+	if _, err := bad.Build(Arch{0, 0, 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("out-of-range node index must error")
+	}
+}
+
+func TestBuildCountsAppliedNodes(t *testing.T) {
+	s := testSpace()
+	// An Assemble that forgets a node must be rejected.
+	forgetful := &Space{
+		Name:        "forgetful",
+		Nodes:       s.Nodes,
+		InputShapes: s.InputShapes,
+		Assemble: func(b *Builder, arch Arch) error {
+			_, err := b.ApplyNode(0, nn.GraphInput(0))
+			return err
+		},
+	}
+	if _, err := forgetful.Build(Arch{0, 0, 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("space applying 1 of 3 nodes must error")
+	}
+}

@@ -1,0 +1,199 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"swtnas/internal/tensor"
+	"testing"
+
+	"swtnas/internal/nn"
+)
+
+const sampleSpec = `{
+  "name": "lenet-mini",
+  "input": [10, 10, 1],
+  "output_units": 10,
+  "loss": "ce",
+  "metric": "acc",
+  "batch_size": 16,
+  "early_stop_delta": 0.005,
+  "nodes": [
+    {"name": "conv", "ops": [
+      {"type": "conv2d", "filters": 4, "kernel": 3, "padding": "same"},
+      {"type": "conv2d", "filters": 8, "kernel": 3, "padding": "valid", "l2": 0.0005}
+    ]},
+    {"name": "act", "ops": [
+      {"type": "act", "act": "relu"},
+      {"type": "act", "act": "tanh"}
+    ]},
+    {"name": "pool", "ops": [
+      {"type": "identity"},
+      {"type": "maxpool2d", "size": 2},
+      {"type": "avgpool2d", "size": 2, "stride": 2}
+    ]},
+    {"name": "norm", "ops": [
+      {"type": "identity"},
+      {"type": "batchnorm"}
+    ]},
+    {"name": "dense", "ops": [
+      {"type": "identity"},
+      {"type": "dense", "units": 32},
+      {"type": "dense_act", "units": 64, "act": "relu"},
+      {"type": "res_dense", "act": "relu"}
+    ]},
+    {"name": "drop", "ops": [
+      {"type": "identity"},
+      {"type": "dropout", "rate": 0.3}
+    ]}
+  ]
+}`
+
+func TestLoadAndCompileSpec(t *testing.T) {
+	spec, err := LoadSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Name != "lenet-mini" || space.NumNodes() != 6 {
+		t.Fatalf("space = %s with %d nodes", space.Name, space.NumNodes())
+	}
+	if space.BatchSize != 16 || space.EarlyStopDelta != 0.005 {
+		t.Fatalf("training config = %d / %v", space.BatchSize, space.EarlyStopDelta)
+	}
+	if space.Size().Int64() != 2*2*3*2*4*2 {
+		t.Fatalf("size = %v", space.Size())
+	}
+	// Every architecture in the compiled space must build and run.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 12; i++ {
+		arch := space.Random(rng)
+		net, err := space.Build(arch, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatalf("build %s: %v", arch, err)
+		}
+		got := net.OutputShape()
+		if len(got) != 1 || got[0] != 10 {
+			t.Fatalf("output shape = %v", got)
+		}
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Fatal("unknown fields must be rejected")
+	}
+	if _, err := LoadSpec(strings.NewReader(`{nope`)); err == nil {
+		t.Fatal("bad JSON must be rejected")
+	}
+}
+
+func TestCompileSpecValidation(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name: "x", Input: []int{4}, OutputUnits: 2,
+			Nodes: []NodeSpec{{Name: "n", Ops: []OpSpec{{Type: "identity"}}}},
+		}
+	}
+	if _, err := base().Compile(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Input = nil },
+		func(s *Spec) { s.OutputUnits = 0 },
+		func(s *Spec) { s.Nodes = nil },
+		func(s *Spec) { s.Nodes[0].Ops = nil },
+		func(s *Spec) { s.Loss = "hinge" },
+		func(s *Spec) { s.Metric = "f1" },
+		func(s *Spec) { s.Nodes[0].Ops[0].Type = "warp" },
+	}
+	for i, mutate := range cases {
+		s := base()
+		mutate(s)
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("case %d: invalid spec compiled", i)
+		}
+	}
+}
+
+func TestCompileOpValidation(t *testing.T) {
+	bad := []OpSpec{
+		{Type: "dense"}, // no units
+		{Type: "dense_act", Units: 8, Act: "softplus"},         // bad act
+		{Type: "dropout", Rate: 1.5},                           // bad rate
+		{Type: "conv2d", Filters: 0, Kernel: 3},                // no filters
+		{Type: "conv2d", Filters: 4, Kernel: 3, Padding: "no"}, // bad pad
+		{Type: "conv1d", Kernel: 3},                            // no filters
+		{Type: "maxpool2d"},                                    // no size
+		{Type: "maxpool1d"},                                    // no size
+		{Type: "avgpool2d"},                                    // no size
+		{Type: "act", Act: "gelu"},                             // bad act
+		{Type: "res_dense", Act: "gelu"},                       // bad act
+	}
+	for i, o := range bad {
+		if _, err := compileOp(o); err == nil {
+			t.Errorf("case %d (%s): invalid op compiled", i, o.Type)
+		}
+	}
+	// Defaults: relu activation, valid padding, stride = size.
+	op, err := compileOp(OpSpec{Type: "maxpool1d", Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(op.Label, "s3") {
+		t.Fatalf("stride default missing: %q", op.Label)
+	}
+}
+
+func TestSpecSpaceTrainsEndToEnd(t *testing.T) {
+	spec, err := LoadSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	net, err := space.Build(space.Random(rng), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10x10x1 random 2-class data, one epoch.
+	n := 16
+	x := nn.Data{}
+	_ = x
+	in := make([]float64, n*10*10)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	d := &nn.Data{Targets: make([]float64, n)}
+	dIn, err := asTensor(in, n, 10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Inputs = append(d.Inputs, dIn)
+	for i := range d.Targets {
+		d.Targets[i] = float64(i % 10)
+	}
+	if _, err := nn.Fit(net, space.Loss, space.Metric, nn.NewAdam(), d, d,
+		nn.FitConfig{Epochs: 1, BatchSize: space.BatchSize, RNG: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// asTensor is a test helper converting raw data into an nn input tensor.
+func asTensor(data []float64, shape ...int) (*tensor.Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("bad shape")
+	}
+	return tensor.FromData(data, shape...), nil
+}

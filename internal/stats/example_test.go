@@ -1,0 +1,27 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"swtnas/internal/stats"
+)
+
+// Kendall's τ as the paper uses it (Fig 9): comparing the ranking of
+// estimated candidate scores against fully trained metrics.
+func ExampleKendallTau() {
+	estimated := []float64{0.31, 0.42, 0.55, 0.48}
+	fullyTrained := []float64{0.70, 0.80, 0.95, 0.90}
+	tau, _ := stats.KendallTau(estimated, fullyTrained)
+	fmt.Printf("tau = %.2f\n", tau)
+	// Output:
+	// tau = 1.00
+}
+
+func ExampleGeoMean() {
+	// The paper's Fig 8 speedups are geometric means of per-app ratios.
+	speedups := []float64{1.3, 1.5, 1.7, 1.5}
+	g, _ := stats.GeoMean(speedups)
+	fmt.Printf("%.2fx\n", g)
+	// Output:
+	// 1.49x
+}

@@ -1,0 +1,196 @@
+// Package tensor implements the dense, row-major float64 tensors that the
+// training stack (internal/nn), the checkpoint format (internal/checkpoint)
+// and the weight-transfer engine (internal/core) operate on.
+//
+// Tensors are deliberately simple: a shape and a flat backing slice. All
+// layout logic (convolutions, pooling windows, ...) lives in the layers that
+// interpret the data; this package only guarantees consistent shape handling,
+// copying, and seeded random initialization.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense row-major float64 tensor. The zero value is an empty
+// scalar-less tensor; use New or FromData to construct usable values.
+type Tensor struct {
+	// Shape holds the extent of each dimension. A Tensor with an empty
+	// shape has exactly one element (a scalar).
+	Shape []int
+	// Data is the row-major backing storage; len(Data) == product(Shape).
+	Data []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := checkedNumel(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromData wraps data in a tensor of the given shape. The slice is used
+// directly (not copied). It panics if len(data) does not match the shape.
+func FromData(data []float64, shape ...int) *Tensor {
+	n := checkedNumel(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+func checkedNumel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies the contents of src into t.
+// The shapes must match exactly; otherwise an error is returned.
+func (t *Tensor) CopyFrom(src *Tensor) error {
+	if !SameShape(t.Shape, src.Shape) {
+		return fmt.Errorf("tensor: copy shape mismatch: dst %v src %v", t.Shape, src.Shape)
+	}
+	copy(t.Data, src.Data)
+	return nil
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AddScaled adds a*src to t element-wise. Shapes must match.
+func (t *Tensor) AddScaled(src *Tensor, a float64) error {
+	if !SameShape(t.Shape, src.Shape) {
+		return fmt.Errorf("tensor: addScaled shape mismatch: dst %v src %v", t.Shape, src.Shape)
+	}
+	for i, v := range src.Data {
+		t.Data[i] += a * v
+	}
+	return nil
+}
+
+// Reshape returns a tensor sharing t's data with a new shape.
+// The element count must be unchanged.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	if n := checkedNumel(shape); n != len(t.Data) {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}, nil
+}
+
+// SameShape reports whether two shapes are identical (same rank and dims).
+func SameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeString formats a shape like "(8, 8, 3)", matching the paper's
+// shape-sequence notation.
+func ShapeString(shape []int) string {
+	parts := make([]string, len(shape))
+	for i, d := range shape {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Numel returns the number of elements implied by shape.
+func Numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// RandNormal fills t with N(0, std²) samples drawn from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// GlorotUniform fills t with samples from the Glorot (Xavier) uniform
+// distribution for the given fan-in and fan-out, the Keras default
+// initializer used by the paper's software stack.
+func (t *Tensor) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// HeNormal fills t with He-normal samples for the given fan-in, appropriate
+// for ReLU-activated convolutional layers.
+func (t *Tensor) HeNormal(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.RandNormal(rng, std)
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the elements.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// String implements fmt.Stringer with a compact shape+norm summary.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%s‖%.4g‖", ShapeString(t.Shape), t.L2Norm())
+}

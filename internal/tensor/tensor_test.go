@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Numel() != 24 {
+		t.Fatalf("Numel = %d, want 24", x.Numel())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewScalarShape(t *testing.T) {
+	x := New()
+	if x.Numel() != 1 {
+		t.Fatalf("scalar Numel = %d, want 1", x.Numel())
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromDataChecksLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromData with wrong length did not panic")
+		}
+	}()
+	FromData([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestFromDataSharesSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromData(d, 2, 2)
+	d[0] = 42
+	if x.Data[0] != 42 {
+		t.Fatal("FromData must not copy the slice")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromData([]float64{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data[0] = 99
+	y.Shape[0] = 7
+	if x.Data[0] != 1 || x.Shape[0] != 3 {
+		t.Fatal("Clone must be a deep copy")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	x := New(2, 2)
+	y := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	if err := x.CopyFrom(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.Data[3] != 4 {
+		t.Fatalf("copy failed: %v", x.Data)
+	}
+	z := New(4)
+	if err := z.CopyFrom(y); err == nil {
+		t.Fatal("CopyFrom with mismatched shape must error")
+	}
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	x := FromData([]float64{1, 2}, 2)
+	x.Scale(3)
+	if x.Data[0] != 3 || x.Data[1] != 6 {
+		t.Fatalf("Scale: %v", x.Data)
+	}
+	y := FromData([]float64{10, 20}, 2)
+	if err := x.AddScaled(y, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if x.Data[0] != 8 || x.Data[1] != 16 {
+		t.Fatalf("AddScaled: %v", x.Data)
+	}
+	bad := New(3)
+	if err := x.AddScaled(bad, 1); err == nil {
+		t.Fatal("AddScaled with mismatched shape must error")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y, err := x.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y.Data[0] = 42
+	if x.Data[0] != 42 {
+		t.Fatal("Reshape must share data")
+	}
+	if _, err := x.Reshape(4); err == nil {
+		t.Fatal("Reshape to wrong element count must error")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{2, 3}, []int{2, 3}, true},
+		{[]int{2, 3}, []int{3, 2}, false},
+		{[]int{2}, []int{2, 1}, false},
+		{nil, nil, true},
+		{nil, []int{}, true},
+	}
+	for _, c := range cases {
+		if got := SameShape(c.a, c.b); got != c.want {
+			t.Errorf("SameShape(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if s := ShapeString([]int{8, 8, 3}); s != "(8, 8, 3)" {
+		t.Fatalf("ShapeString = %q", s)
+	}
+	if s := ShapeString(nil); s != "()" {
+		t.Fatalf("ShapeString(nil) = %q", s)
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(1000)
+	x.GlorotUniform(rng, 50, 50)
+	limit := math.Sqrt(6.0 / 100.0)
+	for _, v := range x.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot sample %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestHeNormalStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(20000)
+	x.HeNormal(rng, 8)
+	var sum, sumsq float64
+	for _, v := range x.Data {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(x.Numel())
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	want := math.Sqrt(2.0 / 8.0)
+	if math.Abs(std-want) > 0.02 {
+		t.Fatalf("He std = %v, want ≈ %v", std, want)
+	}
+}
+
+func TestNormsAndMaxAbs(t *testing.T) {
+	x := FromData([]float64{3, -4}, 2)
+	if n := x.L2Norm(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("L2Norm = %v", n)
+	}
+	if m := x.MaxAbs(); m != 4 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+}
+
+// Property: Clone followed by mutation never aliases, and CopyFrom round-trips.
+func TestQuickCloneCopyRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := FromData(append([]float64(nil), vals...), len(vals))
+		y := x.Clone()
+		z := New(len(vals))
+		if err := z.CopyFrom(x); err != nil {
+			return false
+		}
+		x.Fill(0)
+		for i := range vals {
+			if y.Data[i] != vals[i] || z.Data[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Numel(shape) equals len of New(shape).Data for small shapes.
+func TestQuickNumelConsistency(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		shape := []int{int(a%5) + 1, int(b%5) + 1, int(c%5) + 1}
+		return New(shape...).Numel() == Numel(shape)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

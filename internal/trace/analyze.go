@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Lineage statistics explain *why* weight transfer accelerates estimation:
+// under aging evolution each child resumes its parent's weights, so a
+// candidate's effective training budget is its whole ancestor chain's
+// (paper Section III: "training the new candidate for two times more
+// epochs" — generalized to arbitrary depth).
+
+// LineageDepth returns how many ancestors a record has within the trace
+// (0 for candidates trained from scratch).
+func (t *Trace) LineageDepth(id int) int {
+	byID := t.indexByID()
+	depth := 0
+	cur, ok := byID[id]
+	if !ok {
+		return 0
+	}
+	for cur.ParentID >= 0 {
+		next, ok := byID[cur.ParentID]
+		if !ok {
+			break
+		}
+		depth++
+		cur = next
+		if depth > len(t.Records) { // corrupt trace with a cycle
+			break
+		}
+	}
+	return depth
+}
+
+func (t *Trace) indexByID() map[int]Record {
+	byID := make(map[int]Record, len(t.Records))
+	for _, r := range t.Records {
+		byID[r.ID] = r
+	}
+	return byID
+}
+
+// Summary aggregates a trace for reporting.
+type Summary struct {
+	App, Scheme     string
+	Candidates      int
+	BestScore       float64
+	BestID          int
+	MeanScore       float64
+	Transferred     int // candidates with at least one warm-started layer
+	MeanLineage     float64
+	MaxLineage      int
+	TotalTrainTime  time.Duration
+	TotalCkptBytes  int64
+	Makespan        time.Duration
+	MeanCkptKB      float64
+	MeanTrainMillis float64
+}
+
+// Summarize computes the Summary of a trace.
+func (t *Trace) Summarize() Summary {
+	s := Summary{App: t.App, Scheme: t.Scheme, Candidates: len(t.Records), BestID: -1}
+	if len(t.Records) == 0 {
+		return s
+	}
+	var scoreSum float64
+	var lineageSum int
+	best := t.Records[0].Score - 1
+	for _, r := range t.Records {
+		scoreSum += r.Score
+		if r.Score > best {
+			best = r.Score
+			s.BestID = r.ID
+		}
+		if r.TransferCopied > 0 {
+			s.Transferred++
+		}
+		d := t.LineageDepth(r.ID)
+		lineageSum += d
+		if d > s.MaxLineage {
+			s.MaxLineage = d
+		}
+		s.TotalTrainTime += r.TrainTime
+		s.TotalCkptBytes += r.CheckpointBytes
+		if r.CompletedAt > s.Makespan {
+			s.Makespan = r.CompletedAt
+		}
+	}
+	n := float64(len(t.Records))
+	s.BestScore = best
+	s.MeanScore = scoreSum / n
+	s.MeanLineage = float64(lineageSum) / n
+	s.MeanCkptKB = float64(s.TotalCkptBytes) / n / 1024
+	s.MeanTrainMillis = float64(s.TotalTrainTime) / n / float64(time.Millisecond)
+	return s
+}
+
+// WriteSummary renders the summary as aligned text.
+func (t *Trace) WriteSummary(w io.Writer) {
+	s := t.Summarize()
+	fmt.Fprintf(w, "trace %s/%s (seed %d)\n", s.App, s.Scheme, t.Seed)
+	fmt.Fprintf(w, "  candidates      %d\n", s.Candidates)
+	fmt.Fprintf(w, "  best score      %.4f (candidate %d)\n", s.BestScore, s.BestID)
+	fmt.Fprintf(w, "  mean score      %.4f\n", s.MeanScore)
+	fmt.Fprintf(w, "  warm-started    %d (%.0f%%)\n", s.Transferred, 100*float64(s.Transferred)/float64(max(1, s.Candidates)))
+	fmt.Fprintf(w, "  lineage depth   mean %.2f, max %d\n", s.MeanLineage, s.MaxLineage)
+	fmt.Fprintf(w, "  train time      %.1f ms/candidate\n", s.MeanTrainMillis)
+	fmt.Fprintf(w, "  checkpoints     %.1f KB/candidate\n", s.MeanCkptKB)
+	fmt.Fprintf(w, "  makespan        %s\n", s.Makespan.Round(time.Millisecond))
+}
+
+// WriteCSV exports the trace as CSV (one row per candidate) for external
+// plotting of the paper's Figure 7 style curves.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "id,score,parent_id,transfer_copied,lineage_depth,params,train_ms,ckpt_bytes,completed_ms"); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(w, "%d,%g,%d,%d,%d,%d,%g,%d,%g\n",
+			r.ID, r.Score, r.ParentID, r.TransferCopied, t.LineageDepth(r.ID), r.Params,
+			float64(r.TrainTime)/float64(time.Millisecond),
+			r.CheckpointBytes,
+			float64(r.CompletedAt)/float64(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScoreQuantiles returns the q-quantiles of the score column (q >= 1),
+// useful for comparing runs without assuming normality.
+func (t *Trace) ScoreQuantiles(q int) []float64 {
+	if q < 1 || len(t.Records) == 0 {
+		return nil
+	}
+	scores := t.Scores()
+	sort.Float64s(scores)
+	out := make([]float64, q+1)
+	for i := 0; i <= q; i++ {
+		idx := i * (len(scores) - 1) / q
+		out[i] = scores[idx]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

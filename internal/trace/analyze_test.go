@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lineageTrace: 0 (scratch) <- 1 <- 2 <- 3; 4 scratch.
+func lineageTrace() *Trace {
+	return &Trace{App: "nt3", Scheme: "LCS", Records: []Record{
+		{ID: 0, ParentID: -1, Score: 0.5, TrainTime: 10 * time.Millisecond, CheckpointBytes: 1024, CompletedAt: time.Second},
+		{ID: 1, ParentID: 0, Score: 0.6, TransferCopied: 2, TrainTime: 10 * time.Millisecond, CheckpointBytes: 2048, CompletedAt: 2 * time.Second},
+		{ID: 2, ParentID: 1, Score: 0.7, TransferCopied: 2, TrainTime: 10 * time.Millisecond, CheckpointBytes: 1024, CompletedAt: 3 * time.Second},
+		{ID: 3, ParentID: 2, Score: 0.9, TransferCopied: 1, TrainTime: 10 * time.Millisecond, CheckpointBytes: 1024, CompletedAt: 4 * time.Second},
+		{ID: 4, ParentID: -1, Score: 0.4, TrainTime: 10 * time.Millisecond, CheckpointBytes: 1024, CompletedAt: 5 * time.Second},
+	}}
+}
+
+func TestLineageDepth(t *testing.T) {
+	tr := lineageTrace()
+	want := map[int]int{0: 0, 1: 1, 2: 2, 3: 3, 4: 0}
+	for id, d := range want {
+		if got := tr.LineageDepth(id); got != d {
+			t.Errorf("LineageDepth(%d) = %d, want %d", id, got, d)
+		}
+	}
+	if tr.LineageDepth(99) != 0 {
+		t.Error("unknown id must have depth 0")
+	}
+}
+
+func TestLineageDepthTerminatesOnCycle(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{ID: 0, ParentID: 1},
+		{ID: 1, ParentID: 0},
+	}}
+	// A corrupt cyclic trace must not hang.
+	if d := tr.LineageDepth(0); d <= 0 {
+		t.Fatalf("depth = %d", d)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := lineageTrace().Summarize()
+	if s.Candidates != 5 || s.BestID != 3 || s.BestScore != 0.9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Transferred != 3 {
+		t.Fatalf("transferred = %d", s.Transferred)
+	}
+	if s.MaxLineage != 3 {
+		t.Fatalf("max lineage = %d", s.MaxLineage)
+	}
+	if s.Makespan != 5*time.Second {
+		t.Fatalf("makespan = %v", s.Makespan)
+	}
+	// mean lineage = (0+1+2+3+0)/5
+	if s.MeanLineage != 1.2 {
+		t.Fatalf("mean lineage = %v", s.MeanLineage)
+	}
+	empty := (&Trace{}).Summarize()
+	if empty.Candidates != 0 || empty.BestID != -1 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	lineageTrace().WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"best score", "lineage depth", "warm-started"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lineageTrace().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("csv lines = %d, want header + 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,score") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[4], "3,0.9,2,1,3,") {
+		t.Fatalf("row for id 3 = %q", lines[4])
+	}
+}
+
+func TestScoreQuantiles(t *testing.T) {
+	tr := lineageTrace()
+	q := tr.ScoreQuantiles(4)
+	if len(q) != 5 {
+		t.Fatalf("quantiles = %v", q)
+	}
+	if q[0] != 0.4 || q[4] != 0.9 {
+		t.Fatalf("min/max quantiles = %v", q)
+	}
+	for i := 1; i < len(q); i++ {
+		if q[i] < q[i-1] {
+			t.Fatalf("quantiles not monotone: %v", q)
+		}
+	}
+	if (&Trace{}).ScoreQuantiles(4) != nil {
+		t.Fatal("empty trace quantiles must be nil")
+	}
+	if tr.ScoreQuantiles(0) != nil {
+		t.Fatal("q=0 must be nil")
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace records NAS runs — every evaluated candidate with its
+// architecture sequence, shape sequence, score and costs — and provides the
+// pair-sampling utilities behind the paper's offline studies (Figs 2, 4, 5).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"swtnas/internal/core"
+)
+
+// Record is one evaluated candidate.
+type Record struct {
+	// ID is the candidate's sequence number within the search.
+	ID int `json:"id"`
+	// Arch is the architecture sequence.
+	Arch []int `json:"arch"`
+	// Score is the estimated objective metric from partial training.
+	Score float64 `json:"score"`
+	// ShapeSeq is the candidate's shape sequence.
+	ShapeSeq core.ShapeSeq `json:"shape_seq"`
+	// Params is the trainable parameter count.
+	Params int `json:"params"`
+	// ParentID is the provider candidate (-1 when trained from scratch).
+	ParentID int `json:"parent_id"`
+	// TransferCopied counts layer groups warm-started by weight transfer.
+	TransferCopied int `json:"transfer_copied"`
+	// TrainTime is the measured training duration.
+	TrainTime time.Duration `json:"train_time"`
+	// CheckpointBytes is the encoded checkpoint size.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// CompletedAt is the completion offset from search start.
+	CompletedAt time.Duration `json:"completed_at"`
+}
+
+// Trace is the ordered record of one NAS run.
+type Trace struct {
+	// App is the application name.
+	App string `json:"app"`
+	// Scheme is the estimation scheme ("baseline", "LP", "LCS").
+	Scheme string `json:"scheme"`
+	// Seed is the search seed.
+	Seed int64 `json:"seed"`
+	// Records are in completion order.
+	Records []Record `json:"records"`
+}
+
+// Scores extracts the score column.
+func (t *Trace) Scores() []float64 {
+	out := make([]float64, len(t.Records))
+	for i, r := range t.Records {
+		out[i] = r.Score
+	}
+	return out
+}
+
+// TopK returns the indices of the K best-scoring records (ties broken by
+// earlier completion), the candidates NAS would fully train in phase two.
+func (t *Trace) TopK(k int) []int {
+	idx := make([]int, len(t.Records))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection of the k best by score; n is small (hundreds).
+	for i := 0; i < k && i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if t.Records[idx[j]].Score > t.Records[idx[best]].Score {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Pair indexes two distinct records of a trace.
+type Pair struct {
+	A, B int
+}
+
+// SamplePairs draws n distinct unordered pairs of distinct records uniformly
+// at random without replacement (paper Section III: 10,000 pairs). It errors
+// if the trace cannot supply n distinct pairs.
+func (t *Trace) SamplePairs(rng *rand.Rand, n int) ([]Pair, error) {
+	m := len(t.Records)
+	total := m * (m - 1) / 2
+	if n > total {
+		return nil, fmt.Errorf("trace: cannot sample %d pairs from %d records (%d possible)", n, m, total)
+	}
+	seen := make(map[[2]int]bool, n)
+	pairs := make([]Pair, 0, n)
+	for len(pairs) < n {
+		a, b := rng.Intn(m), rng.Intn(m)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pairs = append(pairs, Pair{A: a, B: b})
+	}
+	return pairs, nil
+}
+
+// WriteJSON serializes the trace (one JSON document).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	return &t, nil
+}

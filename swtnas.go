@@ -1,0 +1,306 @@
+// Package swtnas is a neural-architecture-search library with selective
+// weight transfer, a from-scratch Go reproduction of "Accelerating DNN
+// Architecture Search at Scale Using Selective Weight Transfer"
+// (Liu, Nicolae, Di, Cappello, Jog — IEEE CLUSTER 2021).
+//
+// Instead of estimating every NAS candidate by training it from random
+// weights, the library checkpoints each evaluated candidate and initializes
+// new candidates from the weights of structurally similar, previously
+// evaluated ones. Two matchers align the "shape sequences" (ordered
+// parameter-tensor shapes) of provider and receiver: LP (longest prefix)
+// and LCS (longest common subsequence). Provider selection is free under
+// regularized evolution: each child is a one-node mutation of its parent.
+//
+// The package exposes the high-level workflow:
+//
+//	res, err := swtnas.Search(swtnas.SearchOptions{App: "nt3", Scheme: "LCS", Budget: 200})
+//	best := res.Best(10)
+//	full, err := res.FullyTrain(best[0])
+//
+// Lower-level building blocks (the training stack, search spaces, the
+// transfer engine, the cluster simulator, the experiment harness) live in
+// internal packages; the cmd/ tools and examples/ programs show them in
+// action.
+package swtnas
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"swtnas/internal/apps"
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/data"
+	"swtnas/internal/evo"
+	"swtnas/internal/nas"
+	"swtnas/internal/nn"
+	"swtnas/internal/search"
+	"swtnas/internal/trace"
+)
+
+// Applications lists the built-in application names in the paper's order:
+// cifar10, mnist, nt3, uno.
+func Applications() []string { return data.Names() }
+
+// Schemes lists the candidate-estimation schemes: baseline (train from
+// scratch), LP and LCS (selective weight transfer).
+func Schemes() []string { return []string{"baseline", "LP", "LCS"} }
+
+// SearchOptions configures a NAS run.
+type SearchOptions struct {
+	// App is one of Applications(). Required.
+	App string
+	// Scheme is one of Schemes(); empty means baseline.
+	Scheme string
+	// Budget is the number of candidates to evaluate. Required.
+	Budget int
+	// Workers sizes the parallel evaluator pool (default 1).
+	Workers int
+	// Seed drives the search; DataSeed the synthetic dataset (defaults
+	// to Seed).
+	Seed, DataSeed int64
+	// TrainN / ValN override the dataset split sizes (0 = defaults).
+	TrainN, ValN int
+	// PopulationSize / SampleSize configure regularized evolution
+	// (0 = the paper's 64 / 32).
+	PopulationSize, SampleSize int
+	// CheckpointDir persists candidate checkpoints on disk; empty keeps
+	// them in memory.
+	CheckpointDir string
+	// SpaceFile / SpaceJSON load a custom declarative search space (see
+	// internal/search.Spec) instead of the built-in one; the App field
+	// then names only the dataset the space trains on. SpaceJSON takes
+	// precedence over SpaceFile.
+	SpaceFile string
+	SpaceJSON string
+}
+
+// Candidate is one evaluated model of a search.
+type Candidate struct {
+	// ID is the candidate number; its checkpoint id is derived from it.
+	ID int
+	// Arch is the architecture sequence (paper Section II).
+	Arch []int
+	// Score is the estimated objective metric from partial training.
+	Score float64
+	// Params is the trainable-parameter count.
+	Params int
+	// ParentID is the weight-transfer provider (-1 for scratch).
+	ParentID int
+	// TransferredLayers counts layer groups warm-started from the parent.
+	TransferredLayers int
+	// TrainTime is the measured candidate-estimation training time.
+	TrainTime time.Duration
+	// CheckpointBytes is the encoded checkpoint size.
+	CheckpointBytes int64
+	// CompletedAt is the completion offset from search start.
+	CompletedAt time.Duration
+}
+
+// Result is a finished candidate-estimation phase.
+type Result struct {
+	// App and Scheme echo the options.
+	App, Scheme string
+	// Candidates are in completion order.
+	Candidates []Candidate
+
+	app   *apps.App
+	store checkpoint.Store
+	tr    *trace.Trace
+}
+
+// Search runs the candidate-estimation phase of NAS: regularized evolution
+// proposes candidates, evaluators train each for the application's partial
+// budget (warm-started from the parent's checkpoint when a transfer scheme
+// is selected), and every candidate is checkpointed.
+func Search(opt SearchOptions) (*Result, error) {
+	if opt.App == "" {
+		return nil, fmt.Errorf("swtnas: SearchOptions.App is required (one of %v)", Applications())
+	}
+	matcher, ok := core.MatcherByName(opt.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("swtnas: unknown scheme %q (one of %v)", opt.Scheme, Schemes())
+	}
+	dataSeed := opt.DataSeed
+	if dataSeed == 0 {
+		dataSeed = opt.Seed
+	}
+	app, err := apps.New(opt.App, dataSeed, apps.Config{Data: data.Config{TrainN: opt.TrainN, ValN: opt.ValN}})
+	if err != nil {
+		return nil, err
+	}
+	if opt.SpaceJSON != "" || opt.SpaceFile != "" {
+		space, err := loadCustomSpace(opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(app.Dataset.InputShapes) != 1 {
+			return nil, fmt.Errorf("swtnas: custom spaces need a single-input dataset; %q has %d inputs", opt.App, len(app.Dataset.InputShapes))
+		}
+		if !shapesEqual(space.InputShapes[0], app.Dataset.InputShapes[0]) {
+			return nil, fmt.Errorf("swtnas: space input %v does not match dataset %q input %v",
+				space.InputShapes[0], opt.App, app.Dataset.InputShapes[0])
+		}
+		app.Space = space
+		app.Name = space.Name
+	}
+	var store checkpoint.Store
+	if opt.CheckpointDir != "" {
+		store, err = checkpoint.NewDiskStore(opt.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = checkpoint.NewMemStore()
+	}
+	tr, err := nas.Run(nas.Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
+		Matcher:  matcher,
+		Store:    store,
+		Workers:  opt.Workers,
+		Budget:   opt.Budget,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{App: app.Name, Scheme: nas.SchemeName(matcher), app: app, store: store, tr: tr}
+	for _, r := range tr.Records {
+		res.Candidates = append(res.Candidates, Candidate{
+			ID:                r.ID,
+			Arch:              r.Arch,
+			Score:             r.Score,
+			Params:            r.Params,
+			ParentID:          r.ParentID,
+			TransferredLayers: r.TransferCopied,
+			TrainTime:         r.TrainTime,
+			CheckpointBytes:   r.CheckpointBytes,
+			CompletedAt:       r.CompletedAt,
+		})
+	}
+	return res, nil
+}
+
+// Best returns the k highest-scoring candidates (the top-K set NAS would
+// fully train).
+func (r *Result) Best(k int) []Candidate {
+	idx := r.tr.TopK(k)
+	out := make([]Candidate, len(idx))
+	for i, j := range idx {
+		out[i] = r.Candidates[j]
+	}
+	return out
+}
+
+// DescribeArch renders the operation choices of an architecture sequence.
+func (r *Result) DescribeArch(arch []int) (string, error) {
+	return r.app.Space.Describe(arch)
+}
+
+// WriteTrace serializes the full search trace as JSON.
+func (r *Result) WriteTrace(w io.Writer) error { return r.tr.WriteJSON(w) }
+
+// Summarize writes a Keras-style layer/shape/parameter summary of a
+// candidate's network.
+func (r *Result) Summarize(c Candidate, w io.Writer) error {
+	net, err := r.app.Space.Build(search.Arch(c.Arch), rand.New(rand.NewSource(int64(c.ID)+1)))
+	if err != nil {
+		return err
+	}
+	net.Summary(w)
+	return nil
+}
+
+// FullTraining is the outcome of fully training a candidate (NAS phase 2).
+type FullTraining struct {
+	// Epochs is the number of epochs run before early stopping.
+	Epochs int
+	// EarlyStopped reports whether the paper's early-stopping rule fired.
+	EarlyStopped bool
+	// Score is the final objective metric.
+	Score float64
+}
+
+// FullyTrain resumes a candidate from its checkpoint and trains it with the
+// application's early-stopping rule (threshold per app, patience 2) up to
+// the full budget of 20 epochs.
+func (r *Result) FullyTrain(c Candidate) (*FullTraining, error) {
+	ckpt, err := r.store.Load(nas.CandidateID(c.ID))
+	if err != nil {
+		return nil, err
+	}
+	net, err := r.app.Space.Build(search.Arch(c.Arch), rand.New(rand.NewSource(int64(c.ID)+1)))
+	if err != nil {
+		return nil, err
+	}
+	if err := ckpt.RestoreInto(net); err != nil {
+		return nil, err
+	}
+	h, err := nn.Fit(net, r.app.Space.Loss, r.app.Space.Metric, nn.NewAdam(),
+		r.app.Dataset.Train, r.app.Dataset.Val, nn.FitConfig{
+			Epochs:            r.app.FullMaxEpochs,
+			BatchSize:         r.app.Space.BatchSize,
+			RNG:               rand.New(rand.NewSource(int64(c.ID) + 2)),
+			EarlyStopDelta:    r.app.Space.EarlyStopDelta,
+			EarlyStopPatience: r.app.EarlyStopPatience,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &FullTraining{Epochs: h.EpochsRun, EarlyStopped: h.EarlyStopped, Score: h.FinalScore()}, nil
+}
+
+// loadCustomSpace resolves SpaceJSON/SpaceFile into a compiled space.
+func loadCustomSpace(opt SearchOptions) (*search.Space, error) {
+	var r io.Reader
+	if opt.SpaceJSON != "" {
+		r = strings.NewReader(opt.SpaceJSON)
+	} else {
+		f, err := os.Open(opt.SpaceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	spec, err := search.LoadSpec(r)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Compile()
+}
+
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestPrefix returns how many leading tensor shapes two shape sequences
+// share — the LP matcher's transfer scope (paper Section IV-A).
+func LongestPrefix(provider, receiver [][]int) int {
+	return len(core.LP{}.Match(provider, receiver))
+}
+
+// LongestCommonSubsequence returns the LCS length of two shape sequences —
+// the LCS matcher's transfer scope (paper Section IV-A).
+func LongestCommonSubsequence(provider, receiver [][]int) int {
+	return len(core.LCS{}.Match(provider, receiver))
+}
+
+// ArchDistance is the architecture distance d of Section V-A: the number of
+// variable nodes on which two sequences differ (-1 for different lengths).
+func ArchDistance(a, b []int) int {
+	return search.Distance(search.Arch(a), search.Arch(b))
+}

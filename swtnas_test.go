@@ -1,0 +1,149 @@
+package swtnas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinySearch(t *testing.T, scheme string) *Result {
+	t.Helper()
+	res, err := Search(SearchOptions{
+		App: "nt3", Scheme: scheme, Budget: 10, Seed: 5,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestApplicationsAndSchemes(t *testing.T) {
+	if len(Applications()) != 4 {
+		t.Fatalf("Applications = %v", Applications())
+	}
+	if len(Schemes()) != 3 {
+		t.Fatalf("Schemes = %v", Schemes())
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(SearchOptions{Budget: 1}); err == nil {
+		t.Fatal("missing app must error")
+	}
+	if _, err := Search(SearchOptions{App: "nt3", Scheme: "nope", Budget: 1}); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	if _, err := Search(SearchOptions{App: "nt3", Budget: 0}); err == nil {
+		t.Fatal("zero budget must error")
+	}
+	if _, err := Search(SearchOptions{App: "nope", Budget: 1}); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	res := tinySearch(t, "LCS")
+	if res.App != "nt3" || res.Scheme != "LCS" {
+		t.Fatalf("header = %s/%s", res.App, res.Scheme)
+	}
+	if len(res.Candidates) != 10 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	best := res.Best(3)
+	if len(best) != 3 {
+		t.Fatalf("best = %d", len(best))
+	}
+	if best[0].Score < best[1].Score || best[1].Score < best[2].Score {
+		t.Fatalf("best not sorted by score: %v %v %v", best[0].Score, best[1].Score, best[2].Score)
+	}
+	desc, err := res.DescribeArch(best[0].Arch)
+	if err != nil || desc == "" {
+		t.Fatalf("describe: %q %v", desc, err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"records\"") {
+		t.Fatal("trace JSON missing records")
+	}
+}
+
+func TestFullyTrain(t *testing.T) {
+	res := tinySearch(t, "LP")
+	best := res.Best(1)[0]
+	full, err := res.FullyTrain(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Epochs < 1 || full.Epochs > 20 {
+		t.Fatalf("epochs = %d", full.Epochs)
+	}
+}
+
+func TestDiskCheckpointDir(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Search(SearchOptions{
+		App: "nt3", Budget: 4, Seed: 6, TrainN: 24, ValN: 12,
+		PopulationSize: 2, SampleSize: 2, CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.FullyTrain(res.Best(1)[0]); err != nil {
+		t.Fatalf("full training from disk checkpoints: %v", err)
+	}
+}
+
+func TestMatcherHelpers(t *testing.T) {
+	a := [][]int{{3, 3, 1, 8}, {8}, {128, 2}}
+	b := [][]int{{3, 3, 1, 8}, {16}, {8}, {128, 2}}
+	if got := LongestPrefix(a, b); got != 1 {
+		t.Fatalf("LP = %d, want 1", got)
+	}
+	if got := LongestCommonSubsequence(a, b); got != 3 {
+		t.Fatalf("LCS = %d, want 3", got)
+	}
+	if d := ArchDistance([]int{1, 2, 3}, []int{0, 2, 3}); d != 1 {
+		t.Fatalf("d = %d, want 1", d)
+	}
+}
+
+// TestWeightTransferBeatsScratchOnAverage is the library-level statement of
+// the paper's headline claim at miniature scale: with the same budget and
+// seed, the LCS scheme's later candidates score at least as well on average
+// as the baseline's.
+func TestWeightTransferBeatsScratchOnAverage(t *testing.T) {
+	run := func(scheme string) float64 {
+		res, err := Search(SearchOptions{
+			App: "uno", Scheme: scheme, Budget: 24, Seed: 9,
+			TrainN: 96, ValN: 48, PopulationSize: 8, SampleSize: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		n := 0
+		for _, c := range res.Candidates[len(res.Candidates)/2:] {
+			sum += c.Score
+			n++
+		}
+		return sum / float64(n)
+	}
+	base, lcs := run("baseline"), run("LCS")
+	if lcs < base-0.05 {
+		t.Fatalf("LCS tail mean %.4f clearly below baseline %.4f", lcs, base)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := tinySearch(t, "baseline")
+	var sb strings.Builder
+	if err := res.Summarize(res.Best(1)[0], &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "total params:") {
+		t.Fatalf("summary output:\n%s", sb.String())
+	}
+}
