@@ -15,16 +15,22 @@ import (
 	"os"
 
 	"swtnas/internal/cluster"
+	"swtnas/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swtnas-worker: ")
 	var (
-		addr = flag.String("addr", "127.0.0.1:7077", "coordinator address")
-		id   = flag.String("id", "", "worker id (default host-pid)")
+		addr     = flag.String("addr", "127.0.0.1:7077", "coordinator address")
+		id       = flag.String("id", "", "worker id (default host-pid)")
+		kworkers = flag.Int("kernel-workers", 0, "compute-kernel pool size: cores this worker may use (0 = $"+parallel.EnvWorkers+" or all cores)")
 	)
 	flag.Parse()
+	if *kworkers > 0 {
+		// Several workers on one node partition its cores between them.
+		parallel.SetWorkers(*kworkers)
+	}
 	workerID := *id
 	if workerID == "" {
 		host, _ := os.Hostname()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"swtnas"
+	"swtnas/internal/parallel"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		scheme   = flag.String("scheme", "LCS", "estimation scheme: baseline, LP, LCS")
 		budget   = flag.Int("budget", 100, "number of candidates to evaluate")
 		workers  = flag.Int("workers", 1, "parallel evaluators")
+		kworkers = flag.Int("kernel-workers", 0, "cores per candidate evaluation: compute-kernel pool size (0 = $"+parallel.EnvWorkers+" or all cores)")
 		seed     = flag.Int64("seed", 1, "search seed")
 		popN     = flag.Int("population", 0, "evolution population size (0 = paper default 64)")
 		popS     = flag.Int("sample", 0, "evolution sample size (0 = paper default 32)")
@@ -43,7 +45,8 @@ func main() {
 	start := time.Now()
 	res, err := swtnas.Search(swtnas.SearchOptions{
 		App: *app, Scheme: *scheme, Budget: *budget, Workers: *workers,
-		Seed: *seed, PopulationSize: *popN, SampleSize: *popS,
+		KernelWorkers: *kworkers,
+		Seed:          *seed, PopulationSize: *popN, SampleSize: *popS,
 		TrainN: *trainN, ValN: *valN, CheckpointDir: *ckptDir,
 		SpaceFile: *spaceF,
 	})

@@ -16,6 +16,7 @@ import (
 	"swtnas/internal/core"
 	"swtnas/internal/evo"
 	"swtnas/internal/nn"
+	"swtnas/internal/parallel"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -136,6 +137,14 @@ type Config struct {
 	// Workers is the evaluator-pool size (the per-node GPU count of the
 	// paper's Ray setup); defaults to 1.
 	Workers int
+	// KernelWorkers caps the intra-candidate compute-kernel parallelism:
+	// it sets the process-wide internal/parallel pool limit before the
+	// search starts, so concurrent candidate evaluations partition the
+	// machine's cores instead of oversubscribing them (e.g. Workers=4 on
+	// a 16-core node pairs naturally with KernelWorkers=4). 0 leaves the
+	// current setting (SWTNAS_WORKERS env, or GOMAXPROCS) untouched; the
+	// pool's caller-runs handoff keeps oversubscription safe either way.
+	KernelWorkers int
 	// Budget is the number of candidates to evaluate.
 	Budget int
 	// Seed drives proposals and per-candidate seeds.
@@ -167,6 +176,9 @@ func Run(cfg Config) (*trace.Trace, error) {
 	}
 	if workers > cfg.Budget {
 		workers = cfg.Budget
+	}
+	if cfg.KernelWorkers > 0 {
+		parallel.SetWorkers(cfg.KernelWorkers)
 	}
 	store := cfg.Store
 	if store == nil {

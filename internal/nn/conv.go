@@ -4,8 +4,54 @@ import (
 	"fmt"
 	"math/rand"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
+
+// gradScratch holds per-shard weight/bias gradient partials for a parallel
+// backward pass. Each shard accumulates into its own buffers; the caller
+// reduces them into the layer gradients after the pool call returns, so no
+// locks are needed. Buffers are cached on the layer (layers are
+// caller-serialized, see the package doc) and grown on demand.
+type gradScratch struct {
+	w, b [][]float64
+}
+
+// grab returns zeroed per-shard buffers for shards shards of the given
+// weight/bias gradient lengths.
+func (s *gradScratch) grab(shards, wLen, bLen int) (w, b [][]float64) {
+	for len(s.w) < shards {
+		s.w = append(s.w, make([]float64, wLen))
+		s.b = append(s.b, make([]float64, bLen))
+	}
+	for i := 0; i < shards; i++ {
+		if len(s.w[i]) < wLen {
+			s.w[i] = make([]float64, wLen)
+		}
+		if len(s.b[i]) < bLen {
+			s.b[i] = make([]float64, bLen)
+		}
+		zero(s.w[i][:wLen])
+		zero(s.b[i][:bLen])
+	}
+	return s.w, s.b
+}
+
+func zero(p []float64) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// reduceInto adds shards per-shard partials into dst in shard order, so the
+// reduction is deterministic for a fixed worker count.
+func reduceInto(dst []float64, parts [][]float64, shards int) {
+	for i := 0; i < shards; i++ {
+		for j, v := range parts[i][:len(dst)] {
+			dst[j] += v
+		}
+	}
+}
 
 // Padding selects the convolution border mode, mirroring Keras "valid"/"same".
 type Padding int
@@ -42,6 +88,7 @@ type Conv2D struct {
 	lastIn     *tensor.Tensor
 	inH, inW   int
 	outH, outW int
+	scratch    gradScratch
 }
 
 // NewConv2D creates a conv layer with He-normal weights (ReLU-friendly).
@@ -90,16 +137,25 @@ func (c *Conv2D) padOffsets() (int, int) {
 	return 0, 0
 }
 
+// Forward computes the convolution with the batch dimension sharded across
+// the worker pool. Each sample's output is produced by exactly one shard
+// with serial arithmetic, so results are identical for any worker count.
 func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	c.lastIn = x
 	b := x.Shape[0]
-	padH, padW := c.padOffsets()
 	out := tensor.New(b, c.outH, c.outW, c.OutC)
+	parallel.For(b, 1, func(lo, hi int) { c.forwardRange(x, out, lo, hi) })
+	return out
+}
+
+// forwardRange computes output samples [lo, hi).
+func (c *Conv2D) forwardRange(x, out *tensor.Tensor, lo, hi int) {
+	padH, padW := c.padOffsets()
 	w, bias := c.W.W.Data, c.B.W.Data
 	inRow := c.inW * c.InC
 	outRow := c.outW * c.OutC
-	for bi := 0; bi < b; bi++ {
+	for bi := lo; bi < hi; bi++ {
 		xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
 		ob := out.Data[bi*c.outH*outRow : (bi+1)*c.outH*outRow]
 		for oy := 0; oy < c.outH; oy++ {
@@ -132,19 +188,38 @@ func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
+// Backward computes gradients with batch shards. Input gradients are
+// per-sample (disjoint writes); weight and bias gradients are accumulated
+// into per-shard scratch and reduced lock-free after the pool call.
 func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := c.lastIn
 	b := x.Shape[0]
-	padH, padW := c.padOffsets()
 	dIn := tensor.New(x.Shape...)
-	w := c.W.W.Data
 	dw, db := c.W.Grad.Data, c.B.Grad.Data
+	shards := parallel.Shards(b, 1)
+	if shards <= 1 {
+		c.backwardRange(x, dOut, dIn, dw, db, 0, b)
+		return []*tensor.Tensor{dIn}
+	}
+	pw, pb := c.scratch.grab(shards, len(dw), len(db))
+	parallel.ForShard(b, 1, func(shard, lo, hi int) {
+		c.backwardRange(x, dOut, dIn, pw[shard], pb[shard], lo, hi)
+	})
+	reduceInto(dw, pw, shards)
+	reduceInto(db, pb, shards)
+	return []*tensor.Tensor{dIn}
+}
+
+// backwardRange processes samples [lo, hi), accumulating weight/bias
+// gradients into dw/db and writing input gradients for those samples.
+func (c *Conv2D) backwardRange(x, dOut, dIn *tensor.Tensor, dw, db []float64, lo, hi int) {
+	padH, padW := c.padOffsets()
+	w := c.W.W.Data
 	inRow := c.inW * c.InC
 	outRow := c.outW * c.OutC
-	for bi := 0; bi < b; bi++ {
+	for bi := lo; bi < hi; bi++ {
 		xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
 		dxb := dIn.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
 		gb := dOut.Data[bi*c.outH*outRow : (bi+1)*c.outH*outRow]
@@ -182,7 +257,6 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 	}
-	return []*tensor.Tensor{dIn}
 }
 
 // Conv1D is a stride-1 1-D convolution over [B, L, C] inputs with weights
@@ -197,6 +271,7 @@ type Conv1D struct {
 	W, B      *Param
 	lastIn    *tensor.Tensor
 	inL, outL int
+	scratch   gradScratch
 }
 
 // NewConv1D creates a 1-D conv layer with He-normal weights.
@@ -244,14 +319,22 @@ func (c *Conv1D) padOffset() int {
 	return 0
 }
 
+// Forward computes the convolution with the batch dimension sharded across
+// the worker pool (serial-identical per sample, like Conv2D.Forward).
 func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	c.lastIn = x
 	b := x.Shape[0]
-	pad := c.padOffset()
 	out := tensor.New(b, c.outL, c.OutC)
+	parallel.For(b, 1, func(lo, hi int) { c.forwardRange(x, out, lo, hi) })
+	return out
+}
+
+// forwardRange computes output samples [lo, hi).
+func (c *Conv1D) forwardRange(x, out *tensor.Tensor, lo, hi int) {
+	pad := c.padOffset()
 	w, bias := c.W.W.Data, c.B.W.Data
-	for bi := 0; bi < b; bi++ {
+	for bi := lo; bi < hi; bi++ {
 		xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
 		ob := out.Data[bi*c.outL*c.OutC : (bi+1)*c.outL*c.OutC]
 		for ol := 0; ol < c.outL; ol++ {
@@ -276,17 +359,34 @@ func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
+// Backward computes gradients with batch shards and per-shard weight/bias
+// partials, exactly like Conv2D.Backward.
 func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := c.lastIn
 	b := x.Shape[0]
-	pad := c.padOffset()
 	dIn := tensor.New(x.Shape...)
-	w := c.W.W.Data
 	dw, db := c.W.Grad.Data, c.B.Grad.Data
-	for bi := 0; bi < b; bi++ {
+	shards := parallel.Shards(b, 1)
+	if shards <= 1 {
+		c.backwardRange(x, dOut, dIn, dw, db, 0, b)
+		return []*tensor.Tensor{dIn}
+	}
+	pw, pb := c.scratch.grab(shards, len(dw), len(db))
+	parallel.ForShard(b, 1, func(shard, lo, hi int) {
+		c.backwardRange(x, dOut, dIn, pw[shard], pb[shard], lo, hi)
+	})
+	reduceInto(dw, pw, shards)
+	reduceInto(db, pb, shards)
+	return []*tensor.Tensor{dIn}
+}
+
+// backwardRange processes samples [lo, hi).
+func (c *Conv1D) backwardRange(x, dOut, dIn *tensor.Tensor, dw, db []float64, lo, hi int) {
+	pad := c.padOffset()
+	w := c.W.W.Data
+	for bi := lo; bi < hi; bi++ {
 		xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
 		dxb := dIn.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
 		gb := dOut.Data[bi*c.outL*c.OutC : (bi+1)*c.outL*c.OutC]
@@ -316,5 +416,4 @@ func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 	}
-	return []*tensor.Tensor{dIn}
 }

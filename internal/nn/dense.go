@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -14,6 +15,7 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 	lastIn  *tensor.Tensor
+	scratch gradScratch
 }
 
 // NewDense creates a dense layer with Glorot-uniform weights.
@@ -40,54 +42,73 @@ func (d *Dense) OutShape(in [][]int) ([]int, error) {
 	return []int{d.Out}, nil
 }
 
+// Forward computes out = in·W + b via the row-parallel matmul primitive in
+// internal/tensor. Each output row is produced by exactly one batch shard
+// with serial arithmetic, so results are identical for any worker count.
 func (d *Dense) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	b := x.Shape[0]
 	d.lastIn = x
 	out := tensor.New(b, d.Out)
-	w, bias := d.W.W.Data, d.B.W.Data
-	for i := 0; i < b; i++ {
-		xi := x.Data[i*d.In : (i+1)*d.In]
-		oi := out.Data[i*d.Out : (i+1)*d.Out]
-		copy(oi, bias)
-		for k, xv := range xi {
-			if xv == 0 {
-				continue
-			}
-			wr := w[k*d.Out : (k+1)*d.Out]
-			for j, wv := range wr {
-				oi[j] += xv * wv
-			}
-		}
+	if err := tensor.MatMulInto(out, x, d.W.W, d.B.W.Data); err != nil {
+		panic(err) // shapes were validated by OutShape
 	}
 	return out
 }
 
+// Backward computes dIn = dOut·Wᵀ row-parallel, and accumulates dW += Xᵀ·dOut
+// and dB += Σ dOut with per-shard partials reduced lock-free.
 func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := d.lastIn
 	b := x.Shape[0]
 	dIn := tensor.New(b, d.In)
-	w := d.W.W.Data
+	if err := tensor.MatMulTInto(dIn, dOut, d.W.W); err != nil {
+		panic(err)
+	}
 	dw, db := d.W.Grad.Data, d.B.Grad.Data
-	for i := 0; i < b; i++ {
+	// Shard the weight-gradient accumulation like the matmul rows so the
+	// scratch memory scales with real parallelism.
+	minRows := 1
+	if work := d.In * d.Out; work > 0 && work < denseShardTarget {
+		minRows = denseShardTarget / work
+	}
+	shards := parallel.Shards(b, minRows)
+	if shards <= 1 {
+		d.accumulateRange(x, dOut, dw, db, 0, b)
+		return []*tensor.Tensor{dIn}
+	}
+	pw, pb := d.scratch.grab(shards, len(dw), len(db))
+	parallel.ForShard(b, minRows, func(shard, lo, hi int) {
+		d.accumulateRange(x, dOut, pw[shard], pb[shard], lo, hi)
+	})
+	reduceInto(dw, pw, shards)
+	reduceInto(db, pb, shards)
+	return []*tensor.Tensor{dIn}
+}
+
+// denseShardTarget is the minimum multiply-adds one backward shard should
+// amortize its scratch buffers and pool handoff over.
+const denseShardTarget = 16384
+
+// accumulateRange adds the weight/bias gradient contributions of samples
+// [lo, hi) into dw/db.
+func (d *Dense) accumulateRange(x, dOut *tensor.Tensor, dw, db []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		xi := x.Data[i*d.In : (i+1)*d.In]
 		doi := dOut.Data[i*d.Out : (i+1)*d.Out]
-		dii := dIn.Data[i*d.In : (i+1)*d.In]
 		for j, g := range doi {
 			db[j] += g
 		}
 		for k, xv := range xi {
-			wr := w[k*d.Out : (k+1)*d.Out]
+			if xv == 0 {
+				continue
+			}
 			dwr := dw[k*d.Out : (k+1)*d.Out]
-			s := 0.0
 			for j, g := range doi {
 				dwr[j] += xv * g
-				s += g * wr[j]
 			}
-			dii[k] = s
 		}
 	}
-	return []*tensor.Tensor{dIn}
 }
 
 // Identity passes its input through unchanged. It is the "skip" choice many

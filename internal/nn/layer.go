@@ -9,9 +9,21 @@
 // provider checkpoint genuinely changes their convergence — the effect the
 // paper measures.
 //
-// Concurrency: a Network and its layers are owned by a single goroutine
-// (one evaluator trains one candidate); nothing in this package is
-// internally synchronized.
+// Concurrency: a Network and its layers are owned by a single goroutine —
+// one evaluator drives one candidate, and per-layer state (cached
+// activations, gradient tensors, backward scratch) is caller-serialized:
+// never call Forward/Backward on the same Network or Layer from two
+// goroutines, and never overlap a Forward with the matching Backward.
+// Within one Forward/Backward call, however, the compute-heavy layers
+// (Conv2D, Conv1D, Dense) and the softmax-cross-entropy loss shard their
+// batch dimension across the process-wide worker pool in internal/parallel:
+// input/output rows are written by exactly one shard, and weight-gradient
+// partials are accumulated per shard and reduced lock-free after the pool
+// call returns. With SWTNAS_WORKERS=1 (or parallel.SetWorkers(1)) every
+// kernel runs the exact serial code path, bit-identical to the
+// pre-parallel implementation; at higher worker counts only the summation
+// order of weight gradients and scalar losses changes (bounded by normal
+// floating-point re-association, ~1e-15 relative).
 package nn
 
 import (

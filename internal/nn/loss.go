@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -31,42 +32,67 @@ type SoftmaxCrossEntropy struct{}
 func (SoftmaxCrossEntropy) Name() string { return "CE" }
 
 // Forward computes the mean cross-entropy and the fused softmax gradient
-// (softmax(pred) - onehot(target)) / B.
+// (softmax(pred) - onehot(target)) / B. Rows are processed in parallel
+// batch shards through the same row-parallel primitive as the dense matmul
+// path; gradients are per-row (worker-count invariant) and the scalar loss
+// is reduced from per-shard partials in shard order.
 func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor) {
 	b, k := pred.Shape[0], pred.Shape[1]
 	if len(targets) != b {
 		panic(fmt.Sprintf("nn: %d targets for batch of %d", len(targets), b))
 	}
 	grad := tensor.New(b, k)
-	loss := 0.0
-	for i := 0; i < b; i++ {
-		row := pred.Data[i*k : (i+1)*k]
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
+	shards := parallel.Shards(b, lossMinRows(k))
+	partial := make([]float64, shards)
+	parallel.ForShard(b, lossMinRows(k), func(shard, lo, hi int) {
+		lossPart := 0.0
+		for i := lo; i < hi; i++ {
+			row := pred.Data[i*k : (i+1)*k]
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
 			}
+			sum := 0.0
+			g := grad.Data[i*k : (i+1)*k]
+			for j, v := range row {
+				e := math.Exp(v - maxv)
+				g[j] = e
+				sum += e
+			}
+			label := int(targets[i])
+			if label < 0 || label >= k {
+				panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
+			}
+			lossPart += -(row[label] - maxv - math.Log(sum))
+			inv := 1 / sum
+			for j := range g {
+				g[j] *= inv
+			}
+			g[label] -= 1
 		}
-		sum := 0.0
-		g := grad.Data[i*k : (i+1)*k]
-		for j, v := range row {
-			e := math.Exp(v - maxv)
-			g[j] = e
-			sum += e
-		}
-		label := int(targets[i])
-		if label < 0 || label >= k {
-			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
-		}
-		loss += -(row[label] - maxv - math.Log(sum))
-		inv := 1 / sum
-		for j := range g {
-			g[j] *= inv
-		}
-		g[label] -= 1
+		partial[shard] = lossPart
+	})
+	loss := 0.0
+	for _, p := range partial {
+		loss += p
 	}
 	grad.Scale(1 / float64(b))
 	return loss / float64(b), grad
+}
+
+// lossMinRows groups softmax rows so one shard exponentiates at least ~4k
+// values (rows are cheap relative to the pool handoff).
+func lossMinRows(k int) int {
+	if k <= 0 {
+		return 1
+	}
+	mr := 4096 / k
+	if mr < 1 {
+		mr = 1
+	}
+	return mr
 }
 
 // MAE is the mean absolute error on [B, 1] (or [B]) predictions, the loss

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swtnas/internal/parallel"
+	"swtnas/internal/tensor"
+)
+
+// runConv2D builds a fresh seeded Conv2D and runs one forward/backward,
+// returning output, input gradient, weight gradient and bias gradient.
+func runConv2D(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	c := NewConv2D("cv", 3, 3, 4, 8, Same, 0, rng)
+	if _, err := c.OutShape([][]int{{9, 9, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(b, 9, 9, 4)
+	x.RandNormal(rng, 1)
+	out := c.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	dIn := c.Backward(g)[0]
+	return out, dIn, c.W.Grad.Data, c.B.Grad.Data
+}
+
+// runConv1D is runConv2D for the NT3-shaped 1-D kernel.
+func runConv1D(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12))
+	c := NewConv1D("cv", 5, 2, 6, Same, 0, rng)
+	if _, err := c.OutShape([][]int{{32, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(b, 32, 2)
+	x.RandNormal(rng, 1)
+	out := c.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	dIn := c.Backward(g)[0]
+	return out, dIn, c.W.Grad.Data, c.B.Grad.Data
+}
+
+// runDense is runConv2D for the fully connected kernel.
+func runDense(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(13))
+	d := NewDense("d", 37, 19, 0, rng)
+	x := tensor.New(b, 37)
+	x.RandNormal(rng, 1)
+	out := d.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	dIn := d.Backward(g)[0]
+	return out, dIn, d.W.Grad.Data, d.B.Grad.Data
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestParallelKernelsMatchSerial asserts the determinism contract of the
+// parallel kernels: with any worker count, outputs and input gradients are
+// bit-identical to the serial (workers=1) run, and weight/bias gradients —
+// whose summation order changes with the shard count — agree within 1e-12.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	kernels := []struct {
+		name string
+		run  func(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64)
+	}{
+		{"Conv2D", runConv2D},
+		{"Conv1D", runConv1D},
+		{"Dense", runDense},
+	}
+	const batch = 37 // odd so shards are uneven
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	for _, k := range kernels {
+		t.Run(k.name, func(t *testing.T) {
+			parallel.SetWorkers(1)
+			out0, dIn0, dw0, db0 := k.run(t, batch)
+			dw0 = append([]float64(nil), dw0...)
+			db0 = append([]float64(nil), db0...)
+			for _, workers := range []int{2, 4, 7} {
+				parallel.SetWorkers(workers)
+				out, dIn, dw, db := k.run(t, batch)
+				if d := maxAbsDiff(out.Data, out0.Data); d != 0 {
+					t.Errorf("workers=%d: forward differs from serial by %g (must be bit-identical)", workers, d)
+				}
+				if d := maxAbsDiff(dIn.Data, dIn0.Data); d != 0 {
+					t.Errorf("workers=%d: input gradient differs from serial by %g (must be bit-identical)", workers, d)
+				}
+				if d := maxAbsDiff(dw, dw0); d > 1e-12 {
+					t.Errorf("workers=%d: weight gradient differs from serial by %g > 1e-12", workers, d)
+				}
+				if d := maxAbsDiff(db, db0); d > 1e-12 {
+					t.Errorf("workers=%d: bias gradient differs from serial by %g > 1e-12", workers, d)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSoftmaxCrossEntropyMatchesSerial checks loss and gradient
+// across worker counts: gradients are per-row (bit-identical), the scalar
+// loss is a per-shard reduction (1e-12).
+func TestParallelSoftmaxCrossEntropyMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	b, k := 129, 10
+	pred := tensor.New(b, k)
+	pred.RandNormal(rng, 3)
+	targets := make([]float64, b)
+	for i := range targets {
+		targets[i] = float64(rng.Intn(k))
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	loss0, grad0 := SoftmaxCrossEntropy{}.Forward(pred, targets)
+	for _, workers := range []int{2, 5, 8} {
+		parallel.SetWorkers(workers)
+		loss, grad := SoftmaxCrossEntropy{}.Forward(pred, targets)
+		if math.Abs(loss-loss0) > 1e-12 {
+			t.Errorf("workers=%d: loss %v differs from serial %v", workers, loss, loss0)
+		}
+		if d := maxAbsDiff(grad.Data, grad0.Data); d != 0 {
+			t.Errorf("workers=%d: gradient differs from serial by %g (must be bit-identical)", workers, d)
+		}
+	}
+}
+
+// TestParallelGatherMatchesSerial covers the sharded row gather in the fit
+// loop.
+func TestParallelGatherMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	in := tensor.New(500, 200)
+	in.RandNormal(rng, 1)
+	targets := make([]float64, 500)
+	for i := range targets {
+		targets[i] = float64(i)
+	}
+	d := &Data{Inputs: []*tensor.Tensor{in}, Targets: targets}
+	idx := rng.Perm(500)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	serial := d.Gather(idx)
+	parallel.SetWorkers(6)
+	par := d.Gather(idx)
+	if d := maxAbsDiff(par.Inputs[0].Data, serial.Inputs[0].Data); d != 0 {
+		t.Fatalf("parallel gather differs from serial by %g", d)
+	}
+	for i := range serial.Targets {
+		if par.Targets[i] != serial.Targets[i] {
+			t.Fatalf("target %d differs", i)
+		}
+	}
+}
+
+// TestGradcheckUnderParallelKernels re-runs a conv+dense gradient check at
+// workers=4 so the parallel code paths — not just the serial fallback —
+// are verified against finite differences.
+func TestGradcheckUnderParallelKernels(t *testing.T) {
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(16))
+	c := NewConv1D("cv", 3, 2, 3, Same, 0, rng)
+	if _, err := c.OutShape([][]int{{8, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(6, 8, 2)
+	x.RandNormal(rng, 1)
+
+	lossOf := func() float64 {
+		out := c.Forward([]*tensor.Tensor{x}, true)
+		s := 0.0
+		for _, v := range out.Data {
+			s += v * v / 2
+		}
+		return s
+	}
+	out := c.Forward([]*tensor.Tensor{x}, true)
+	c.W.Grad.Zero()
+	c.B.Grad.Zero()
+	c.Backward(out.Clone())
+
+	const eps = 1e-5
+	for _, pi := range []int{0, 7, len(c.W.W.Data) - 1} {
+		orig := c.W.W.Data[pi]
+		c.W.W.Data[pi] = orig + eps
+		up := lossOf()
+		c.W.W.Data[pi] = orig - eps
+		down := lossOf()
+		c.W.W.Data[pi] = orig
+		numeric := (up - down) / (2 * eps)
+		analytic := c.W.Grad.Data[pi]
+		if math.Abs(analytic-numeric) > 1e-6+1e-4*math.Max(math.Abs(analytic), math.Abs(numeric)) {
+			t.Errorf("W[%d]: analytic %v vs numeric %v", pi, analytic, numeric)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -38,15 +39,24 @@ func (d *Data) Validate() error {
 }
 
 // Gather returns a new Data holding the rows selected by idx, in order.
+// Row copies are sharded across the worker pool for large gathers;
+// minibatch-sized gathers stay serial.
 func (d *Data) Gather(idx []int) *Data {
 	out := &Data{Targets: make([]float64, len(idx))}
 	for _, in := range d.Inputs {
 		rowLen := in.Numel() / in.Shape[0]
 		shape := append([]int{len(idx)}, in.Shape[1:]...)
 		g := tensor.New(shape...)
-		for i, r := range idx {
-			copy(g.Data[i*rowLen:(i+1)*rowLen], in.Data[r*rowLen:(r+1)*rowLen])
+		minRows := 1
+		if rowLen > 0 && rowLen < gatherShardFloats {
+			minRows = gatherShardFloats / rowLen
 		}
+		parallel.For(len(idx), minRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := idx[i]
+				copy(g.Data[i*rowLen:(i+1)*rowLen], in.Data[r*rowLen:(r+1)*rowLen])
+			}
+		})
 		out.Inputs = append(out.Inputs, g)
 	}
 	for i, r := range idx {
@@ -54,6 +64,10 @@ func (d *Data) Gather(idx []int) *Data {
 	}
 	return out
 }
+
+// gatherShardFloats is the minimum number of float64 copies one Gather
+// shard should amortize the pool handoff over.
+const gatherShardFloats = 1 << 16
 
 // Slice returns the half-open row range [lo, hi) without copying targets'
 // backing arrays more than needed.

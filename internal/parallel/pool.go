@@ -1,0 +1,212 @@
+// Package parallel provides the process-wide worker pool that the compute
+// kernels (internal/tensor, internal/nn) shard batched work across.
+//
+// The pool exists because candidate evaluation dominates NAS wall-clock:
+// every Conv2D/Conv1D/Dense forward and backward pass iterates over the
+// batch dimension, and those iterations are independent. For splits such a
+// range into at most Workers contiguous chunks and runs them on a fixed set
+// of long-lived worker goroutines — no per-call goroutine spawn, no
+// per-element channel traffic.
+//
+// Design properties:
+//
+//   - Static range-splitting: a call over n elements produces Shards(n,
+//     minChunk) contiguous chunks, each at least minChunk elements, decided
+//     up front. ForShard exposes the chunk index so callers can keep
+//     per-shard scratch (e.g. weight-gradient partials) and reduce without
+//     locks.
+//   - Deadlock-free handoff: chunks are offered to idle workers with a
+//     non-blocking send; whatever no worker picks up immediately, the
+//     calling goroutine runs itself. Nested For calls and many concurrent
+//     callers (one per candidate evaluator) therefore degrade to inline
+//     execution instead of deadlocking or oversubscribing.
+//   - Panic propagation: the first panic raised inside any chunk is
+//     re-raised on the calling goroutine after all chunks finish, so a
+//     kernel bug surfaces exactly like it would in the serial loop.
+//   - Serial fallback: when Workers() == 1, or the range is too small to
+//     split, fn runs inline on the caller — the exact serial code path, so
+//     golden and gradcheck tests stay bit-identical at workers=1.
+//
+// The pool size defaults to GOMAXPROCS and can be overridden by the
+// SWTNAS_WORKERS environment variable or SetWorkers, letting deployments
+// that run several candidate evaluations per node partition cores between
+// them.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default pool
+// size (a positive integer; invalid values are ignored).
+const EnvWorkers = "SWTNAS_WORKERS"
+
+// call tracks one For/ForShard invocation across its chunks.
+type call struct {
+	fn func(shard, lo, hi int)
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+// run executes one chunk, capturing the first panic for re-raise.
+func (c *call) run(shard, lo, hi int) {
+	defer c.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			if !c.panicked {
+				c.panicked, c.panicVal = true, r
+			}
+			c.mu.Unlock()
+		}
+	}()
+	c.fn(shard, lo, hi)
+}
+
+// task is one chunk handed to a pool worker.
+type task struct {
+	c             *call
+	shard, lo, hi int
+}
+
+var (
+	limit atomic.Int64 // current max shards per call
+
+	poolMu  sync.Mutex
+	running int       // worker goroutines started so far
+	tasks   chan task // never closed; workers live for the process
+)
+
+func init() {
+	limit.Store(int64(DefaultWorkers()))
+	tasks = make(chan task)
+}
+
+// DefaultWorkers returns the pool size the process starts with: the value
+// of SWTNAS_WORKERS when it is a positive integer, GOMAXPROCS otherwise.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current maximum number of chunks a single For call
+// splits into (including the chunk the caller runs itself).
+func Workers() int { return int(limit.Load()) }
+
+// SetWorkers sets the maximum parallelism of subsequent For calls. n <= 0
+// resets to DefaultWorkers. It returns the previous value so callers can
+// restore it. In-flight calls are unaffected; worker goroutines are grown
+// lazily and never torn down (an idle worker costs only a blocked receive).
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	return int(limit.Swap(int64(n)))
+}
+
+// Shards returns the number of chunks For(n, minChunk, ·) splits into:
+// min(Workers, floor(n/minChunk)) clamped to [1, n], or 0 when n <= 0.
+func Shards(n, minChunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	s := n / minChunk
+	if s < 1 {
+		s = 1
+	}
+	if w := Workers(); s > w {
+		s = w
+	}
+	return s
+}
+
+// ensureWorkers grows the pool so that up to n-1 chunks can run off the
+// calling goroutine.
+func ensureWorkers(n int) {
+	need := n - 1
+	if need <= running { // racy fast path; running only grows
+		return
+	}
+	poolMu.Lock()
+	for running < need {
+		go func() {
+			for t := range tasks {
+				t.c.run(t.shard, t.lo, t.hi)
+			}
+		}()
+		running++
+	}
+	poolMu.Unlock()
+}
+
+// For runs fn over the range [0, n) split into at most Workers contiguous
+// chunks of at least minChunk elements each. fn(lo, hi) covers [lo, hi);
+// every element is visited exactly once. For returns when all chunks have
+// finished. If any chunk panics, the first panic value is re-raised on the
+// calling goroutine (after the remaining chunks complete).
+func For(n, minChunk int, fn func(lo, hi int)) {
+	ForShard(n, minChunk, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForShard is For with the chunk index exposed: fn(shard, lo, hi) with
+// shard in [0, Shards(n, minChunk)). Shard indices let callers accumulate
+// into per-shard scratch buffers and reduce after ForShard returns — the
+// lock-free pattern the backward kernels use for weight gradients.
+func ForShard(n, minChunk int, fn func(shard, lo, hi int)) {
+	s := Shards(n, minChunk)
+	if s == 0 {
+		return
+	}
+	if s == 1 {
+		fn(0, 0, n) // serial fast path: no pool, no wait group
+		return
+	}
+	ensureWorkers(s)
+	c := &call{fn: fn}
+	c.wg.Add(s)
+	chunk, rem := n/s, n%s
+	// Offer chunks 1..s-1 to idle workers; shard 0 and anything no worker
+	// accepts immediately run on the caller. The non-blocking send is what
+	// makes nested and concurrent calls deadlock-free.
+	type span struct{ shard, lo, hi int }
+	local := make([]span, 0, s)
+	lo := chunk
+	if rem > 0 {
+		lo++ // shard 0 takes the first remainder element
+	}
+	local = append(local, span{0, 0, lo})
+	for i := 1; i < s; i++ {
+		size := chunk
+		if i < rem {
+			size++
+		}
+		sp := span{i, lo, lo + size}
+		lo += size
+		select {
+		case tasks <- task{c: c, shard: sp.shard, lo: sp.lo, hi: sp.hi}:
+		default:
+			local = append(local, sp)
+		}
+	}
+	for _, sp := range local {
+		c.run(sp.shard, sp.lo, sp.hi)
+	}
+	c.wg.Wait()
+	if c.panicked {
+		panic(c.panicVal)
+	}
+}

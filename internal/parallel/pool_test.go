@@ -1,0 +1,250 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the pool limit set to n, restoring it after.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	withWorkers(t, 8, func() {
+		for _, n := range []int{1, 7, 8, 63, 64, 100, 1001} {
+			counts := make([]int32, n)
+			For(n, 3, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d: element %d visited %d times", n, i, c)
+				}
+			}
+		}
+	})
+}
+
+func TestForEdgeCases(t *testing.T) {
+	withWorkers(t, 4, func() {
+		// n = 0 and n < 0: fn must never run.
+		For(0, 1, func(lo, hi int) { t.Error("fn called for n=0") })
+		For(-5, 1, func(lo, hi int) { t.Error("fn called for n<0") })
+
+		// n < minChunk: one inline call covering the whole range.
+		calls := 0
+		For(5, 10, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != 5 {
+				t.Errorf("small range split: [%d,%d)", lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("small range ran %d chunks, want 1", calls)
+		}
+
+		// minChunk <= 0 is treated as 1.
+		visited := make([]int32, 9)
+		For(9, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visited[i], 1)
+			}
+		})
+		for i, c := range visited {
+			if c != 1 {
+				t.Fatalf("minChunk=0: element %d visited %d times", i, c)
+			}
+		}
+	})
+}
+
+func TestShards(t *testing.T) {
+	withWorkers(t, 4, func() {
+		cases := []struct{ n, minChunk, want int }{
+			{0, 1, 0},
+			{-1, 1, 0},
+			{1, 1, 1},
+			{3, 1, 3},
+			{4, 1, 4},
+			{100, 1, 4},   // capped by workers
+			{7, 4, 1},     // floor(7/4) = 1
+			{8, 4, 2},     // exactly two minimum chunks
+			{100, 30, 3},  // floor(100/30) = 3
+			{100, 200, 1}, // n < minChunk
+		}
+		for _, c := range cases {
+			if got := Shards(c.n, c.minChunk); got != c.want {
+				t.Errorf("Shards(%d, %d) = %d, want %d", c.n, c.minChunk, got, c.want)
+			}
+		}
+	})
+}
+
+func TestForShardIndicesAreDense(t *testing.T) {
+	withWorkers(t, 5, func() {
+		n := 100
+		s := Shards(n, 1)
+		seen := make([]int32, s)
+		ForShard(n, 1, func(shard, lo, hi int) {
+			if shard < 0 || shard >= s {
+				t.Errorf("shard %d out of [0,%d)", shard, s)
+				return
+			}
+			atomic.AddInt32(&seen[shard], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("shard %d ran %d times, want 1", i, c)
+			}
+		}
+	})
+}
+
+// TestForShardUnevenSplit checks that n not divisible by the shard count
+// still covers the range with shard sizes differing by at most one.
+func TestForShardUnevenSplit(t *testing.T) {
+	withWorkers(t, 4, func() {
+		n := 10 // 4 shards: 3+3+2+2
+		var mu sync.Mutex
+		sizes := map[int]int{}
+		covered := make([]int32, n)
+		ForShard(n, 1, func(shard, lo, hi int) {
+			mu.Lock()
+			sizes[shard] = hi - lo
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("element %d visited %d times", i, c)
+			}
+		}
+		for shard, size := range sizes {
+			if size != 2 && size != 3 {
+				t.Errorf("shard %d has size %d, want 2 or 3", shard, size)
+			}
+		}
+	})
+}
+
+func TestPanicPropagation(t *testing.T) {
+	withWorkers(t, 4, func() {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("worker panic not propagated")
+				}
+				if s, ok := r.(string); !ok || s != "kernel bug" {
+					t.Fatalf("propagated %v, want \"kernel bug\"", r)
+				}
+			}()
+			For(100, 1, func(lo, hi int) {
+				if lo <= 42 && 42 < hi {
+					panic("kernel bug")
+				}
+			})
+		}()
+
+		// The pool must stay usable after a panic.
+		total := int64(0)
+		For(100, 1, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
+		if total != 100 {
+			t.Fatalf("pool broken after panic: covered %d of 100", total)
+		}
+	})
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0) // reset to default
+	if got, want := Workers(), DefaultWorkers(); got != want {
+		t.Fatalf("Workers() = %d after reset, want %d", got, want)
+	}
+	SetWorkers(3)
+}
+
+// TestConcurrentCallers drives many simultaneous For calls — the
+// one-pool-many-evaluators shape of a parallel NAS run — under the race
+// detector.
+func TestConcurrentCallers(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for iter := 0; iter < 50; iter++ {
+					sum := int64(0)
+					For(257, 2, func(lo, hi int) { atomic.AddInt64(&sum, int64(hi-lo)) })
+					if sum != 257 {
+						t.Errorf("covered %d of 257", sum)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// TestNestedFor checks that a chunk body issuing its own For call cannot
+// deadlock (the handoff is non-blocking; unclaimed work runs inline).
+func TestNestedFor(t *testing.T) {
+	withWorkers(t, 4, func() {
+		total := int64(0)
+		For(16, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				For(16, 1, func(ilo, ihi int) { atomic.AddInt64(&total, int64(ihi-ilo)) })
+			}
+		})
+		if total != 16*16 {
+			t.Fatalf("nested coverage = %d, want %d", total, 16*16)
+		}
+	})
+}
+
+// TestPerShardScratchReduction exercises the lock-free gradient-partial
+// pattern the nn backward kernels rely on: each shard owns scratch, the
+// caller reduces after ForShard returns.
+func TestPerShardScratchReduction(t *testing.T) {
+	withWorkers(t, 4, func() {
+		n := 1000
+		s := Shards(n, 1)
+		scratch := make([]float64, s)
+		ForShard(n, 1, func(shard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				scratch[shard] += float64(i)
+			}
+		})
+		total := 0.0
+		for _, v := range scratch {
+			total += v
+		}
+		if want := float64(n*(n-1)) / 2; total != want {
+			t.Fatalf("reduced %v, want %v", total, want)
+		}
+	})
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(1024, 64, func(lo, hi int) {})
+	}
+}

@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"fmt"
+
+	"swtnas/internal/parallel"
+)
+
+// rowShardTarget is the approximate number of multiply-adds one shard of a
+// row-parallel kernel should amortize the handoff over. Rows cheaper than
+// this are grouped into larger chunks; very small problems stay serial.
+const rowShardTarget = 16384
+
+// minRowsFor returns the minimum rows per shard for a kernel whose per-row
+// cost is work multiply-adds.
+func minRowsFor(work int) int {
+	if work <= 0 {
+		return 1
+	}
+	mr := rowShardTarget / work
+	if mr < 1 {
+		mr = 1
+	}
+	return mr
+}
+
+// ForRows shards the row range [0, rows) of a batched kernel across the
+// process worker pool, grouping rows so each shard performs at least
+// rowShardTarget multiply-adds (rowWork = cost of one row). It is the
+// shared row-parallel primitive behind MatMulInto/MatMulTInto and the
+// batched losses in internal/nn.
+func ForRows(rows, rowWork int, fn func(lo, hi int)) {
+	parallel.For(rows, minRowsFor(rowWork), fn)
+}
+
+// MatMulInto computes dst = x·w for x [B, K], w [K, N], dst [B, N]. When
+// bias is non-nil it must have length N and initializes every output row;
+// otherwise rows start at zero. Rows of x are processed in parallel batch
+// shards; each output row is produced by exactly one shard with the same
+// arithmetic as the serial loop, so results are identical for any worker
+// count. Zero inputs skip their weight row (dense activations are sparse
+// after ReLU).
+func MatMulInto(dst, x, w *Tensor, bias []float64) error {
+	if len(x.Shape) != 2 || len(w.Shape) != 2 || len(dst.Shape) != 2 {
+		return fmt.Errorf("tensor: matmul wants rank-2 operands, got dst %s x %s w %s",
+			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
+	}
+	b, k := x.Shape[0], x.Shape[1]
+	n := w.Shape[1]
+	if w.Shape[0] != k || dst.Shape[0] != b || dst.Shape[1] != n {
+		return fmt.Errorf("tensor: matmul shape mismatch: dst %s = x %s · w %s",
+			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
+	}
+	if bias != nil && len(bias) != n {
+		return fmt.Errorf("tensor: matmul bias length %d, want %d", len(bias), n)
+	}
+	ForRows(b, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Data[i*k : (i+1)*k]
+			oi := dst.Data[i*n : (i+1)*n]
+			if bias != nil {
+				copy(oi, bias)
+			} else {
+				for j := range oi {
+					oi[j] = 0
+				}
+			}
+			for kk, xv := range xi {
+				if xv == 0 {
+					continue
+				}
+				wr := w.Data[kk*n : (kk+1)*n]
+				for j, wv := range wr {
+					oi[j] += xv * wv
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// MatMulTInto computes dst = x·wᵀ for x [B, N], w [K, N], dst [B, K] — the
+// input-gradient product of a dense layer (dIn = dOut·Wᵀ). Rows are
+// processed in parallel batch shards with serial-identical arithmetic.
+func MatMulTInto(dst, x, w *Tensor) error {
+	if len(x.Shape) != 2 || len(w.Shape) != 2 || len(dst.Shape) != 2 {
+		return fmt.Errorf("tensor: matmulT wants rank-2 operands, got dst %s x %s w %s",
+			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
+	}
+	b, n := x.Shape[0], x.Shape[1]
+	k := w.Shape[0]
+	if w.Shape[1] != n || dst.Shape[0] != b || dst.Shape[1] != k {
+		return fmt.Errorf("tensor: matmulT shape mismatch: dst %s = x %s · wᵀ %s",
+			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
+	}
+	ForRows(b, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Data[i*n : (i+1)*n]
+			oi := dst.Data[i*k : (i+1)*k]
+			for kk := 0; kk < k; kk++ {
+				wr := w.Data[kk*n : (kk+1)*n]
+				s := 0.0
+				for j, g := range xi {
+					s += g * wr[j]
+				}
+				oi[kk] = s
+			}
+		}
+	})
+	return nil
+}
+
+// MatMul returns x·w as a fresh [B, N] tensor (see MatMulInto).
+func MatMul(x, w *Tensor) (*Tensor, error) {
+	if len(x.Shape) != 2 || len(w.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: matmul wants rank-2 operands, got x %s w %s",
+			ShapeString(x.Shape), ShapeString(w.Shape))
+	}
+	dst := New(x.Shape[0], w.Shape[1])
+	if err := MatMulInto(dst, x, w, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

@@ -60,6 +60,13 @@ type SearchOptions struct {
 	Budget int
 	// Workers sizes the parallel evaluator pool (default 1).
 	Workers int
+	// KernelWorkers caps the intra-candidate compute-kernel parallelism
+	// (the process-wide worker pool the Conv/Dense kernels shard batches
+	// across). 0 keeps the current setting: the SWTNAS_WORKERS
+	// environment variable when set, GOMAXPROCS otherwise. When Workers
+	// evaluators run concurrently, KernelWorkers ≈ cores/Workers
+	// partitions the machine between them.
+	KernelWorkers int
 	// Seed drives the search; DataSeed the synthetic dataset (defaults
 	// to Seed).
 	Seed, DataSeed int64
@@ -158,13 +165,14 @@ func Search(opt SearchOptions) (*Result, error) {
 		store = checkpoint.NewMemStore()
 	}
 	tr, err := nas.Run(nas.Config{
-		App:      app,
-		Strategy: evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
-		Matcher:  matcher,
-		Store:    store,
-		Workers:  opt.Workers,
-		Budget:   opt.Budget,
-		Seed:     opt.Seed,
+		App:           app,
+		Strategy:      evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
+		Matcher:       matcher,
+		Store:         store,
+		Workers:       opt.Workers,
+		KernelWorkers: opt.KernelWorkers,
+		Budget:        opt.Budget,
+		Seed:          opt.Seed,
 	})
 	if err != nil {
 		return nil, err
