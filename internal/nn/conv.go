@@ -204,7 +204,7 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 		return []*tensor.Tensor{dIn}
 	}
 	pw, pb := c.scratch.grab(shards, len(dw), len(db))
-	parallel.ForShard(b, 1, func(shard, lo, hi int) {
+	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
 		c.backwardRange(x, dOut, dIn, pw[shard], pb[shard], lo, hi)
 	})
 	reduceInto(dw, pw, shards)
@@ -374,7 +374,7 @@ func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 		return []*tensor.Tensor{dIn}
 	}
 	pw, pb := c.scratch.grab(shards, len(dw), len(db))
-	parallel.ForShard(b, 1, func(shard, lo, hi int) {
+	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
 		c.backwardRange(x, dOut, dIn, pw[shard], pb[shard], lo, hi)
 	})
 	reduceInto(dw, pw, shards)

@@ -78,7 +78,7 @@ func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 		return []*tensor.Tensor{dIn}
 	}
 	pw, pb := d.scratch.grab(shards, len(dw), len(db))
-	parallel.ForShard(b, minRows, func(shard, lo, hi int) {
+	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
 		d.accumulateRange(x, dOut, pw[shard], pb[shard], lo, hi)
 	})
 	reduceInto(dw, pw, shards)

@@ -44,7 +44,7 @@ func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (floa
 	grad := tensor.New(b, k)
 	shards := parallel.Shards(b, lossMinRows(k))
 	partial := make([]float64, shards)
-	parallel.ForShard(b, lossMinRows(k), func(shard, lo, hi int) {
+	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
 		lossPart := 0.0
 		for i := lo; i < hi; i++ {
 			row := pred.Data[i*k : (i+1)*k]

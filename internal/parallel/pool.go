@@ -14,7 +14,9 @@
 //     minChunk) contiguous chunks, each at least minChunk elements, decided
 //     up front. ForShard exposes the chunk index so callers can keep
 //     per-shard scratch (e.g. weight-gradient partials) and reduce without
-//     locks.
+//     locks; ForShardN additionally pins the chunk count to a value the
+//     caller precomputed with Shards, so scratch sizing and the range split
+//     cannot disagree when SetWorkers runs concurrently.
 //   - Deadlock-free handoff: chunks are offered to idle workers with a
 //     non-blocking send; whatever no worker picks up immediately, the
 //     calling goroutine runs itself. Nested For calls and many concurrent
@@ -79,9 +81,9 @@ type task struct {
 var (
 	limit atomic.Int64 // current max shards per call
 
-	poolMu  sync.Mutex
-	running int       // worker goroutines started so far
-	tasks   chan task // never closed; workers live for the process
+	poolMu  sync.Mutex   // serializes pool growth
+	running atomic.Int64 // worker goroutines started so far; grows under poolMu
+	tasks   chan task    // never closed; workers live for the process
 )
 
 func init() {
@@ -137,18 +139,18 @@ func Shards(n, minChunk int) int {
 // ensureWorkers grows the pool so that up to n-1 chunks can run off the
 // calling goroutine.
 func ensureWorkers(n int) {
-	need := n - 1
-	if need <= running { // racy fast path; running only grows
+	need := int64(n - 1)
+	if need <= running.Load() { // fast path; running only grows
 		return
 	}
 	poolMu.Lock()
-	for running < need {
+	for running.Load() < need {
 		go func() {
 			for t := range tasks {
 				t.c.run(t.shard, t.lo, t.hi)
 			}
 		}()
-		running++
+		running.Add(1)
 	}
 	poolMu.Unlock()
 }
@@ -166,12 +168,28 @@ func For(n, minChunk int, fn func(lo, hi int)) {
 // shard in [0, Shards(n, minChunk)). Shard indices let callers accumulate
 // into per-shard scratch buffers and reduce after ForShard returns — the
 // lock-free pattern the backward kernels use for weight gradients.
+//
+// ForShard reads the worker limit exactly once. Callers that size scratch
+// from a prior Shards call must instead pass that count to ForShardN, so a
+// concurrent SetWorkers cannot make the split disagree with the scratch.
 func ForShard(n, minChunk int, fn func(shard, lo, hi int)) {
-	s := Shards(n, minChunk)
-	if s == 0 {
+	ForShardN(n, Shards(n, minChunk), fn)
+}
+
+// ForShardN is ForShard with the shard count fixed by the caller: the range
+// [0, n) is split into exactly s contiguous chunks (clamped to [1, n]),
+// regardless of the current worker limit. Callers compute s once via
+// Shards, size per-shard scratch from it, and pass the same value here —
+// shard indices are then guaranteed to stay below s even if SetWorkers runs
+// concurrently. s <= 0 with n > 0 runs serially; n <= 0 is a no-op.
+func ForShardN(n, s int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
 		return
 	}
-	if s == 1 {
+	if s > n {
+		s = n
+	}
+	if s <= 1 {
 		fn(0, 0, n) // serial fast path: no pool, no wait group
 		return
 	}

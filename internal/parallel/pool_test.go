@@ -220,6 +220,78 @@ func TestNestedFor(t *testing.T) {
 	})
 }
 
+// TestForShardNHonorsCallerCount checks that ForShardN splits into exactly
+// the shard count the caller computed, even after SetWorkers raises the
+// limit in between — the TOCTOU that would overflow per-shard scratch if
+// the split re-read the worker limit.
+func TestForShardNHonorsCallerCount(t *testing.T) {
+	withWorkers(t, 2, func() {
+		n := 100
+		s := Shards(n, 1) // 2
+		SetWorkers(16)    // concurrent SetWorkers between sizing and split
+		scratch := make([]int64, s)
+		maxShard := int32(-1)
+		ForShardN(n, s, func(shard, lo, hi int) {
+			if shard >= s {
+				t.Errorf("shard %d >= caller count %d", shard, s)
+				return
+			}
+			for m := atomic.LoadInt32(&maxShard); shard > int(m); m = atomic.LoadInt32(&maxShard) {
+				if atomic.CompareAndSwapInt32(&maxShard, m, int32(shard)) {
+					break
+				}
+			}
+			atomic.AddInt64(&scratch[shard], int64(hi-lo))
+		})
+		total := int64(0)
+		for _, v := range scratch {
+			total += v
+		}
+		if total != int64(n) {
+			t.Fatalf("covered %d of %d", total, n)
+		}
+		if int(maxShard) != s-1 {
+			t.Fatalf("max shard %d, want %d", maxShard, s-1)
+		}
+	})
+}
+
+func TestForShardNEdgeCases(t *testing.T) {
+	withWorkers(t, 4, func() {
+		// n <= 0: fn must never run.
+		ForShardN(0, 4, func(shard, lo, hi int) { t.Error("fn called for n=0") })
+		ForShardN(-3, 4, func(shard, lo, hi int) { t.Error("fn called for n<0") })
+
+		// s <= 0 with n > 0 runs serially.
+		calls := 0
+		ForShardN(5, 0, func(shard, lo, hi int) {
+			calls++
+			if shard != 0 || lo != 0 || hi != 5 {
+				t.Errorf("s=0 split: shard %d [%d,%d)", shard, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("s=0 ran %d chunks, want 1", calls)
+		}
+
+		// s > n clamps to n: every chunk has exactly one element.
+		covered := make([]int32, 3)
+		ForShardN(3, 10, func(shard, lo, hi int) {
+			if hi-lo != 1 || shard >= 3 {
+				t.Errorf("s>n split: shard %d [%d,%d)", shard, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("element %d visited %d times", i, c)
+			}
+		}
+	})
+}
+
 // TestPerShardScratchReduction exercises the lock-free gradient-partial
 // pattern the nn backward kernels rely on: each shard owns scratch, the
 // caller reduces after ForShard returns.
