@@ -676,22 +676,28 @@ func benchWithWorkers(b *testing.B, w int, fn func(b *testing.B)) {
 	})
 }
 
-// BenchmarkConv2DParallel trains the CIFAR-sized kernel shape: batch 64 of
-// 16x16x8 feature maps through a 3x3, 8->16 "same" convolution, forward
-// and backward.
+// BenchmarkConv2DParallel trains the CIFAR-sized kernel shape: 16x16x8
+// feature maps through a 3x3, 8->16 "same" convolution, forward and
+// backward, at batch 64 and — the case the im2col/GEMM lowering exists for —
+// batch 1, where the worker pool shards patch rows inside the single sample
+// instead of sitting idle.
 func BenchmarkConv2DParallel(b *testing.B) {
-	rng := rand.New(rand.NewSource(21))
-	c := nn.NewConv2D("cv", 3, 3, 8, 16, nn.Same, 0, rng)
-	if _, err := c.OutShape([][]int{{16, 16, 8}}); err != nil {
-		b.Fatal(err)
-	}
-	x := tensor.New(64, 16, 16, 8)
-	x.RandNormal(rng, 1)
-	for _, w := range benchWorkerCounts() {
-		benchWithWorkers(b, w, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				out := c.Forward([]*tensor.Tensor{x}, true)
-				c.Backward(out)
+	for _, batch := range []int{1, 64} {
+		rng := rand.New(rand.NewSource(21))
+		c := nn.NewConv2D("cv", 3, 3, 8, 16, nn.Same, 0, rng)
+		if _, err := c.OutShape([][]int{{16, 16, 8}}); err != nil {
+			b.Fatal(err)
+		}
+		x := tensor.New(batch, 16, 16, 8)
+		x.RandNormal(rng, 1)
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			for _, w := range benchWorkerCounts() {
+				benchWithWorkers(b, w, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						out := c.Forward([]*tensor.Tensor{x}, true)
+						c.Backward(out)
+					}
+				})
 			}
 		})
 	}

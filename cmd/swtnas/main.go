@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"swtnas"
@@ -39,19 +43,44 @@ func main() {
 		traceTo  = flag.String("trace", "", "write the search trace JSON to this file")
 		spaceF   = flag.String("space", "", "JSON search-space spec file (the -app then names only the dataset)")
 		describe = flag.Bool("describe", false, "print a layer summary of the best model")
+		progress = flag.Bool("progress", true, "print a line per completed candidate")
 	)
 	flag.Parse()
 
-	start := time.Now()
-	res, err := swtnas.Search(swtnas.SearchOptions{
+	// Ctrl-C / SIGTERM cancels the search between candidates: in-flight
+	// evaluations finish, the partial result is reported, and a second
+	// signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := swtnas.SearchOptions{
 		App: *app, Scheme: *scheme, Budget: *budget, Workers: *workers,
 		KernelWorkers: *kworkers,
 		Seed:          *seed, PopulationSize: *popN, SampleSize: *popS,
 		TrainN: *trainN, ValN: *valN, CheckpointDir: *ckptDir,
 		SpaceFile: *spaceF,
-	})
+	}
+	if *progress {
+		opt.Progress = func(c swtnas.Candidate) {
+			src := "scratch"
+			if c.TransferredLayers > 0 {
+				src = fmt.Sprintf("transfer(%d)<-%s", c.TransferredLayers, fmt.Sprintf("cand-%06d", c.ParentID))
+			}
+			fmt.Printf("cand %4d  score %.4f  params %7d  %-24s  %s\n",
+				c.ID, c.Score, c.Params, src, c.CompletedAt.Round(time.Millisecond))
+		}
+	}
+
+	start := time.Now()
+	res, err := swtnas.SearchContext(ctx, opt)
 	if err != nil {
-		log.Fatal(err)
+		if res == nil || !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		fmt.Printf("interrupted: %d of %d candidates completed\n", len(res.Candidates), *budget)
+		if len(res.Candidates) == 0 {
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("search %s/%s: %d candidates in %s\n", res.App, res.Scheme, len(res.Candidates), time.Since(start).Round(time.Millisecond))
 

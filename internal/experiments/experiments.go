@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -150,7 +151,7 @@ func (s *Suite) Campaign(appName, scheme string) (*Campaign, error) {
 	c := &Campaign{App: app, Scheme: scheme}
 	for rep := 0; rep < s.Cfg.Seeds; rep++ {
 		store := checkpoint.NewMemStore()
-		tr, err := nas.Run(nas.Config{
+		tr, err := nas.Run(context.Background(), nas.Config{
 			App:      app,
 			Strategy: evo.NewRegularizedEvolution(app.Space, s.Cfg.PopN, s.Cfg.PopS),
 			Matcher:  matcher,

@@ -1,6 +1,7 @@
 package nas
 
 import (
+	"context"
 	"testing"
 
 	"swtnas/internal/checkpoint"
@@ -14,7 +15,7 @@ import (
 func TestRunWithAsyncStore(t *testing.T) {
 	app := tinyApp(t, "nt3")
 	async := checkpoint.NewAsyncStore(checkpoint.NewMemStore(), 4)
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
 		Matcher:  core.LCS{},
@@ -60,7 +61,7 @@ func TestRunWithAsyncStore(t *testing.T) {
 // f32 round-tripping of provider weights must still accelerate children.
 func TestRunWithEncodedStore(t *testing.T) {
 	app := tinyApp(t, "nt3")
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
 		Matcher:  core.LP{},
@@ -83,7 +84,7 @@ func TestRunWithEncodedStore(t *testing.T) {
 func TestRunWithRLStrategy(t *testing.T) {
 	app := tinyApp(t, "uno")
 	rl := evo.NewReinforceSearch(app.Space, 0, 0)
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: evo.AugmentWithNearestProvider(rl, 16, 0),
 		Matcher:  core.LCS{},

@@ -1,6 +1,7 @@
 package nas
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func (badStrategy) Report(evo.Individual) {}
 
 func TestRunSurfacesBuildErrors(t *testing.T) {
 	app := tinyApp(t, "nt3")
-	if _, err := Run(Config{App: app, Strategy: badStrategy{}, Budget: 3, Workers: 2, Seed: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{App: app, Strategy: badStrategy{}, Budget: 3, Workers: 2, Seed: 1}); err == nil {
 		t.Fatal("invalid proposals must fail the run")
 	}
 }
@@ -40,7 +41,7 @@ func (phantomParentStrategy) Report(evo.Individual) {}
 
 func TestRunSurfacesMissingProvider(t *testing.T) {
 	app := tinyApp(t, "nt3")
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: phantomParentStrategy{space: app.Space},
 		Matcher:  core.LCS{},
@@ -68,7 +69,7 @@ func (s *failingStore) Save(id string, m *checkpoint.Model) (int64, error) {
 func TestRunSurfacesCheckpointFailures(t *testing.T) {
 	app := tinyApp(t, "nt3")
 	store := &failingStore{Store: checkpoint.NewMemStore(), failSave: true}
-	_, err := Run(Config{App: app, Store: store, Budget: 2, Seed: 1})
+	_, err := Run(context.Background(), Config{App: app, Store: store, Budget: 2, Seed: 1})
 	if err == nil {
 		t.Fatal("checkpoint save failure must fail the run")
 	}
@@ -87,7 +88,7 @@ func TestRunWithNearestProviderStrategy(t *testing.T) {
 	// The Section IX generalization: random search with nearest-provider
 	// selection must run end to end and transfer at least once.
 	app := tinyApp(t, "uno")
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: evo.NewNearestProviderSearch(app.Space, 16, 0),
 		Matcher:  core.LCS{},

@@ -7,6 +7,8 @@
 package nas
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -149,6 +151,12 @@ type Config struct {
 	Budget int
 	// Seed drives proposals and per-candidate seeds.
 	Seed int64
+	// Progress, when non-nil, is invoked from the scheduler goroutine for
+	// every completed candidate, in completion order, after the result has
+	// been recorded in the trace (CompletedAt is already set). It must not
+	// call back into the search; a slow callback delays issuing the next
+	// candidate but never corrupts the run.
+	Progress func(Result)
 }
 
 // SchemeName renders the scheme label used across the evaluation.
@@ -159,11 +167,17 @@ func SchemeName(m core.Matcher) string {
 	return m.Name()
 }
 
-// Run executes a full candidate-estimation phase and returns its trace.
+// Run executes a candidate-estimation phase and returns its trace.
 // Evaluation errors abort the run: every architecture in the shipped spaces
 // is buildable, so an error indicates a real defect rather than a bad
 // candidate.
-func Run(cfg Config) (*trace.Trace, error) {
+//
+// Cancelling ctx stops the search between candidates: evaluations already
+// in flight finish (a candidate is never abandoned mid-training), queued
+// tasks are skipped, and Run returns the partial trace of every candidate
+// completed so far together with ctx.Err(). All evaluator goroutines have
+// stopped evaluating by the time Run returns.
+func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	if cfg.App == nil {
 		return nil, fmt.Errorf("nas: config needs an App")
 	}
@@ -195,6 +209,13 @@ func Run(cfg Config) (*trace.Trace, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for t := range tasks {
+				// Check between candidates: a cancelled context turns
+				// every still-queued task into a sentinel result so the
+				// scheduler's outstanding count drains exactly.
+				if err := ctx.Err(); err != nil {
+					results <- Result{ID: t.ID, Arch: t.Arch, ParentID: t.ParentID, Err: err}
+					continue
+				}
 				results <- eval.Evaluate(t)
 			}
 		}()
@@ -219,9 +240,17 @@ func Run(cfg Config) (*trace.Trace, error) {
 	for i := 0; i < workers; i++ {
 		issue()
 	}
-	for completed := 0; completed < cfg.Budget; completed++ {
+	// The scheduler loop drains every issued task: outstanding results are
+	// bounded by the worker count (one new task per completed result), so
+	// the buffered channels never block and no evaluator goroutine is left
+	// holding a result when Run returns.
+	for completed := 0; completed < issued; {
 		res := <-results
+		completed++
 		if res.Err != nil {
+			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+				continue // queued task skipped after cancellation; keep draining
+			}
 			return nil, res.Err
 		}
 		res.CompletedAt = time.Since(start)
@@ -238,9 +267,15 @@ func Run(cfg Config) (*trace.Trace, error) {
 			CheckpointBytes: res.CheckpointBytes,
 			CompletedAt:     res.CompletedAt,
 		})
-		if issued < cfg.Budget {
+		if cfg.Progress != nil {
+			cfg.Progress(res)
+		}
+		if ctx.Err() == nil && issued < cfg.Budget {
 			issue()
 		}
+	}
+	if err := ctx.Err(); err != nil && len(tr.Records) < cfg.Budget {
+		return tr, err
 	}
 	return tr, nil
 }

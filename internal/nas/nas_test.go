@@ -1,6 +1,7 @@
 package nas
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -83,17 +84,17 @@ func TestEvaluatorMissingParentFails(t *testing.T) {
 
 func TestRunValidatesConfig(t *testing.T) {
 	app := tinyApp(t, "nt3")
-	if _, err := Run(Config{App: nil, Budget: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{App: nil, Budget: 1}); err == nil {
 		t.Fatal("nil app must error")
 	}
-	if _, err := Run(Config{App: app, Budget: 0}); err == nil {
+	if _, err := Run(context.Background(), Config{App: app, Budget: 0}); err == nil {
 		t.Fatal("zero budget must error")
 	}
 }
 
 func TestRunBaselineSearch(t *testing.T) {
 	app := tinyApp(t, "nt3")
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
 		Budget:   10,
@@ -128,7 +129,7 @@ func TestRunBaselineSearch(t *testing.T) {
 
 func TestRunLCSSearchTransfers(t *testing.T) {
 	app := tinyApp(t, "nt3")
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		App:      app,
 		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
 		Matcher:  core.LCS{},
@@ -165,7 +166,7 @@ func TestRunLCSSearchTransfers(t *testing.T) {
 func TestRunSingleWorkerDeterministic(t *testing.T) {
 	app := tinyApp(t, "nt3")
 	run := func() []float64 {
-		tr, err := Run(Config{
+		tr, err := Run(context.Background(), Config{
 			App:      app,
 			Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
 			Matcher:  core.LP{},

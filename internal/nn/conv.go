@@ -8,34 +8,22 @@ import (
 	"swtnas/internal/tensor"
 )
 
-// gradScratch holds per-shard weight/bias gradient partials for a parallel
-// backward pass. Each shard accumulates into its own buffers; the caller
-// reduces them into the layer gradients after the pool call returns, so no
-// locks are needed. Buffers are cached on the layer (layers are
-// caller-serialized, see the package doc) and grown on demand.
-type gradScratch struct {
-	w, b [][]float64
-}
-
-// grab returns zeroed per-shard buffers for shards shards of the given
-// weight/bias gradient lengths.
-func (s *gradScratch) grab(shards, wLen, bLen int) (w, b [][]float64) {
-	for len(s.w) < shards {
-		s.w = append(s.w, make([]float64, wLen))
-		s.b = append(s.b, make([]float64, bLen))
-	}
-	for i := 0; i < shards; i++ {
-		if len(s.w[i]) < wLen {
-			s.w[i] = make([]float64, wLen)
-		}
-		if len(s.b[i]) < bLen {
-			s.b[i] = make([]float64, bLen)
-		}
-		zero(s.w[i][:wLen])
-		zero(s.b[i][:bLen])
-	}
-	return s.w, s.b
-}
+// The convolution layers lower to im2col + GEMM: the forward pass gathers
+// every input patch into a [rows, KH*KW*InC] buffer (one row per output
+// position, batch-major) and multiplies it by the [KH*KW*InC, OutC] weight
+// matrix with the blocked tensor.Gemm kernel. Backward reuses the same
+// kernel family: dW += patchesᵀ·dOut (tensor.GemmAT on the forward patch
+// buffer) and dPatches = dOut·Wᵀ (tensor.GemmBT) followed by a col2im
+// scatter back onto the input gradient. One cache-tiled kernel therefore
+// serves conv and dense alike, and because the GEMM parallelizes over patch
+// rows — not samples — a batch of 1 still uses every core.
+//
+// Determinism: patch rows store their (ky, kx, ci) taps in ascending order,
+// the GEMM reduction runs in ascending tile order, and col2im scatters
+// per-sample in (oy, ox, ky, kx, ci) order, so outputs AND gradients are
+// bit-identical to the pre-GEMM direct kernels at workers=1 and identical
+// across worker counts (the direct loops survive as a test-only reference
+// in convdirect_test.go).
 
 func zero(p []float64) {
 	for i := range p {
@@ -43,14 +31,15 @@ func zero(p []float64) {
 	}
 }
 
-// reduceInto adds shards per-shard partials into dst in shard order, so the
-// reduction is deterministic for a fixed worker count.
-func reduceInto(dst []float64, parts [][]float64, shards int) {
-	for i := 0; i < shards; i++ {
-		for j, v := range parts[i][:len(dst)] {
-			dst[j] += v
-		}
+// growScratch returns a length-n slice backed by s when it has the
+// capacity, or a fresh allocation otherwise. The im2col/col2im buffers are
+// cached on the layer between steps (layers are caller-serialized, see the
+// package doc), so steady-state training performs no per-batch allocation.
+func growScratch(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	return s[:n]
 }
 
 // Padding selects the convolution border mode, mirroring Keras "valid"/"same".
@@ -88,7 +77,11 @@ type Conv2D struct {
 	lastIn     *tensor.Tensor
 	inH, inW   int
 	outH, outW int
-	scratch    gradScratch
+	// cols holds the forward im2col patches ([B*outH*outW, KH*KW*InC]);
+	// Backward reads it for the weight gradient. dcols holds the backward
+	// patch gradients before the col2im scatter. Both are grown on demand
+	// and reused across steps.
+	cols, dcols []float64
 }
 
 // NewConv2D creates a conv layer with He-normal weights (ReLU-friendly).
@@ -137,126 +130,133 @@ func (c *Conv2D) padOffsets() (int, int) {
 	return 0, 0
 }
 
-// Forward computes the convolution with the batch dimension sharded across
-// the worker pool. Each sample's output is produced by exactly one shard
-// with serial arithmetic, so results are identical for any worker count.
+// kdim is the patch width of the im2col buffer: one row per output position
+// holds every (ky, kx, ci) tap.
+func (c *Conv2D) kdim() int { return c.KH * c.KW * c.InC }
+
+// Forward lowers the input to im2col patches and runs one blocked GEMM
+// against the weight matrix. Patch rows — not samples — are the unit of
+// parallelism, so a batch of 1 still shards across the worker pool.
 func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	c.lastIn = x
 	b := x.Shape[0]
 	out := tensor.New(b, c.outH, c.outW, c.OutC)
-	parallel.For(b, 1, func(lo, hi int) { c.forwardRange(x, out, lo, hi) })
+	rows := b * c.outH * c.outW
+	c.cols = growScratch(c.cols, rows*c.kdim())
+	c.im2col(x, c.cols)
+	tensor.Gemm(out.Data, c.cols, c.W.W.Data, rows, c.kdim(), c.OutC, c.B.W.Data)
 	return out
 }
 
-// forwardRange computes output samples [lo, hi).
-func (c *Conv2D) forwardRange(x, out *tensor.Tensor, lo, hi int) {
+// im2col writes one patch row per (sample, oy, ox) output position into
+// cols, taps in (ky, kx, ci) order with zeros outside the border. Work is
+// sharded over (sample, oy) strips; each strip is written by exactly one
+// shard.
+func (c *Conv2D) im2col(x *tensor.Tensor, cols []float64) {
 	padH, padW := c.padOffsets()
-	w, bias := c.W.W.Data, c.B.W.Data
 	inRow := c.inW * c.InC
-	outRow := c.outW * c.OutC
-	for bi := lo; bi < hi; bi++ {
-		xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
-		ob := out.Data[bi*c.outH*outRow : (bi+1)*c.outH*outRow]
-		for oy := 0; oy < c.outH; oy++ {
+	strip := c.outW * c.kdim()
+	tensor.ForRows(x.Shape[0]*c.outH, strip, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			bi, oy := s/c.outH, s%c.outH
+			xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
+			row := cols[s*strip : (s+1)*strip]
+			pos := 0
 			for ox := 0; ox < c.outW; ox++ {
-				oslice := ob[oy*outRow+ox*c.OutC : oy*outRow+ox*c.OutC+c.OutC]
-				copy(oslice, bias)
 				for ky := 0; ky < c.KH; ky++ {
+					seg := row[pos : pos+c.KW*c.InC]
+					pos += c.KW * c.InC
 					y := oy + ky - padH
 					if y < 0 || y >= c.inH {
+						zero(seg)
 						continue
 					}
-					for kx := 0; kx < c.KW; kx++ {
-						xp := ox + kx - padW
-						if xp < 0 || xp >= c.inW {
-							continue
-						}
-						xs := xb[y*inRow+xp*c.InC : y*inRow+xp*c.InC+c.InC]
-						wbase := ((ky*c.KW + kx) * c.InC) * c.OutC
-						for ci, xv := range xs {
-							if xv == 0 {
-								continue
-							}
-							wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
-							for f, wv := range wr {
-								oslice[f] += xv * wv
-							}
-						}
+					// Clamp the kx taps to the valid input columns; the
+					// in-range span is one contiguous copy.
+					kx0, kx1 := padW-ox, c.inW+padW-ox
+					if kx0 < 0 {
+						kx0 = 0
 					}
+					if kx1 > c.KW {
+						kx1 = c.KW
+					}
+					if kx0 >= kx1 {
+						zero(seg)
+						continue
+					}
+					zero(seg[:kx0*c.InC])
+					src := (y*c.inW + ox + kx0 - padW) * c.InC
+					copy(seg[kx0*c.InC:kx1*c.InC], xb[src:src+(kx1-kx0)*c.InC])
+					zero(seg[kx1*c.InC:])
 				}
 			}
 		}
-	}
+	})
 }
 
-// Backward computes gradients with batch shards. Input gradients are
-// per-sample (disjoint writes); weight and bias gradients are accumulated
-// into per-shard scratch and reduced lock-free after the pool call.
+// Backward computes all three gradients through the GEMM kernels: the bias
+// gradient is a serial column sum of dOut (cheap and order-stable), the
+// weight gradient is patchesᵀ·dOut on the forward im2col buffer, and the
+// input gradient is dOut·Wᵀ scattered back through col2im.
 func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := c.lastIn
 	b := x.Shape[0]
+	rows := b * c.outH * c.outW
+	kdim := c.kdim()
 	dIn := tensor.New(x.Shape...)
-	dw, db := c.W.Grad.Data, c.B.Grad.Data
-	shards := parallel.Shards(b, 1)
-	if shards <= 1 {
-		c.backwardRange(x, dOut, dIn, dw, db, 0, b)
-		return []*tensor.Tensor{dIn}
+	db := c.B.Grad.Data
+	for i := 0; i < rows; i++ {
+		for f, g := range dOut.Data[i*c.OutC : (i+1)*c.OutC] {
+			db[f] += g
+		}
 	}
-	pw, pb := c.scratch.grab(shards, len(dw), len(db))
-	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
-		c.backwardRange(x, dOut, dIn, pw[shard], pb[shard], lo, hi)
-	})
-	reduceInto(dw, pw, shards)
-	reduceInto(db, pb, shards)
+	tensor.GemmAT(c.W.Grad.Data, c.cols, dOut.Data, rows, kdim, c.OutC)
+	c.dcols = growScratch(c.dcols, rows*kdim)
+	tensor.GemmBT(c.dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
+	c.col2im(c.dcols, dIn)
 	return []*tensor.Tensor{dIn}
 }
 
-// backwardRange processes samples [lo, hi), accumulating weight/bias
-// gradients into dw/db and writing input gradients for those samples.
-func (c *Conv2D) backwardRange(x, dOut, dIn *tensor.Tensor, dw, db []float64, lo, hi int) {
+// col2im accumulates the patch gradients back onto the input positions they
+// were gathered from. Samples are disjoint, so the batch dimension shards
+// across the pool; within one sample the scatter runs serially in
+// (oy, ox, ky, kx, ci) order, keeping input gradients bit-identical for any
+// worker count.
+func (c *Conv2D) col2im(dcols []float64, dIn *tensor.Tensor) {
 	padH, padW := c.padOffsets()
-	w := c.W.W.Data
 	inRow := c.inW * c.InC
-	outRow := c.outW * c.OutC
-	for bi := lo; bi < hi; bi++ {
-		xb := x.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
-		dxb := dIn.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
-		gb := dOut.Data[bi*c.outH*outRow : (bi+1)*c.outH*outRow]
-		for oy := 0; oy < c.outH; oy++ {
-			for ox := 0; ox < c.outW; ox++ {
-				gslice := gb[oy*outRow+ox*c.OutC : oy*outRow+ox*c.OutC+c.OutC]
-				for f, g := range gslice {
-					db[f] += g
-				}
-				for ky := 0; ky < c.KH; ky++ {
-					y := oy + ky - padH
-					if y < 0 || y >= c.inH {
-						continue
-					}
-					for kx := 0; kx < c.KW; kx++ {
-						xp := ox + kx - padW
-						if xp < 0 || xp >= c.inW {
+	kdim := c.kdim()
+	perSample := c.outH * c.outW * kdim
+	parallel.For(dIn.Shape[0], 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			dxb := dIn.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
+			cols := dcols[bi*perSample : (bi+1)*perSample]
+			pos := 0
+			for oy := 0; oy < c.outH; oy++ {
+				for ox := 0; ox < c.outW; ox++ {
+					for ky := 0; ky < c.KH; ky++ {
+						seg := cols[pos : pos+c.KW*c.InC]
+						pos += c.KW * c.InC
+						y := oy + ky - padH
+						if y < 0 || y >= c.inH {
 							continue
 						}
-						base := y*inRow + xp*c.InC
-						wbase := ((ky*c.KW + kx) * c.InC) * c.OutC
-						for ci := 0; ci < c.InC; ci++ {
-							xv := xb[base+ci]
-							wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
-							dwr := dw[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
-							s := 0.0
-							for f, g := range gslice {
-								dwr[f] += xv * g
-								s += g * wr[f]
+						for kx := 0; kx < c.KW; kx++ {
+							xp := ox + kx - padW
+							if xp < 0 || xp >= c.inW {
+								continue
 							}
-							dxb[base+ci] += s
+							d := dxb[y*inRow+xp*c.InC : y*inRow+(xp+1)*c.InC]
+							for ci, v := range seg[kx*c.InC : (kx+1)*c.InC] {
+								d[ci] += v
+							}
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 }
 
 // Conv1D is a stride-1 1-D convolution over [B, L, C] inputs with weights
@@ -271,7 +271,9 @@ type Conv1D struct {
 	W, B      *Param
 	lastIn    *tensor.Tensor
 	inL, outL int
-	scratch   gradScratch
+	// cols/dcols are the im2col and col2im scratch buffers, exactly as on
+	// Conv2D.
+	cols, dcols []float64
 }
 
 // NewConv1D creates a 1-D conv layer with He-normal weights.
@@ -319,101 +321,94 @@ func (c *Conv1D) padOffset() int {
 	return 0
 }
 
-// Forward computes the convolution with the batch dimension sharded across
-// the worker pool (serial-identical per sample, like Conv2D.Forward).
+func (c *Conv1D) kdim() int { return c.K * c.InC }
+
+// Forward lowers to im2col patches and one blocked GEMM, parallel over
+// patch rows (intra-sample, like Conv2D.Forward).
 func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	c.lastIn = x
 	b := x.Shape[0]
 	out := tensor.New(b, c.outL, c.OutC)
-	parallel.For(b, 1, func(lo, hi int) { c.forwardRange(x, out, lo, hi) })
+	rows := b * c.outL
+	c.cols = growScratch(c.cols, rows*c.kdim())
+	c.im2col(x, c.cols)
+	tensor.Gemm(out.Data, c.cols, c.W.W.Data, rows, c.kdim(), c.OutC, c.B.W.Data)
 	return out
 }
 
-// forwardRange computes output samples [lo, hi).
-func (c *Conv1D) forwardRange(x, out *tensor.Tensor, lo, hi int) {
+// im2col writes one patch row per (sample, ol) position, taps in (k, ci)
+// order; the in-range tap span is a single contiguous copy.
+func (c *Conv1D) im2col(x *tensor.Tensor, cols []float64) {
 	pad := c.padOffset()
-	w, bias := c.W.W.Data, c.B.W.Data
-	for bi := lo; bi < hi; bi++ {
-		xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
-		ob := out.Data[bi*c.outL*c.OutC : (bi+1)*c.outL*c.OutC]
-		for ol := 0; ol < c.outL; ol++ {
-			oslice := ob[ol*c.OutC : (ol+1)*c.OutC]
-			copy(oslice, bias)
-			for k := 0; k < c.K; k++ {
-				p := ol + k - pad
-				if p < 0 || p >= c.inL {
-					continue
-				}
-				xs := xb[p*c.InC : (p+1)*c.InC]
-				wbase := k * c.InC * c.OutC
-				for ci, xv := range xs {
-					if xv == 0 {
-						continue
-					}
-					wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
-					for f, wv := range wr {
-						oslice[f] += xv * wv
-					}
-				}
+	kdim := c.kdim()
+	tensor.ForRows(x.Shape[0]*c.outL, kdim, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			bi, ol := s/c.outL, s%c.outL
+			xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
+			row := cols[s*kdim : (s+1)*kdim]
+			k0, k1 := pad-ol, c.inL+pad-ol
+			if k0 < 0 {
+				k0 = 0
 			}
+			if k1 > c.K {
+				k1 = c.K
+			}
+			if k0 >= k1 {
+				zero(row)
+				continue
+			}
+			zero(row[:k0*c.InC])
+			src := (ol + k0 - pad) * c.InC
+			copy(row[k0*c.InC:k1*c.InC], xb[src:src+(k1-k0)*c.InC])
+			zero(row[k1*c.InC:])
 		}
-	}
+	})
 }
 
-// Backward computes gradients with batch shards and per-shard weight/bias
-// partials, exactly like Conv2D.Backward.
+// Backward mirrors Conv2D.Backward: serial bias sum, patchesᵀ·dOut weight
+// gradient, dOut·Wᵀ patch gradients scattered through col2im.
 func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := c.lastIn
 	b := x.Shape[0]
+	rows := b * c.outL
+	kdim := c.kdim()
 	dIn := tensor.New(x.Shape...)
-	dw, db := c.W.Grad.Data, c.B.Grad.Data
-	shards := parallel.Shards(b, 1)
-	if shards <= 1 {
-		c.backwardRange(x, dOut, dIn, dw, db, 0, b)
-		return []*tensor.Tensor{dIn}
+	db := c.B.Grad.Data
+	for i := 0; i < rows; i++ {
+		for f, g := range dOut.Data[i*c.OutC : (i+1)*c.OutC] {
+			db[f] += g
+		}
 	}
-	pw, pb := c.scratch.grab(shards, len(dw), len(db))
-	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
-		c.backwardRange(x, dOut, dIn, pw[shard], pb[shard], lo, hi)
-	})
-	reduceInto(dw, pw, shards)
-	reduceInto(db, pb, shards)
+	tensor.GemmAT(c.W.Grad.Data, c.cols, dOut.Data, rows, kdim, c.OutC)
+	c.dcols = growScratch(c.dcols, rows*kdim)
+	tensor.GemmBT(c.dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
+	c.col2im(c.dcols, dIn)
 	return []*tensor.Tensor{dIn}
 }
 
-// backwardRange processes samples [lo, hi).
-func (c *Conv1D) backwardRange(x, dOut, dIn *tensor.Tensor, dw, db []float64, lo, hi int) {
+// col2im scatters patch gradients back per sample in (ol, k, ci) order.
+func (c *Conv1D) col2im(dcols []float64, dIn *tensor.Tensor) {
 	pad := c.padOffset()
-	w := c.W.W.Data
-	for bi := lo; bi < hi; bi++ {
-		xb := x.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
-		dxb := dIn.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
-		gb := dOut.Data[bi*c.outL*c.OutC : (bi+1)*c.outL*c.OutC]
-		for ol := 0; ol < c.outL; ol++ {
-			gslice := gb[ol*c.OutC : (ol+1)*c.OutC]
-			for f, g := range gslice {
-				db[f] += g
-			}
-			for k := 0; k < c.K; k++ {
-				p := ol + k - pad
-				if p < 0 || p >= c.inL {
-					continue
-				}
-				base := p * c.InC
-				wbase := k * c.InC * c.OutC
-				for ci := 0; ci < c.InC; ci++ {
-					xv := xb[base+ci]
-					wr := w[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
-					dwr := dw[wbase+ci*c.OutC : wbase+(ci+1)*c.OutC]
-					s := 0.0
-					for f, g := range gslice {
-						dwr[f] += xv * g
-						s += g * wr[f]
+	kdim := c.kdim()
+	perSample := c.outL * kdim
+	parallel.For(dIn.Shape[0], 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			dxb := dIn.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
+			cols := dcols[bi*perSample : (bi+1)*perSample]
+			for ol := 0; ol < c.outL; ol++ {
+				row := cols[ol*kdim : (ol+1)*kdim]
+				for k := 0; k < c.K; k++ {
+					p := ol + k - pad
+					if p < 0 || p >= c.inL {
+						continue
 					}
-					dxb[base+ci] += s
+					d := dxb[p*c.InC : (p+1)*c.InC]
+					for ci, v := range row[k*c.InC : (k+1)*c.InC] {
+						d[ci] += v
+					}
 				}
 			}
 		}
-	}
+	})
 }

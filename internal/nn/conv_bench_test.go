@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"swtnas/internal/parallel"
+	"swtnas/internal/tensor"
+)
+
+// BenchmarkConv2DIm2col compares the im2col/GEMM Conv2D forward against the
+// direct-loop reference (convdirect_test.go) at batch 1 and batch 32, with
+// the full worker pool. The batch-1 rows are the point of the rewrite: the
+// direct kernel shards samples and therefore runs serial at batch 1, while
+// the GEMM path shards patch rows and uses every core. CI runs this with
+// -benchtime 1x as a smoke test.
+func BenchmarkConv2DIm2col(b *testing.B) {
+	prev := parallel.SetWorkers(runtime.NumCPU())
+	defer parallel.SetWorkers(prev)
+	for _, batch := range []int{1, 32} {
+		rng := rand.New(rand.NewSource(51))
+		c := NewConv2D("cv", 3, 3, 8, 16, Same, 0, rng)
+		if _, err := c.OutShape([][]int{{16, 16, 8}}); err != nil {
+			b.Fatal(err)
+		}
+		x := tensor.New(batch, 16, 16, 8)
+		x.RandNormal(rng, 1)
+		b.Run(fmt.Sprintf("impl=im2col/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Forward([]*tensor.Tensor{x}, true)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=direct/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				directConv2DForward(c, x)
+			}
+		})
+	}
+}
+
+// BenchmarkConv1DIm2col is the NT3-shaped 1-D analogue.
+func BenchmarkConv1DIm2col(b *testing.B) {
+	prev := parallel.SetWorkers(runtime.NumCPU())
+	defer parallel.SetWorkers(prev)
+	for _, batch := range []int{1, 32} {
+		rng := rand.New(rand.NewSource(52))
+		c := NewConv1D("cv", 5, 1, 20, Same, 0, rng)
+		if _, err := c.OutShape([][]int{{256, 1}}); err != nil {
+			b.Fatal(err)
+		}
+		x := tensor.New(batch, 256, 1)
+		x.RandNormal(rng, 1)
+		b.Run(fmt.Sprintf("impl=im2col/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Forward([]*tensor.Tensor{x}, true)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=direct/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				directConv1DForward(c, x)
+			}
+		})
+	}
+}

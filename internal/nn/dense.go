@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 
-	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -15,7 +14,6 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 	lastIn  *tensor.Tensor
-	scratch gradScratch
 }
 
 // NewDense creates a dense layer with Glorot-uniform weights.
@@ -56,8 +54,11 @@ func (d *Dense) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-// Backward computes dIn = dOut·Wᵀ row-parallel, and accumulates dW += Xᵀ·dOut
-// and dB += Σ dOut with per-shard partials reduced lock-free.
+// Backward computes dIn = dOut·Wᵀ row-parallel (GemmBT via MatMulTInto),
+// accumulates dW += Xᵀ·dOut with the blocked GemmAT kernel — the same
+// primitive the im2col convolutions use — and dB += Σ dOut serially. Each
+// dW row is produced by exactly one shard summing samples in ascending
+// order, so weight gradients are bit-identical for any worker count.
 func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := d.lastIn
 	b := x.Shape[0]
@@ -65,50 +66,14 @@ func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	if err := tensor.MatMulTInto(dIn, dOut, d.W.W); err != nil {
 		panic(err)
 	}
-	dw, db := d.W.Grad.Data, d.B.Grad.Data
-	// Shard the weight-gradient accumulation like the matmul rows so the
-	// scratch memory scales with real parallelism.
-	minRows := 1
-	if work := d.In * d.Out; work > 0 && work < denseShardTarget {
-		minRows = denseShardTarget / work
-	}
-	shards := parallel.Shards(b, minRows)
-	if shards <= 1 {
-		d.accumulateRange(x, dOut, dw, db, 0, b)
-		return []*tensor.Tensor{dIn}
-	}
-	pw, pb := d.scratch.grab(shards, len(dw), len(db))
-	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
-		d.accumulateRange(x, dOut, pw[shard], pb[shard], lo, hi)
-	})
-	reduceInto(dw, pw, shards)
-	reduceInto(db, pb, shards)
-	return []*tensor.Tensor{dIn}
-}
-
-// denseShardTarget is the minimum multiply-adds one backward shard should
-// amortize its scratch buffers and pool handoff over.
-const denseShardTarget = 16384
-
-// accumulateRange adds the weight/bias gradient contributions of samples
-// [lo, hi) into dw/db.
-func (d *Dense) accumulateRange(x, dOut *tensor.Tensor, dw, db []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		xi := x.Data[i*d.In : (i+1)*d.In]
-		doi := dOut.Data[i*d.Out : (i+1)*d.Out]
-		for j, g := range doi {
+	db := d.B.Grad.Data
+	for i := 0; i < b; i++ {
+		for j, g := range dOut.Data[i*d.Out : (i+1)*d.Out] {
 			db[j] += g
 		}
-		for k, xv := range xi {
-			if xv == 0 {
-				continue
-			}
-			dwr := dw[k*d.Out : (k+1)*d.Out]
-			for j, g := range doi {
-				dwr[j] += xv * g
-			}
-		}
 	}
+	tensor.GemmAT(d.W.Grad.Data, x.Data, dOut.Data, b, d.In, d.Out)
+	return []*tensor.Tensor{dIn}
 }
 
 // Identity passes its input through unchanged. It is the "skip" choice many

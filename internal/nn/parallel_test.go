@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,6 +20,25 @@ func runConv2D(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, 
 		t.Fatal(err)
 	}
 	x := tensor.New(b, 9, 9, 4)
+	x.RandNormal(rng, 1)
+	out := c.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	dIn := c.Backward(g)[0]
+	return out, dIn, c.W.Grad.Data, c.B.Grad.Data
+}
+
+// runConv2DWide is runConv2D with 32 input channels, so the im2col patch
+// width (3*3*32 = 288) crosses the GEMM k-block boundary and the tiled
+// reduction path is exercised, not just a single tile.
+func runConv2DWide(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(19))
+	c := NewConv2D("cv", 3, 3, 32, 6, Same, 0, rng)
+	if _, err := c.OutShape([][]int{{6, 6, 32}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(b, 6, 6, 32)
 	x.RandNormal(rng, 1)
 	out := c.Forward([]*tensor.Tensor{x}, true)
 	g := tensor.New(out.Shape...)
@@ -70,43 +90,49 @@ func maxAbsDiff(a, b []float64) float64 {
 
 // TestParallelKernelsMatchSerial asserts the determinism contract of the
 // parallel kernels: with any worker count, outputs and input gradients are
-// bit-identical to the serial (workers=1) run, and weight/bias gradients —
-// whose summation order changes with the shard count — agree within 1e-12.
+// bit-identical to the serial (workers=1) run, and weight/bias gradients
+// agree within 1e-12. (The im2col/GEMM kernels fix the reduction order, so
+// in practice the whole comparison is bit-identical; the 1e-12 bound is the
+// documented contract.) Batch 1 matters since the GEMM path parallelizes
+// patch rows within a sample — the serial-vs-parallel agreement must hold
+// even when there is only one sample to shard.
 func TestParallelKernelsMatchSerial(t *testing.T) {
 	kernels := []struct {
 		name string
 		run  func(t *testing.T, b int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64)
 	}{
 		{"Conv2D", runConv2D},
+		{"Conv2DWide", runConv2DWide},
 		{"Conv1D", runConv1D},
 		{"Dense", runDense},
 	}
-	const batch = 37 // odd so shards are uneven
 	prev := parallel.SetWorkers(1)
 	defer parallel.SetWorkers(prev)
 	for _, k := range kernels {
-		t.Run(k.name, func(t *testing.T) {
-			parallel.SetWorkers(1)
-			out0, dIn0, dw0, db0 := k.run(t, batch)
-			dw0 = append([]float64(nil), dw0...)
-			db0 = append([]float64(nil), db0...)
-			for _, workers := range []int{2, 4, 7} {
-				parallel.SetWorkers(workers)
-				out, dIn, dw, db := k.run(t, batch)
-				if d := maxAbsDiff(out.Data, out0.Data); d != 0 {
-					t.Errorf("workers=%d: forward differs from serial by %g (must be bit-identical)", workers, d)
+		for _, batch := range []int{1, 37} { // 37 is odd so shards are uneven
+			t.Run(fmt.Sprintf("%s/batch=%d", k.name, batch), func(t *testing.T) {
+				parallel.SetWorkers(1)
+				out0, dIn0, dw0, db0 := k.run(t, batch)
+				dw0 = append([]float64(nil), dw0...)
+				db0 = append([]float64(nil), db0...)
+				for _, workers := range []int{2, 4, 7} {
+					parallel.SetWorkers(workers)
+					out, dIn, dw, db := k.run(t, batch)
+					if d := maxAbsDiff(out.Data, out0.Data); d != 0 {
+						t.Errorf("workers=%d: forward differs from serial by %g (must be bit-identical)", workers, d)
+					}
+					if d := maxAbsDiff(dIn.Data, dIn0.Data); d != 0 {
+						t.Errorf("workers=%d: input gradient differs from serial by %g (must be bit-identical)", workers, d)
+					}
+					if d := maxAbsDiff(dw, dw0); d > 1e-12 {
+						t.Errorf("workers=%d: weight gradient differs from serial by %g > 1e-12", workers, d)
+					}
+					if d := maxAbsDiff(db, db0); d > 1e-12 {
+						t.Errorf("workers=%d: bias gradient differs from serial by %g > 1e-12", workers, d)
+					}
 				}
-				if d := maxAbsDiff(dIn.Data, dIn0.Data); d != 0 {
-					t.Errorf("workers=%d: input gradient differs from serial by %g (must be bit-identical)", workers, d)
-				}
-				if d := maxAbsDiff(dw, dw0); d > 1e-12 {
-					t.Errorf("workers=%d: weight gradient differs from serial by %g > 1e-12", workers, d)
-				}
-				if d := maxAbsDiff(db, db0); d > 1e-12 {
-					t.Errorf("workers=%d: bias gradient differs from serial by %g > 1e-12", workers, d)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -164,7 +190,36 @@ func TestParallelGatherMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestGradcheckUnderParallelKernels re-runs a conv+dense gradient check at
+// gradcheckLayer finite-differences a few weight entries of a layer under a
+// 1/2·‖out‖² loss and compares them against the analytic Backward gradient.
+func gradcheckLayer(t *testing.T, forward func() *tensor.Tensor, backward func(g *tensor.Tensor), w, dw []float64) {
+	t.Helper()
+	lossOf := func() float64 {
+		out := forward()
+		s := 0.0
+		for _, v := range out.Data {
+			s += v * v / 2
+		}
+		return s
+	}
+	backward(forward().Clone())
+	const eps = 1e-5
+	for _, pi := range []int{0, 7, len(w) / 2, len(w) - 1} {
+		orig := w[pi]
+		w[pi] = orig + eps
+		up := lossOf()
+		w[pi] = orig - eps
+		down := lossOf()
+		w[pi] = orig
+		numeric := (up - down) / (2 * eps)
+		analytic := dw[pi]
+		if math.Abs(analytic-numeric) > 1e-6+1e-4*math.Max(math.Abs(analytic), math.Abs(numeric)) {
+			t.Errorf("W[%d]: analytic %v vs numeric %v", pi, analytic, numeric)
+		}
+	}
+}
+
+// TestGradcheckUnderParallelKernels re-runs conv gradient checks at
 // workers=4 so the parallel code paths — not just the serial fallback —
 // are verified against finite differences.
 func TestGradcheckUnderParallelKernels(t *testing.T) {
@@ -177,32 +232,36 @@ func TestGradcheckUnderParallelKernels(t *testing.T) {
 	}
 	x := tensor.New(6, 8, 2)
 	x.RandNormal(rng, 1)
+	gradcheckLayer(t,
+		func() *tensor.Tensor { return c.Forward([]*tensor.Tensor{x}, true) },
+		func(g *tensor.Tensor) {
+			c.W.Grad.Zero()
+			c.B.Grad.Zero()
+			c.Backward(g)
+		},
+		c.W.W.Data, c.W.Grad.Data)
+}
 
-	lossOf := func() float64 {
-		out := c.Forward([]*tensor.Tensor{x}, true)
-		s := 0.0
-		for _, v := range out.Data {
-			s += v * v / 2
-		}
-		return s
+// TestGradcheckConv2DIm2col gradchecks the im2col Conv2D backward with a
+// channel count whose patch width (3*3*32 = 288) crosses the GEMM k-block,
+// so the tiled GemmAT/GemmBT/col2im path — not just a single tile — is
+// verified against finite differences.
+func TestGradcheckConv2DIm2col(t *testing.T) {
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(17))
+	c := NewConv2D("cv", 3, 3, 32, 2, Same, 0, rng)
+	if _, err := c.OutShape([][]int{{4, 4, 32}}); err != nil {
+		t.Fatal(err)
 	}
-	out := c.Forward([]*tensor.Tensor{x}, true)
-	c.W.Grad.Zero()
-	c.B.Grad.Zero()
-	c.Backward(out.Clone())
-
-	const eps = 1e-5
-	for _, pi := range []int{0, 7, len(c.W.W.Data) - 1} {
-		orig := c.W.W.Data[pi]
-		c.W.W.Data[pi] = orig + eps
-		up := lossOf()
-		c.W.W.Data[pi] = orig - eps
-		down := lossOf()
-		c.W.W.Data[pi] = orig
-		numeric := (up - down) / (2 * eps)
-		analytic := c.W.Grad.Data[pi]
-		if math.Abs(analytic-numeric) > 1e-6+1e-4*math.Max(math.Abs(analytic), math.Abs(numeric)) {
-			t.Errorf("W[%d]: analytic %v vs numeric %v", pi, analytic, numeric)
-		}
-	}
+	x := tensor.New(2, 4, 4, 32)
+	x.RandNormal(rng, 1)
+	gradcheckLayer(t,
+		func() *tensor.Tensor { return c.Forward([]*tensor.Tensor{x}, true) },
+		func(g *tensor.Tensor) {
+			c.W.Grad.Zero()
+			c.B.Grad.Zero()
+			c.Backward(g)
+		},
+		c.W.W.Data, c.W.Grad.Data)
 }

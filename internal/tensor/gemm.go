@@ -1,0 +1,127 @@
+package tensor
+
+// Blocked GEMM primitives on flat row-major slices. One kernel family serves
+// every dense product in the training stack: the Dense layer's forward and
+// gradients (via MatMulInto/MatMulTInto) and the Conv1D/Conv2D layers, which
+// lower their input patches to an im2col buffer and call the same kernels
+// (internal/nn). Sharing the kernels means the cache tiling and the
+// row-parallel execution below speed up convolution and fully connected
+// layers alike — including within a single sample, because conv patch rows,
+// not samples, are the unit of parallelism.
+//
+// Determinism contract: the K (reduction) dimension is tiled for cache reuse,
+// but tiles are always visited in ascending order and each output element is
+// written by exactly one shard, so every kernel produces bit-identical
+// results for any worker count. GemmAT additionally matches the accumulation
+// order of a serial sample-major loop (m ascending per output element), which
+// keeps weight gradients bit-identical to the pre-GEMM direct kernels.
+
+const (
+	// gemmKBlock tiles the reduction dimension of Gemm: one tile of the B
+	// operand (gemmKBlock x n rows) stays hot in cache while every row of
+	// the shard consumes it.
+	gemmKBlock = 240
+	// gemmMBlock tiles the reduction dimension of GemmAT (the sample-major
+	// m axis) the same way.
+	gemmMBlock = 240
+)
+
+// Gemm computes dst = a·b for a [m, k], b [k, n], dst [m, n], all flat
+// row-major. When bias is non-nil it must have length n and initializes
+// every output row; otherwise rows start at zero. Rows of dst are computed
+// in parallel shards; the reduction over k runs in ascending tile order
+// inside each row, so the result is bit-identical for any worker count.
+// Zero elements of a skip their b row (activations are sparse after ReLU).
+func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
+	ForRows(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oi := dst[i*n : (i+1)*n]
+			if bias != nil {
+				copy(oi, bias)
+			} else {
+				for j := range oi {
+					oi[j] = 0
+				}
+			}
+		}
+		for k0 := 0; k0 < k; k0 += gemmKBlock {
+			k1 := k0 + gemmKBlock
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				ai := a[i*k : (i+1)*k]
+				oi := dst[i*n : (i+1)*n]
+				for kk := k0; kk < k1; kk++ {
+					av := ai[kk]
+					if av == 0 {
+						continue
+					}
+					br := b[kk*n : (kk+1)*n]
+					for j, bv := range br {
+						oi[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+// GemmBT computes dst = a·bᵀ for a [m, n], b [k, n], dst [m, k] — the
+// input-gradient product (dIn = dOut·Wᵀ) of both the dense layer and the
+// im2col convolution path. The output columns are tiled so one tile of b
+// is reused by every row of a shard; each dot product runs j-ascending, so
+// results are bit-identical for any worker count.
+func GemmBT(dst, a, b []float64, m, n, k int) {
+	ForRows(m, k*n, func(lo, hi int) {
+		for k0 := 0; k0 < k; k0 += gemmKBlock {
+			k1 := k0 + gemmKBlock
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				ai := a[i*n : (i+1)*n]
+				oi := dst[i*k : (i+1)*k]
+				for kk := k0; kk < k1; kk++ {
+					br := b[kk*n : (kk+1)*n]
+					s := 0.0
+					for j, g := range ai {
+						s += g * br[j]
+					}
+					oi[kk] = s
+				}
+			}
+		}
+	})
+}
+
+// GemmAT computes dst += aᵀ·b for a [m, k], b [m, n], dst [k, n] — the
+// weight-gradient product (dW += Xᵀ·dOut, or patchesᵀ·dOut for im2col
+// convolutions). It accumulates into dst, preserving the layer contract
+// that Backward adds to existing gradients. Rows of dst (the k axis) are
+// computed in parallel shards; each output element sums its m contributions
+// in ascending tile order, matching the serial sample-major loop, so weight
+// gradients are bit-identical for any worker count.
+func GemmAT(dst, a, b []float64, m, k, n int) {
+	ForRows(k, m*n, func(lo, hi int) {
+		for m0 := 0; m0 < m; m0 += gemmMBlock {
+			m1 := m0 + gemmMBlock
+			if m1 > m {
+				m1 = m
+			}
+			for kk := lo; kk < hi; kk++ {
+				orow := dst[kk*n : (kk+1)*n]
+				for mm := m0; mm < m1; mm++ {
+					av := a[mm*k+kk]
+					if av == 0 {
+						continue
+					}
+					br := b[mm*n : (mm+1)*n]
+					for j, g := range br {
+						orow[j] += av * g
+					}
+				}
+			}
+		}
+	})
+}

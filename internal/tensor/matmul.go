@@ -35,11 +35,11 @@ func ForRows(rows, rowWork int, fn func(lo, hi int)) {
 
 // MatMulInto computes dst = x·w for x [B, K], w [K, N], dst [B, N]. When
 // bias is non-nil it must have length N and initializes every output row;
-// otherwise rows start at zero. Rows of x are processed in parallel batch
-// shards; each output row is produced by exactly one shard with the same
-// arithmetic as the serial loop, so results are identical for any worker
-// count. Zero inputs skip their weight row (dense activations are sparse
-// after ReLU).
+// otherwise rows start at zero. It is a shape-checked wrapper over the
+// blocked Gemm kernel: rows are processed in parallel shards with the
+// reduction tiled over K in ascending order, so results are identical for
+// any worker count. Zero inputs skip their weight row (dense activations
+// are sparse after ReLU).
 func MatMulInto(dst, x, w *Tensor, bias []float64) error {
 	if len(x.Shape) != 2 || len(w.Shape) != 2 || len(dst.Shape) != 2 {
 		return fmt.Errorf("tensor: matmul wants rank-2 operands, got dst %s x %s w %s",
@@ -54,34 +54,14 @@ func MatMulInto(dst, x, w *Tensor, bias []float64) error {
 	if bias != nil && len(bias) != n {
 		return fmt.Errorf("tensor: matmul bias length %d, want %d", len(bias), n)
 	}
-	ForRows(b, k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			xi := x.Data[i*k : (i+1)*k]
-			oi := dst.Data[i*n : (i+1)*n]
-			if bias != nil {
-				copy(oi, bias)
-			} else {
-				for j := range oi {
-					oi[j] = 0
-				}
-			}
-			for kk, xv := range xi {
-				if xv == 0 {
-					continue
-				}
-				wr := w.Data[kk*n : (kk+1)*n]
-				for j, wv := range wr {
-					oi[j] += xv * wv
-				}
-			}
-		}
-	})
+	Gemm(dst.Data, x.Data, w.Data, b, k, n, bias)
 	return nil
 }
 
 // MatMulTInto computes dst = x·wᵀ for x [B, N], w [K, N], dst [B, K] — the
-// input-gradient product of a dense layer (dIn = dOut·Wᵀ). Rows are
-// processed in parallel batch shards with serial-identical arithmetic.
+// input-gradient product of a dense layer (dIn = dOut·Wᵀ). It is a
+// shape-checked wrapper over the blocked GemmBT kernel; rows are processed
+// in parallel batch shards with serial-identical arithmetic.
 func MatMulTInto(dst, x, w *Tensor) error {
 	if len(x.Shape) != 2 || len(w.Shape) != 2 || len(dst.Shape) != 2 {
 		return fmt.Errorf("tensor: matmulT wants rank-2 operands, got dst %s x %s w %s",
@@ -93,20 +73,7 @@ func MatMulTInto(dst, x, w *Tensor) error {
 		return fmt.Errorf("tensor: matmulT shape mismatch: dst %s = x %s · wᵀ %s",
 			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
 	}
-	ForRows(b, k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			xi := x.Data[i*n : (i+1)*n]
-			oi := dst.Data[i*k : (i+1)*k]
-			for kk := 0; kk < k; kk++ {
-				wr := w.Data[kk*n : (kk+1)*n]
-				s := 0.0
-				for j, g := range xi {
-					s += g * wr[j]
-				}
-				oi[kk] = s
-			}
-		}
-	})
+	GemmBT(dst.Data, x.Data, w.Data, b, n, k)
 	return nil
 }
 

@@ -24,6 +24,7 @@
 package swtnas
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -84,6 +85,12 @@ type SearchOptions struct {
 	// precedence over SpaceFile.
 	SpaceFile string
 	SpaceJSON string
+	// Progress, when non-nil, streams each candidate as its evaluation
+	// completes, in completion order — the same candidates that end up in
+	// Result.Candidates. It is invoked from the search's scheduler
+	// goroutine, so a slow callback delays issuing the next candidate;
+	// it must not block indefinitely.
+	Progress func(Candidate)
 }
 
 // Candidate is one evaluated model of a search.
@@ -123,8 +130,20 @@ type Result struct {
 // Search runs the candidate-estimation phase of NAS: regularized evolution
 // proposes candidates, evaluators train each for the application's partial
 // budget (warm-started from the parent's checkpoint when a transfer scheme
-// is selected), and every candidate is checkpointed.
+// is selected), and every candidate is checkpointed. It is
+// SearchContext(context.Background(), opt): it always runs to budget.
 func Search(opt SearchOptions) (*Result, error) {
+	return SearchContext(context.Background(), opt)
+}
+
+// SearchContext is Search under a context. Cancelling ctx stops the search
+// between candidate evaluations: candidates already training finish (and are
+// included), queued proposals are dropped, and SearchContext returns the
+// partial *Result of every candidate completed so far together with
+// ctx.Err(). The partial Result supports the full API — Best, FullyTrain,
+// WriteTrace — so an interrupted search still yields its top models. No
+// evaluator goroutines are left running when SearchContext returns.
+func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 	if opt.App == "" {
 		return nil, fmt.Errorf("swtnas: SearchOptions.App is required (one of %v)", Applications())
 	}
@@ -164,7 +183,7 @@ func Search(opt SearchOptions) (*Result, error) {
 	} else {
 		store = checkpoint.NewMemStore()
 	}
-	tr, err := nas.Run(nas.Config{
+	cfg := nas.Config{
 		App:           app,
 		Strategy:      evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
 		Matcher:       matcher,
@@ -173,10 +192,28 @@ func Search(opt SearchOptions) (*Result, error) {
 		KernelWorkers: opt.KernelWorkers,
 		Budget:        opt.Budget,
 		Seed:          opt.Seed,
-	})
-	if err != nil {
-		return nil, err
 	}
+	if opt.Progress != nil {
+		cfg.Progress = func(r nas.Result) {
+			opt.Progress(Candidate{
+				ID:                r.ID,
+				Arch:              r.Arch,
+				Score:             r.Score,
+				Params:            r.Params,
+				ParentID:          r.ParentID,
+				TransferredLayers: r.Transfer.Copied,
+				TrainTime:         r.TrainTime,
+				CheckpointBytes:   r.CheckpointBytes,
+				CompletedAt:       r.CompletedAt,
+			})
+		}
+	}
+	tr, runErr := nas.Run(ctx, cfg)
+	if tr == nil {
+		return nil, runErr
+	}
+	// runErr is ctx.Err() here: the trace holds the candidates completed
+	// before cancellation, and the partial Result is returned beside it.
 	res := &Result{App: app.Name, Scheme: nas.SchemeName(matcher), app: app, store: store, tr: tr}
 	for _, r := range tr.Records {
 		res.Candidates = append(res.Candidates, Candidate{
@@ -191,7 +228,7 @@ func Search(opt SearchOptions) (*Result, error) {
 			CompletedAt:       r.CompletedAt,
 		})
 	}
-	return res, nil
+	return res, runErr
 }
 
 // Best returns the k highest-scoring candidates (the top-K set NAS would

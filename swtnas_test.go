@@ -2,8 +2,11 @@ package swtnas
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func tinySearch(t *testing.T, scheme string) *Result {
@@ -67,6 +70,87 @@ func TestSearchEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "\"records\"") {
 		t.Fatal("trace JSON missing records")
+	}
+}
+
+// TestSearchProgressStreams checks the Progress callback sees exactly the
+// candidates the Result ends up holding, in the same completion order.
+func TestSearchProgressStreams(t *testing.T) {
+	var streamed []Candidate
+	res, err := Search(SearchOptions{
+		App: "nt3", Budget: 6, Seed: 7, Workers: 2,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+		Progress: func(c Candidate) { streamed = append(streamed, c) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Candidates) {
+		t.Fatalf("progress streamed %d candidates, result has %d", len(streamed), len(res.Candidates))
+	}
+	for i, c := range res.Candidates {
+		if streamed[i].ID != c.ID || streamed[i].Score != c.Score {
+			t.Fatalf("streamed[%d] = %+v, result candidate = %+v", i, streamed[i], c)
+		}
+	}
+}
+
+// TestSearchContextCancellation cancels mid-search and verifies the partial
+// Result contract: SearchContext returns promptly with context.Canceled, the
+// completed candidates are usable through the normal Result API, and
+// Search's signature keeps working unchanged.
+func TestSearchContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	res, err := SearchContext(ctx, SearchOptions{
+		App: "nt3", Scheme: "LCS", Budget: 1000, Seed: 8, Workers: 2,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+		Progress: func(c Candidate) {
+			if c.ID >= 0 { // every completion counts; cancel on the first
+				cancel()
+			}
+		},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled search must return the partial Result")
+	}
+	if len(res.Candidates) == 0 || len(res.Candidates) >= 1000 {
+		t.Fatalf("partial result has %d candidates", len(res.Candidates))
+	}
+	// 1000 tiny candidates would still take far longer than the handful
+	// completed before cancellation; a loose bound catches a search that
+	// ignored the context without making the test timing-sensitive.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled search took %v", elapsed)
+	}
+	best := res.Best(1)
+	if len(best) != 1 {
+		t.Fatalf("partial result Best(1) = %d candidates", len(best))
+	}
+	if _, err := res.DescribeArch(best[0].Arch); err != nil {
+		t.Fatalf("partial result DescribeArch: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatalf("partial result WriteTrace: %v", err)
+	}
+	// A pre-cancelled context yields an empty partial result.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	res2, err := SearchContext(pre, SearchOptions{
+		App: "nt3", Budget: 5, Seed: 8, TrainN: 24, ValN: 12,
+		PopulationSize: 4, SampleSize: 2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+	if res2 == nil || len(res2.Candidates) != 0 {
+		t.Fatalf("pre-cancelled result = %+v", res2)
 	}
 }
 
