@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can publish kernel benchmark results as a machine-readable
+// artifact and successive runs can be diffed.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x ./... | benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (test output, PASS/ok trailers) are
+// ignored; goos/goarch/cpu/pkg headers are captured into the document head.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -procs suffix, e.g. "BenchmarkConv2DForward/b=8-16".
+	Name string `json:"name"`
+	// Pkg is the package the result came from (the nearest preceding
+	// "pkg:" header, empty if none was printed).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds any further unit/value pairs (B/op, allocs/op, MB/s,
+	// custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "-", `output file ("-" = stdout)`)
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found on stdin")
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if !ok {
+				continue // a test logging something Benchmark-prefixed
+			}
+			b.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkName-16   123   4567 ns/op   89 B/op   2 allocs/op
+func parseResult(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	if b.NsPerOp == 0 && b.Metrics == nil {
+		return Benchmark{}, false
+	}
+	return b, true
+}

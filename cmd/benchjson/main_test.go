@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: swtnas/internal/nn
+cpu: Some CPU @ 2.40GHz
+BenchmarkConv2DForward/b=8-16         	       1	  12345678 ns/op
+BenchmarkDense-16   	     100	     98765 ns/op	    4096 B/op	       3 allocs/op
+some test chatter
+BenchmarkNotAResultLine with words
+PASS
+ok  	swtnas/internal/nn	1.234s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU == "" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkConv2DForward/b=8-16" || b0.Iterations != 1 || b0.NsPerOp != 12345678 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Pkg != "swtnas/internal/nn" {
+		t.Fatalf("b0 pkg = %q", b0.Pkg)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.NsPerOp != 98765 || b1.Metrics["B/op"] != 4096 || b1.Metrics["allocs/op"] != 3 {
+		t.Fatalf("b1 = %+v", b1)
+	}
+}
+
+func TestParseResultRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",
+		"BenchmarkFoo started",
+		"BenchmarkFoo 12 fast ns/op",
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Errorf("parseResult(%q) accepted a non-result line", line)
+		}
+	}
+}

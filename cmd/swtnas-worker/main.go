@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"swtnas/internal/cluster"
+	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
 )
 
@@ -25,11 +26,20 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7077", "coordinator address")
 		id       = flag.String("id", "", "worker id (default host-pid)")
 		kworkers = flag.Int("kernel-workers", 0, "compute-kernel pool size: cores this worker may use (0 = $"+parallel.EnvWorkers+" or all cores)")
+		mAddr    = flag.String("metrics-addr", "", "serve live metrics JSON on this address at "+obs.MetricsPath)
 	)
 	flag.Parse()
 	if *kworkers > 0 {
 		// Several workers on one node partition its cores between them.
 		parallel.SetWorkers(*kworkers)
+	}
+	if *mAddr != "" {
+		srv, err := obs.Serve(*mAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics: %s", srv.URL())
 	}
 	workerID := *id
 	if workerID == "" {

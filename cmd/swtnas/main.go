@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"swtnas"
+	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
 )
 
@@ -44,8 +45,19 @@ func main() {
 		spaceF   = flag.String("space", "", "JSON search-space spec file (the -app then names only the dataset)")
 		describe = flag.Bool("describe", false, "print a layer summary of the best model")
 		progress = flag.Bool("progress", true, "print a line per completed candidate")
+		mAddr    = flag.String("metrics-addr", "", "serve live metrics JSON on this address (e.g. 127.0.0.1:6060) at "+obs.MetricsPath)
+		mDump    = flag.String("metrics-dump", "", `write the search's metrics JSON to this file ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	if *mAddr != "" {
+		srv, err := obs.Serve(*mAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: %s\n", srv.URL())
+	}
 
 	// Ctrl-C / SIGTERM cancels the search between candidates: in-flight
 	// evaluations finish, the partial result is reported, and a second
@@ -59,6 +71,7 @@ func main() {
 		Seed:          *seed, PopulationSize: *popN, SampleSize: *popS,
 		TrainN: *trainN, ValN: *valN, CheckpointDir: *ckptDir,
 		SpaceFile: *spaceF,
+		Metrics:   *mDump != "" || *mAddr != "",
 	}
 	if *progress {
 		opt.Progress = func(c swtnas.Candidate) {
@@ -91,6 +104,33 @@ func main() {
 		}
 	}
 	fmt.Printf("weight transfer warm-started %d of %d candidates\n", transferred, len(res.Candidates))
+
+	if s := res.Summary; s != nil && s.Eval.Count > 0 {
+		fmt.Printf("eval latency: mean %s  p50 %s  p95 %s  max %s  (queue wait mean %s)\n",
+			s.Eval.Mean.Round(time.Millisecond), s.Eval.P50.Round(time.Millisecond),
+			s.Eval.P95.Round(time.Millisecond), s.Eval.Max.Round(time.Millisecond),
+			s.QueueWait.Mean.Round(time.Microsecond))
+	}
+	if *mDump != "" {
+		if res.Summary == nil || len(res.Summary.Metrics) == 0 {
+			log.Fatal("no metrics recorded for this search")
+		}
+		out := os.Stdout
+		if *mDump != "-" {
+			f, err := os.Create(*mDump)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := out.Write(res.Summary.Metrics); err != nil {
+			log.Fatal(err)
+		}
+		if *mDump != "-" {
+			fmt.Printf("metrics written to %s\n", *mDump)
+		}
+	}
 
 	fmt.Printf("\ntop-%d candidates:\n", *topK)
 	for i, c := range res.Best(*topK) {

@@ -18,6 +18,7 @@ import (
 
 	"swtnas/internal/core"
 	"swtnas/internal/nn"
+	"swtnas/internal/obs"
 	"swtnas/internal/tensor"
 )
 
@@ -118,8 +119,14 @@ const (
 	version = uint32(1)
 )
 
-// Encode writes the model in SWTC binary format.
+// Encode writes the model in SWTC binary format (the raw version-1
+// stream). It is EncodeWith(w, EncodingRaw).
 func (m *Model) Encode(w io.Writer) error {
+	return m.EncodeWith(w, EncodingRaw)
+}
+
+// encodeRaw writes the uninstrumented version-1 float64 stream.
+func (m *Model) encodeRaw(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -173,6 +180,21 @@ const maxElems = 1 << 28
 // Decode reads a model in SWTC binary format, accepting both the version-1
 // float64 stream and the version-2 encoded streams (see Encoding).
 func Decode(r io.Reader) (*Model, error) {
+	if !obs.Enabled() {
+		return decode(r)
+	}
+	t := mDecodeSeconds.Start()
+	cr := &countingReader{r: r}
+	m, err := decode(cr)
+	if err == nil {
+		t.Stop()
+		mDecodeCalls.Inc()
+		mDecodeBytes.Add(cr.n)
+	}
+	return m, err
+}
+
+func decode(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {

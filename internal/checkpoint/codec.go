@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"swtnas/internal/obs"
 	"swtnas/internal/tensor"
 )
 
@@ -58,8 +59,24 @@ func (m *Model) EncodeWith(w io.Writer, enc Encoding) error {
 	if !enc.valid() {
 		return fmt.Errorf("checkpoint: invalid encoding %d", enc)
 	}
+	if !obs.Enabled() {
+		return m.encodeWith(w, enc)
+	}
+	t := mEncodeSeconds.Start()
+	cw := &countingWriter{w: w}
+	err := m.encodeWith(cw, enc)
+	if err == nil {
+		t.Stop()
+		mEncodeCalls.Inc()
+		mEncodeBytes.Add(cw.n)
+	}
+	return err
+}
+
+// encodeWith dispatches to the version-1 or version-2 writer.
+func (m *Model) encodeWith(w io.Writer, enc Encoding) error {
 	if enc == EncodingRaw {
-		return m.Encode(w)
+		return m.encodeRaw(w)
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {

@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"io"
+
+	"swtnas/internal/obs"
+)
+
+// Checkpoint telemetry (internal/obs, disabled by default). Codec metrics
+// count every encode/decode in the process — store saves/loads, inline RPC
+// checkpoints, experiment harness traffic — while the store metrics track
+// the persistence layer itself: end-to-end save/load latency (encode plus
+// memory or file-system I/O) and the hit/miss split on loads, the paper's
+// Fig 10 transfer-overhead signal.
+var (
+	mEncodeSeconds = obs.GetHistogram("checkpoint.encode.seconds", obs.DurationBuckets)
+	mDecodeSeconds = obs.GetHistogram("checkpoint.decode.seconds", obs.DurationBuckets)
+	mEncodeBytes   = obs.GetCounter("checkpoint.encode.bytes")
+	mDecodeBytes   = obs.GetCounter("checkpoint.decode.bytes")
+	mEncodeCalls   = obs.GetCounter("checkpoint.encode.calls")
+	mDecodeCalls   = obs.GetCounter("checkpoint.decode.calls")
+
+	mStoreSaveSeconds = obs.GetHistogram("checkpoint.store.save.seconds", obs.DurationBuckets)
+	mStoreLoadSeconds = obs.GetHistogram("checkpoint.store.load.seconds", obs.DurationBuckets)
+	mStoreSaveBytes   = obs.GetCounter("checkpoint.store.save.bytes")
+	mStoreHits        = obs.GetCounter("checkpoint.store.load.hits")
+	mStoreMisses      = obs.GetCounter("checkpoint.store.load.misses")
+)
+
+// countingWriter counts the bytes flushed through it; the codec's bufio
+// layer sits on top, so Write calls are few and large.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader counts the bytes consumed through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

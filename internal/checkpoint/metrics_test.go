@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"swtnas/internal/obs"
+)
+
+// withMetrics enables recording on the process registry for one test,
+// restoring the previous state and zeroing the counters on exit so the
+// package's other tests (which assume metrics are off) stay unaffected.
+func withMetrics(t *testing.T) {
+	t.Helper()
+	prev := obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(prev)
+		obs.Reset()
+	})
+	obs.Reset()
+}
+
+func metricModel(t *testing.T) *Model {
+	t.Helper()
+	return FromNetwork([]int{1, 2}, 0.5, sampleNet(31))
+}
+
+func TestStoreHitMissCounters(t *testing.T) {
+	withMetrics(t)
+	store := NewMemStore()
+	m := metricModel(t)
+	if _, err := store.Save("a", m); err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Take()
+	if _, err := store.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("missing"); err == nil {
+		t.Fatal("missing id must fail")
+	}
+	d := obs.Take().Delta(before)
+	if got := d.Counters["checkpoint.store.load.hits"]; got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := d.Counters["checkpoint.store.load.misses"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+func TestDiskStoreHitMissCounters(t *testing.T) {
+	withMetrics(t)
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metricModel(t)
+	if _, err := store.Save("a", m); err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Take()
+	if _, err := store.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("missing"); err == nil {
+		t.Fatal("missing id must fail")
+	}
+	d := obs.Take().Delta(before)
+	if got := d.Counters["checkpoint.store.load.hits"]; got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := d.Counters["checkpoint.store.load.misses"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+// TestStoreCountersUnderConcurrentLoads exercises the hit/miss counters from
+// many goroutines against one MemStore while a reader snapshots — the race
+// detector guards the counter paths, the final delta checks no increment is
+// lost. Run with -race.
+func TestStoreCountersUnderConcurrentLoads(t *testing.T) {
+	withMetrics(t)
+	store := NewMemStore()
+	m := metricModel(t)
+	if _, err := store.Save("a", m); err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Take()
+
+	const (
+		goroutines = 8
+		perG       = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					if _, err := store.Load("a"); err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+				} else {
+					if _, err := store.Load(fmt.Sprintf("missing-%d", g)); err == nil {
+						t.Errorf("goroutine %d: missing id must fail", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent snapshot reader
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			obs.Take()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	d := obs.Take().Delta(before)
+	want := int64(goroutines * perG / 2)
+	if got := d.Counters["checkpoint.store.load.hits"]; got != want {
+		t.Errorf("hits = %d, want %d", got, want)
+	}
+	if got := d.Counters["checkpoint.store.load.misses"]; got != want {
+		t.Errorf("misses = %d, want %d", got, want)
+	}
+	if got := d.Counters["checkpoint.decode.calls"]; got != want {
+		t.Errorf("decode calls = %d, want %d (one per hit)", got, want)
+	}
+}
+
+func TestCodecByteCountersMatchEncodedSize(t *testing.T) {
+	withMetrics(t)
+	m := metricModel(t)
+	before := obs.Take()
+	store := NewMemStore()
+	n, err := store.Save("a", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	d := obs.Take().Delta(before)
+	if got := d.Counters["checkpoint.encode.bytes"]; got != n {
+		t.Errorf("encode bytes = %d, want %d", got, n)
+	}
+	if got := d.Counters["checkpoint.decode.bytes"]; got != n {
+		t.Errorf("decode bytes = %d, want %d", got, n)
+	}
+	if got := d.Counters["checkpoint.store.save.bytes"]; got != n {
+		t.Errorf("store save bytes = %d, want %d", got, n)
+	}
+}

@@ -46,6 +46,7 @@ func NewMemStoreEncoded(enc Encoding) *MemStore {
 
 // Save implements Store.
 func (s *MemStore) Save(id string, m *Model) (int64, error) {
+	t := mStoreSaveSeconds.Start()
 	var buf bytes.Buffer
 	if err := m.EncodeWith(&buf, s.enc); err != nil {
 		return 0, err
@@ -53,18 +54,27 @@ func (s *MemStore) Save(id string, m *Model) (int64, error) {
 	s.mu.Lock()
 	s.blob[id] = buf.Bytes()
 	s.mu.Unlock()
+	t.Stop()
+	mStoreSaveBytes.Add(int64(buf.Len()))
 	return int64(buf.Len()), nil
 }
 
 // Load implements Store.
 func (s *MemStore) Load(id string) (*Model, error) {
+	t := mStoreLoadSeconds.Start()
 	s.mu.RLock()
 	b, ok := s.blob[id]
 	s.mu.RUnlock()
 	if !ok {
+		mStoreMisses.Inc()
 		return nil, fmt.Errorf("checkpoint: id %q not found", id)
 	}
-	return Decode(bytes.NewReader(b))
+	m, err := Decode(bytes.NewReader(b))
+	if err == nil {
+		t.Stop()
+		mStoreHits.Inc()
+	}
+	return m, err
 }
 
 // Size implements Store.
@@ -147,6 +157,7 @@ func (s *DiskStore) path(id string) (string, error) {
 // Save implements Store. The write goes through a temp file + rename so a
 // crashed evaluator never leaves a torn checkpoint behind.
 func (s *DiskStore) Save(id string, m *Model) (int64, error) {
+	t := mStoreSaveSeconds.Start()
 	p, err := s.path(id)
 	if err != nil {
 		return 0, err
@@ -171,21 +182,30 @@ func (s *DiskStore) Save(id string, m *Model) (int64, error) {
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return 0, err
 	}
+	t.Stop()
+	mStoreSaveBytes.Add(info.Size())
 	return info.Size(), nil
 }
 
 // Load implements Store.
 func (s *DiskStore) Load(id string) (*Model, error) {
+	t := mStoreLoadSeconds.Start()
 	p, err := s.path(id)
 	if err != nil {
 		return nil, err
 	}
 	f, err := os.Open(p)
 	if err != nil {
+		mStoreMisses.Inc()
 		return nil, fmt.Errorf("checkpoint: id %q: %w", id, err)
 	}
 	defer f.Close()
-	return Decode(f)
+	m, err := Decode(f)
+	if err == nil {
+		t.Stop()
+		mStoreHits.Inc()
+	}
+	return m, err
 }
 
 // Size implements Store.

@@ -14,7 +14,57 @@ import (
 	"swtnas/internal/core"
 	"swtnas/internal/data"
 	"swtnas/internal/nn"
+	"swtnas/internal/obs"
 )
+
+// Cluster telemetry (internal/obs, disabled by default): per-RPC round-trip
+// latency as seen by workers (includes NextTask's queue-blocking time, the
+// worker-idle signal), call/error counts, dial retries, and the local
+// execution time of each shipped candidate.
+var (
+	mRPCSeconds  = obs.GetHistogram("cluster.rpc.seconds", obs.DurationBuckets)
+	mRPCCalls    = obs.GetCounter("cluster.rpc.calls")
+	mRPCErrors   = obs.GetCounter("cluster.rpc.errors")
+	mRPCRetries  = obs.GetCounter("cluster.rpc.retries")
+	mExecSeconds = obs.GetHistogram("cluster.exec.seconds", obs.DurationBuckets)
+)
+
+// Worker.Run dial schedule; vars so tests can shrink the timing.
+var (
+	dialAttempts = 5
+	dialDelay    = 100 * time.Millisecond
+)
+
+// dialRetry dials the coordinator, retrying on failure: workers commonly
+// start before the coordinator finishes binding its listener.
+func dialRetry(addr string) (*rpc.Client, error) {
+	var lastErr error
+	for i := 0; i < dialAttempts; i++ {
+		if i > 0 {
+			mRPCRetries.Inc()
+			time.Sleep(dialDelay)
+		}
+		client, err := rpc.Dial("tcp", addr)
+		if err == nil {
+			return client, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// call wraps client.Call with round-trip telemetry.
+func call(client *rpc.Client, method string, args, reply any) error {
+	t := mRPCSeconds.Start()
+	err := client.Call(method, args, reply)
+	mRPCCalls.Inc()
+	if err != nil {
+		mRPCErrors.Inc()
+		return err
+	}
+	t.Stop()
+	return nil
+}
 
 // RPCTask ships one candidate evaluation to a remote worker. Tasks are
 // self-contained: the worker regenerates the (deterministic) dataset from
@@ -164,6 +214,7 @@ func (w *Worker) appFor(t RPCTask) (*apps.App, error) {
 // Execute runs one task locally (exported for tests and for embedding the
 // worker in-process).
 func (w *Worker) Execute(t RPCTask) RPCResult {
+	defer mExecSeconds.Start().Stop()
 	res := RPCResult{ID: t.ID, WorkerID: w.ID}
 	fail := func(err error) RPCResult {
 		res.Err = err.Error()
@@ -219,16 +270,18 @@ func (w *Worker) Execute(t RPCTask) RPCResult {
 	return res
 }
 
-// Run connects to the coordinator and processes tasks until shutdown.
+// Run connects to the coordinator (retrying the dial — workers commonly
+// start before the coordinator's listener is up) and processes tasks until
+// shutdown.
 func (w *Worker) Run(addr string) error {
-	client, err := rpc.Dial("tcp", addr)
+	client, err := dialRetry(addr)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %s dialing %s: %w", w.ID, addr, err)
 	}
 	defer client.Close()
 	for {
 		var task RPCTask
-		if err := client.Call("Service.NextTask", w.ID, &task); err != nil {
+		if err := call(client, "Service.NextTask", w.ID, &task); err != nil {
 			return fmt.Errorf("cluster: worker %s fetching task: %w", w.ID, err)
 		}
 		if task.Shutdown {
@@ -236,7 +289,7 @@ func (w *Worker) Run(addr string) error {
 		}
 		res := w.Execute(task)
 		var ack bool
-		if err := client.Call("Service.Submit", res, &ack); err != nil {
+		if err := call(client, "Service.Submit", res, &ack); err != nil {
 			return fmt.Errorf("cluster: worker %s submitting result: %w", w.ID, err)
 		}
 	}

@@ -10,7 +10,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 
 	"swtnas/internal/apps"
@@ -18,9 +21,24 @@ import (
 	"swtnas/internal/core"
 	"swtnas/internal/evo"
 	"swtnas/internal/nn"
+	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
+)
+
+// Search telemetry (internal/obs, disabled by default): per-candidate
+// evaluation latency end to end (build + transfer + train + checkpoint),
+// the wait between a task being issued and an evaluator picking it up
+// (evaluator-utilization signal), and the warm-start/scratch split of the
+// paper's transfer-coverage tables.
+var (
+	mEvalSeconds      = obs.GetHistogram("nas.eval.seconds", obs.DurationBuckets)
+	mQueueWaitSeconds = obs.GetHistogram("nas.queue.wait.seconds", obs.DurationBuckets)
+	mTransferSeconds  = obs.GetHistogram("nas.transfer.seconds", obs.DurationBuckets)
+	mCandTransfer     = obs.GetCounter("nas.candidates.transfer")
+	mCandScratch      = obs.GetCounter("nas.candidates.scratch")
+	mCandErrors       = obs.GetCounter("nas.candidates.errors")
 )
 
 // CandidateID renders the checkpoint id of a candidate number.
@@ -38,6 +56,9 @@ type Task struct {
 	// Seed makes the candidate's initialization and shuffling
 	// reproducible.
 	Seed int64
+	// IssuedAt is stamped by the scheduler when the task is queued; the
+	// evaluator derives queue-wait telemetry from it.
+	IssuedAt time.Time
 }
 
 // Result is the outcome of one evaluation.
@@ -51,9 +72,19 @@ type Result struct {
 	Transfer        core.Stats
 	TrainTime       time.Duration
 	CheckpointBytes int64
+	// EvalTime is the end-to-end evaluation latency: build, transfer,
+	// training and checkpointing (TrainTime is the training share alone).
+	EvalTime time.Duration
+	// QueueWait is how long the task sat issued before an evaluator
+	// started it — the evaluator-saturation signal.
+	QueueWait time.Duration
 	// CompletedAt is filled by the scheduler: offset from search start.
 	CompletedAt time.Duration
-	Err         error
+	// BestScore is filled by the scheduler: the best score of any
+	// candidate completed so far, including this one. Progress callbacks
+	// use it for whole-search early stopping.
+	BestScore float64
+	Err       error
 }
 
 // Evaluator scores candidates for one application. An Evaluator is
@@ -75,6 +106,31 @@ type Evaluator struct {
 // a receiver that cannot be warm-started trains from its fresh weights,
 // like the paper's non-transferable pairs.
 func (e *Evaluator) Evaluate(task Task) Result {
+	start := time.Now()
+	res := e.evaluate(task)
+	res.EvalTime = time.Since(start)
+	if !task.IssuedAt.IsZero() {
+		res.QueueWait = start.Sub(task.IssuedAt)
+	}
+	if obs.Enabled() {
+		mEvalSeconds.ObserveDuration(res.EvalTime)
+		if !task.IssuedAt.IsZero() {
+			mQueueWaitSeconds.ObserveDuration(res.QueueWait)
+		}
+		switch {
+		case res.Err != nil:
+			mCandErrors.Inc()
+		case res.Transfer.Copied > 0:
+			mCandTransfer.Inc()
+		default:
+			mCandScratch.Inc()
+		}
+	}
+	return res
+}
+
+// evaluate is Evaluate without the telemetry envelope.
+func (e *Evaluator) evaluate(task Task) Result {
 	res := Result{ID: task.ID, Arch: task.Arch, ParentID: task.ParentID}
 	rng := rand.New(rand.NewSource(task.Seed))
 	net, err := e.App.Space.Build(task.Arch, rng)
@@ -86,6 +142,7 @@ func (e *Evaluator) Evaluate(task Task) Result {
 	res.ShapeSeq = core.ShapeSeqOfNetwork(net)
 
 	if e.Matcher != nil && task.ParentID >= 0 {
+		t := mTransferSeconds.Start()
 		parent, err := e.Store.Load(CandidateID(task.ParentID))
 		if err != nil {
 			res.Err = fmt.Errorf("nas: loading provider %d: %w", task.ParentID, err)
@@ -96,6 +153,7 @@ func (e *Evaluator) Evaluate(task Task) Result {
 			res.Err = fmt.Errorf("nas: transferring into candidate %d: %w", task.ID, err)
 			return res
 		}
+		t.Stop()
 		res.Transfer = stats
 	}
 
@@ -143,9 +201,14 @@ type Config struct {
 	// it sets the process-wide internal/parallel pool limit before the
 	// search starts, so concurrent candidate evaluations partition the
 	// machine's cores instead of oversubscribing them (e.g. Workers=4 on
-	// a 16-core node pairs naturally with KernelWorkers=4). 0 leaves the
-	// current setting (SWTNAS_WORKERS env, or GOMAXPROCS) untouched; the
-	// pool's caller-runs handoff keeps oversubscription safe either way.
+	// a 16-core node pairs naturally with KernelWorkers=4).
+	//
+	// When 0 and Workers > 1, Run defaults it to the even split
+	// max(1, GOMAXPROCS/Workers) for the duration of the run (restoring
+	// the previous pool limit on return), unless the SWTNAS_WORKERS
+	// environment variable pins an explicit pool size. When 0 with a
+	// single evaluator the current setting is left untouched; the pool's
+	// caller-runs handoff keeps oversubscription safe either way.
 	KernelWorkers int
 	// Budget is the number of candidates to evaluate.
 	Budget int
@@ -153,9 +216,11 @@ type Config struct {
 	Seed int64
 	// Progress, when non-nil, is invoked from the scheduler goroutine for
 	// every completed candidate, in completion order, after the result has
-	// been recorded in the trace (CompletedAt is already set). It must not
-	// call back into the search; a slow callback delays issuing the next
-	// candidate but never corrupts the run.
+	// been recorded in the trace (CompletedAt and the running BestScore
+	// are already set, so callers can implement whole-search early
+	// stopping by cancelling the context when BestScore plateaus). It
+	// must not call back into the search; a slow callback delays issuing
+	// the next candidate but never corrupts the run.
 	Progress func(Result)
 }
 
@@ -193,6 +258,13 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	}
 	if cfg.KernelWorkers > 0 {
 		parallel.SetWorkers(cfg.KernelWorkers)
+	} else if workers > 1 && os.Getenv(parallel.EnvWorkers) == "" {
+		// Evaluator×kernel auto-split: concurrent evaluations partition the
+		// cores evenly instead of each grabbing the whole machine. Unlike an
+		// explicit KernelWorkers (persistent, as documented), the automatic
+		// split is scoped to this run.
+		prev := parallel.SetWorkers(autoKernelWorkers(workers, runtime.GOMAXPROCS(0)))
+		defer parallel.SetWorkers(prev)
 	}
 	store := cfg.Store
 	if store == nil {
@@ -231,11 +303,13 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			Arch:     p.Arch,
 			ParentID: p.ParentID,
 			Seed:     cfg.Seed*1_000_003 + int64(issued),
+			IssuedAt: time.Now(),
 		}
 		issued++
 	}
 
 	tr := &trace.Trace{App: cfg.App.Name, Scheme: SchemeName(cfg.Matcher), Seed: cfg.Seed}
+	best := math.Inf(-1)
 	start := time.Now()
 	for i := 0; i < workers; i++ {
 		issue()
@@ -254,6 +328,10 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			return nil, res.Err
 		}
 		res.CompletedAt = time.Since(start)
+		if res.Score > best {
+			best = res.Score
+		}
+		res.BestScore = best
 		strategy.Report(evo.Individual{ID: res.ID, Arch: res.Arch, Score: res.Score})
 		tr.Records = append(tr.Records, trace.Record{
 			ID:              res.ID,
@@ -266,6 +344,8 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			TrainTime:       res.TrainTime,
 			CheckpointBytes: res.CheckpointBytes,
 			CompletedAt:     res.CompletedAt,
+			EvalTime:        res.EvalTime,
+			QueueWait:       res.QueueWait,
 		})
 		if cfg.Progress != nil {
 			cfg.Progress(res)
@@ -278,4 +358,17 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 		return tr, err
 	}
 	return tr, nil
+}
+
+// autoKernelWorkers splits cores evenly across concurrent evaluators: each
+// evaluation gets cores/evalWorkers kernel workers, never less than one.
+func autoKernelWorkers(evalWorkers, cores int) int {
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
+	kw := cores / evalWorkers
+	if kw < 1 {
+		kw = 1
+	}
+	return kw
 }

@@ -2,6 +2,9 @@ package nas
 
 import (
 	"context"
+	"math"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -10,6 +13,7 @@ import (
 	"swtnas/internal/core"
 	"swtnas/internal/data"
 	"swtnas/internal/evo"
+	"swtnas/internal/parallel"
 )
 
 func tinyApp(t *testing.T, name string) *apps.App {
@@ -160,6 +164,85 @@ func TestRunLCSSearchTransfers(t *testing.T) {
 	}
 	if transferred == 0 {
 		t.Fatal("no weights were ever transferred")
+	}
+}
+
+func TestAutoKernelWorkers(t *testing.T) {
+	cases := []struct {
+		evalWorkers, cores, want int
+	}{
+		{4, 8, 2},   // even split
+		{8, 4, 1},   // oversubscribed: floor at 1
+		{4, 9, 2},   // remainder cores stay idle rather than oversubscribe
+		{1, 16, 16}, // single evaluator gets the machine
+		{0, 8, 8},   // defensive: degenerate evaluator count
+	}
+	for _, c := range cases {
+		if got := autoKernelWorkers(c.evalWorkers, c.cores); got != c.want {
+			t.Errorf("autoKernelWorkers(%d, %d) = %d, want %d", c.evalWorkers, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestRunAutoSplitRestoresPoolLimit(t *testing.T) {
+	if os.Getenv(parallel.EnvWorkers) != "" {
+		t.Skipf("%s pins the pool limit; auto-split is disabled", parallel.EnvWorkers)
+	}
+	prev := parallel.SetWorkers(runtime.GOMAXPROCS(0))
+	defer parallel.SetWorkers(prev)
+	before := parallel.Workers()
+
+	var during int
+	app := tinyApp(t, "nt3")
+	_, err := Run(context.Background(), Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, 2, 1),
+		Budget:   2,
+		Workers:  2,
+		Seed:     23,
+		Progress: func(Result) { during = parallel.Workers() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := autoKernelWorkers(2, runtime.GOMAXPROCS(0))
+	if during != want {
+		t.Errorf("pool limit during run = %d, want auto split %d", during, want)
+	}
+	if got := parallel.Workers(); got != before {
+		t.Errorf("pool limit after run = %d, want restored %d", got, before)
+	}
+}
+
+func TestRunBestScoreMonotonic(t *testing.T) {
+	app := tinyApp(t, "nt3")
+	var bests []float64
+	var scores []float64
+	tr, err := Run(context.Background(), Config{
+		App:      app,
+		Strategy: evo.NewRegularizedEvolution(app.Space, 4, 2),
+		Budget:   8,
+		Workers:  2,
+		Seed:     29,
+		Progress: func(r Result) {
+			bests = append(bests, r.BestScore)
+			scores = append(scores, r.Score)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bests) != len(tr.Records) {
+		t.Fatalf("progress calls = %d, records = %d", len(bests), len(tr.Records))
+	}
+	running := math.Inf(-1)
+	for i := range bests {
+		if scores[i] > running {
+			running = scores[i]
+		}
+		if bests[i] != running {
+			t.Fatalf("record %d: BestScore = %v, want running best %v", i, bests[i], running)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -262,80 +263,94 @@ func (l *Activation) OutShape(in [][]int) ([]int, error) {
 	return append([]int(nil), in[0]...), nil
 }
 
+// actMinChunk is the smallest per-shard element count worth offloading: an
+// activation costs a few flops (or one math call) per element, so small
+// tensors run inline and large batches shard across the pool. Every element
+// is written by exactly one shard with the same serial arithmetic, so
+// outputs are bit-identical for any worker count.
+const actMinChunk = 2048
+
 func (l *Activation) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	out := tensor.New(x.Shape...)
-	switch l.Kind {
-	case ReLU:
-		for i, v := range x.Data {
-			if v > 0 {
-				out.Data[i] = v
+	parallel.For(len(x.Data), actMinChunk, func(lo, hi int) {
+		xd, od := x.Data[lo:hi], out.Data[lo:hi]
+		switch l.Kind {
+		case ReLU:
+			for i, v := range xd {
+				if v > 0 {
+					od[i] = v
+				}
+			}
+		case Tanh:
+			for i, v := range xd {
+				od[i] = math.Tanh(v)
+			}
+		case Sigmoid:
+			for i, v := range xd {
+				od[i] = 1 / (1 + math.Exp(-v))
+			}
+		case LeakyReLU:
+			for i, v := range xd {
+				if v > 0 {
+					od[i] = v
+				} else {
+					od[i] = leakySlope * v
+				}
+			}
+		case ELU:
+			for i, v := range xd {
+				if v > 0 {
+					od[i] = v
+				} else {
+					od[i] = math.Exp(v) - 1
+				}
 			}
 		}
-	case Tanh:
-		for i, v := range x.Data {
-			out.Data[i] = math.Tanh(v)
-		}
-	case Sigmoid:
-		for i, v := range x.Data {
-			out.Data[i] = 1 / (1 + math.Exp(-v))
-		}
-	case LeakyReLU:
-		for i, v := range x.Data {
-			if v > 0 {
-				out.Data[i] = v
-			} else {
-				out.Data[i] = leakySlope * v
-			}
-		}
-	case ELU:
-		for i, v := range x.Data {
-			if v > 0 {
-				out.Data[i] = v
-			} else {
-				out.Data[i] = math.Exp(v) - 1
-			}
-		}
-	}
+	})
 	l.lastIn, l.lastOut = x, out
 	return out
 }
 
 func (l *Activation) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	dIn := tensor.New(dOut.Shape...)
-	switch l.Kind {
-	case ReLU:
-		for i, v := range l.lastIn.Data {
-			if v > 0 {
-				dIn.Data[i] = dOut.Data[i]
+	parallel.For(len(dOut.Data), actMinChunk, func(lo, hi int) {
+		gd, dd := dOut.Data[lo:hi], dIn.Data[lo:hi]
+		switch l.Kind {
+		case ReLU:
+			for i, v := range l.lastIn.Data[lo:hi] {
+				if v > 0 {
+					dd[i] = gd[i]
+				}
+			}
+		case Tanh:
+			for i, y := range l.lastOut.Data[lo:hi] {
+				dd[i] = gd[i] * (1 - y*y)
+			}
+		case Sigmoid:
+			for i, y := range l.lastOut.Data[lo:hi] {
+				dd[i] = gd[i] * y * (1 - y)
+			}
+		case LeakyReLU:
+			for i, v := range l.lastIn.Data[lo:hi] {
+				if v > 0 {
+					dd[i] = gd[i]
+				} else {
+					dd[i] = leakySlope * gd[i]
+				}
+			}
+		case ELU:
+			yd := l.lastOut.Data[lo:hi]
+			for i, v := range l.lastIn.Data[lo:hi] {
+				if v > 0 {
+					dd[i] = gd[i]
+				} else {
+					// d/dv (e^v - 1) = e^v = y + 1.
+					dd[i] = gd[i] * (yd[i] + 1)
+				}
 			}
 		}
-	case Tanh:
-		for i, y := range l.lastOut.Data {
-			dIn.Data[i] = dOut.Data[i] * (1 - y*y)
-		}
-	case Sigmoid:
-		for i, y := range l.lastOut.Data {
-			dIn.Data[i] = dOut.Data[i] * y * (1 - y)
-		}
-	case LeakyReLU:
-		for i, v := range l.lastIn.Data {
-			if v > 0 {
-				dIn.Data[i] = dOut.Data[i]
-			} else {
-				dIn.Data[i] = leakySlope * dOut.Data[i]
-			}
-		}
-	case ELU:
-		for i, v := range l.lastIn.Data {
-			if v > 0 {
-				dIn.Data[i] = dOut.Data[i]
-			} else {
-				// d/dv (e^v - 1) = e^v = y + 1.
-				dIn.Data[i] = dOut.Data[i] * (l.lastOut.Data[i] + 1)
-			}
-		}
-	}
+	})
 	return []*tensor.Tensor{dIn}
 }
 

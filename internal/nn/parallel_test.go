@@ -136,6 +136,44 @@ func TestParallelKernelsMatchSerial(t *testing.T) {
 	}
 }
 
+// TestParallelActivationsMatchSerial extends the determinism contract to the
+// sharded element-wise activations: forward outputs and input gradients must
+// be bit-identical to the serial run for any worker count. The tensor is
+// sized past actMinChunk with an odd element count so several uneven shards
+// actually run, and each kind covers both branches of its piecewise form.
+func TestParallelActivationsMatchSerial(t *testing.T) {
+	kinds := []ActKind{ReLU, Tanh, Sigmoid, LeakyReLU, ELU}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func() (*tensor.Tensor, *tensor.Tensor) {
+				rng := rand.New(rand.NewSource(21))
+				a := NewActivation("act", kind)
+				x := tensor.New(7, 941) // 6587 elements: several uneven shards
+				x.RandNormal(rng, 2)    // spread across both sides of zero
+				out := a.Forward([]*tensor.Tensor{x}, true)
+				g := tensor.New(out.Shape...)
+				g.RandNormal(rng, 1)
+				dIn := a.Backward(g)[0]
+				return out, dIn
+			}
+			parallel.SetWorkers(1)
+			out0, dIn0 := run()
+			for _, workers := range []int{2, 4, 7} {
+				parallel.SetWorkers(workers)
+				out, dIn := run()
+				if d := maxAbsDiff(out.Data, out0.Data); d != 0 {
+					t.Errorf("workers=%d: forward differs from serial by %g (must be bit-identical)", workers, d)
+				}
+				if d := maxAbsDiff(dIn.Data, dIn0.Data); d != 0 {
+					t.Errorf("workers=%d: input gradient differs from serial by %g (must be bit-identical)", workers, d)
+				}
+			}
+		})
+	}
+}
+
 // TestParallelSoftmaxCrossEntropyMatchesSerial checks loss and gradient
 // across worker counts: gradients are per-row (bit-identical), the scalar
 // loss is a per-shard reduction (1e-12).

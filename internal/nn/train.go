@@ -5,8 +5,21 @@ import (
 	"math"
 	"math/rand"
 
+	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
+)
+
+// Fit-loop telemetry (internal/obs, disabled by default): per-minibatch
+// forward/backward/optimizer timings plus whole epochs, the breakdown
+// behind candidate-estimation latency. Timers are no-ops (no time.Now)
+// while the registry is disabled.
+var (
+	mFitForward   = obs.GetHistogram("nn.fit.forward.seconds", obs.DurationBuckets)
+	mFitBackward  = obs.GetHistogram("nn.fit.backward.seconds", obs.DurationBuckets)
+	mFitOptimizer = obs.GetHistogram("nn.fit.optimizer.seconds", obs.DurationBuckets)
+	mFitEpoch     = obs.GetHistogram("nn.fit.epoch.seconds", obs.DurationBuckets)
+	mFitBatches   = obs.GetCounter("nn.fit.batches")
 )
 
 // Data is a dataset split: one batched tensor per network input (first
@@ -201,29 +214,38 @@ func Fit(net *Network, loss Loss, metric Metric, opt Optimizer, train, val *Data
 		}
 		epochLoss := 0.0
 		batches := 0
+		epochTimer := mFitEpoch.Start()
 		for lo := 0; lo < n; lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
 			if hi > n {
 				hi = n
 			}
 			batch := train.Gather(order[lo:hi])
+			tf := mFitForward.Start()
 			pred, err := net.Forward(batch.Inputs, true)
 			if err != nil {
 				return nil, err
 			}
 			l, grad := loss.Forward(pred, batch.Targets)
+			tf.Stop()
 			epochLoss += l
 			batches++
+			tb := mFitBackward.Start()
 			net.ZeroGrads()
 			if err := net.Backward(grad); err != nil {
 				return nil, err
 			}
+			tb.Stop()
+			to := mFitOptimizer.Start()
 			params := net.Params()
 			if cfg.ClipNorm > 0 {
 				clipGradients(params, cfg.ClipNorm)
 			}
 			opt.Step(params)
+			to.Stop()
+			mFitBatches.Inc()
 		}
+		epochTimer.Stop()
 		h.TrainLoss = append(h.TrainLoss, epochLoss/float64(batches))
 		score, err := Evaluate(net, metric, val, cfg.BatchSize)
 		if err != nil {

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// MetricsPath is the debug endpoint path Serve registers.
+const MetricsPath = "/debug/metrics"
+
+// Handler returns an http.Handler that serves the registry's current
+// snapshot as indented JSON.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.Take().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Handler serves the default registry's snapshot as JSON.
+func Handler() http.Handler { return def.Handler() }
+
+// Server is a running metrics debug server (see Serve).
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// URL returns the full metrics endpoint URL, e.g.
+// "http://127.0.0.1:9190/debug/metrics".
+func (s *Server) URL() string { return "http://" + s.lis.Addr().String() + MetricsPath }
+
+// Close shuts the server down and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve exposes the registry on MetricsPath at addr (":0" picks a free
+// port) and also enables recording — a served registry that records
+// nothing would only ever report zeros. The server runs until Close.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(MetricsPath, r.Handler())
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	r.SetEnabled(true)
+	go s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Serve exposes and enables the default registry at addr.
+func Serve(addr string) (*Server, error) { return def.Serve(addr) }

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.GetCounter("c")
+	g := r.GetGauge("g")
+	h := r.GetHistogram("h", DurationBuckets)
+	c.Add(5)
+	g.Set(7)
+	h.Observe(0.5)
+	if tm := h.Start(); tm.h != nil {
+		t.Error("Start on a disabled registry must return a no-op timer")
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Errorf("disabled metrics recorded: counter %d gauge %d", c.Value(), g.Value())
+	}
+	s := r.Take()
+	if s.Enabled || s.Histograms["h"].Count != 0 {
+		t.Errorf("disabled snapshot = %+v", s)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.GetCounter("c")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("counter = %d, want 10", c.Value())
+	}
+	if r.GetCounter("c") != c {
+		t.Error("GetCounter must return the same handle")
+	}
+	g := r.GetGauge("g")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want 3", g.Value())
+	}
+	h := r.GetHistogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := r.Take().Histograms["h"]
+	if s.Count != 5 || s.Sum != 560.5 || s.Min != 0.5 || s.Max != 500 {
+		t.Errorf("histogram snapshot = %+v", s)
+	}
+	want := []int64{1, 2, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if m := s.Mean(); math.Abs(m-112.1) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+	if q := s.Quantile(1); q != 500 {
+		t.Errorf("q100 = %v, want max", q)
+	}
+	if q := s.Quantile(0.5); q < 1 || q > 10 {
+		t.Errorf("q50 = %v, want within (1, 10]", q)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GetCounter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.GetGauge("x")
+}
+
+func TestTimerObservesSeconds(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.GetHistogram("t", DurationBuckets)
+	tm := h.Start()
+	time.Sleep(2 * time.Millisecond)
+	if d := tm.Stop(); d < 2*time.Millisecond {
+		t.Errorf("Stop returned %v", d)
+	}
+	s := r.Take().Histograms["t"]
+	if s.Count != 1 || s.Min < 0.002 {
+		t.Errorf("timer snapshot = %+v", s)
+	}
+	if (Timer{}).Stop() != 0 {
+		t.Error("zero Timer must be a no-op")
+	}
+}
+
+func TestResetAndDelta(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.GetCounter("c")
+	h := r.GetHistogram("h", []float64{1})
+	c.Add(3)
+	h.Observe(0.5)
+	before := r.Take()
+	c.Add(4)
+	h.Observe(2)
+	d := r.Take().Delta(before)
+	if d.Counters["c"] != 4 {
+		t.Errorf("delta counter = %d, want 4", d.Counters["c"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 1 || dh.Counts[0] != 0 || dh.Counts[1] != 1 {
+		t.Errorf("delta histogram = %+v", dh)
+	}
+	r.Reset()
+	s := r.Take()
+	if s.Counters["c"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Errorf("post-reset snapshot = %+v", s)
+	}
+	if !s.Enabled {
+		t.Error("Reset must keep the registry enabled")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.GetCounter("a.calls").Add(2)
+	r.GetGauge("a.depth").Set(1)
+	r.GetHistogram("a.seconds", DurationBuckets).Observe(0.01)
+	r.GetHistogram("a.empty", SizeBuckets) // empty: min/max must marshal
+	var buf bytes.Buffer
+	if err := r.Take().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.calls"] != 2 || back.Histograms["a.seconds"].Count != 1 {
+		t.Errorf("round-tripped snapshot = %+v", back)
+	}
+	names := back.Names()
+	if len(names) != 4 || names[0] != "a.calls" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestDurationStatsOf(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.GetHistogram("lat", DurationBuckets)
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(10 * time.Millisecond)
+	}
+	st := r.Take().DurationStatsOf("lat")
+	if st.Count != 100 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.P50 < 3*time.Millisecond || st.P50 > 30*time.Millisecond {
+		t.Errorf("p50 = %v", st.P50)
+	}
+	if st.Max < 9*time.Millisecond || st.Max > 11*time.Millisecond {
+		t.Errorf("max = %v", st.Max)
+	}
+	if z := r.Take().DurationStatsOf("missing"); z.Count != 0 || z.Max != 0 {
+		t.Errorf("missing stats = %+v", z)
+	}
+}
+
+// TestConcurrentWritersAndSnapshots is the registry's race-mode contract:
+// many goroutines hammer counters, gauges and histograms (and register new
+// metrics) while others continuously snapshot; afterwards the totals add up.
+func TestConcurrentWritersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	const writers, perWriter = 8, 2000
+	c := r.GetCounter("w.count")
+	h := r.GetHistogram("w.seconds", DurationBuckets)
+	g := r.GetGauge("w.depth")
+	done := make(chan struct{})
+	var snaps sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					s := r.Take()
+					if err := s.WriteJSON(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Concurrent registration of both shared and per-writer names.
+			mine := r.GetCounter("w.count") // same handle as c
+			for i := 0; i < perWriter; i++ {
+				mine.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%10) * 1e-3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	snaps.Wait()
+	if c.Value() != writers*perWriter {
+		t.Errorf("counter = %d, want %d", c.Value(), writers*perWriter)
+	}
+	s := r.Take().Histograms["w.seconds"]
+	if s.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", s.Count, writers*perWriter)
+	}
+	total := int64(0)
+	for _, b := range s.Counts {
+		total += b
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.GetCounter("h.calls").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["h.calls"] != 3 {
+		t.Errorf("served snapshot = %+v", s)
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	r := NewRegistry()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer srv.Close()
+	if !r.Enabled() {
+		t.Error("Serve must enable the registry")
+	}
+	r.GetCounter("s.calls").Inc()
+	resp, err := http.Get(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["s.calls"] != 1 {
+		t.Errorf("served snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, shaped
+// for JSON. Histogram min/max are omitted (zero) when the histogram is
+// empty, so the whole snapshot marshals cleanly (no IEEE infinities).
+type Snapshot struct {
+	// Enabled echoes the registry's recording state at snapshot time.
+	Enabled bool `json:"enabled"`
+	// Counters and Gauges map metric name to current value.
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	// Histograms map metric name to bucketed distributions.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is the serialized form of one histogram.
+type HistogramSnapshot struct {
+	// Count and Sum aggregate every observation.
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Min and Max are the observed extremes (0 when Count == 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Bounds are the ascending bucket upper bounds; Counts has one entry
+	// per bound plus a final overflow bucket, so len(Counts) ==
+	// len(Bounds)+1.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// interpolating linearly within the containing bucket. The overflow bucket
+// reports Max, and every estimate is clamped to the observed [Min, Max] so
+// a sparse bucket cannot put p95 above the true maximum.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.Bounds) {
+				return h.Max
+			}
+			lo := h.Min
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return h.clamp(lo + (hi-lo)*frac)
+		}
+		cum += c
+	}
+	return h.Max
+}
+
+// clamp bounds a quantile estimate to the observed value range.
+func (h HistogramSnapshot) clamp(v float64) float64 {
+	if v > h.Max {
+		return h.Max
+	}
+	if v < h.Min {
+		return h.Min
+	}
+	return v
+}
+
+// Take snapshots every metric of the registry.
+func (r *Registry) Take() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{
+		Enabled:    r.enabled.Load(),
+		Counters:   make(map[string]int64, len(r.counts)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(h.sum.Load()),
+			Bounds: h.bounds,
+			Counts: make([]int64, len(h.buckets)),
+		}
+		if hs.Count > 0 {
+			hs.Min = math.Float64frombits(h.min.Load())
+			hs.Max = math.Float64frombits(h.max.Load())
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Take snapshots the default registry.
+func Take() *Snapshot { return def.Take() }
+
+// Delta returns the change from prev to s: counters and histogram
+// counts/sums subtract (clamped at zero), gauges and histogram min/max keep
+// s's values. Metrics absent from prev pass through unchanged, so a delta
+// across a run that registered new metrics stays complete.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	d := &Snapshot{
+		Enabled:    s.Enabled,
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		if dv := v - prev.Counters[name]; dv > 0 {
+			d.Counters[name] = dv
+		} else {
+			d.Counters[name] = 0
+		}
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			d.Histograms[name] = h
+			continue
+		}
+		dh := HistogramSnapshot{
+			Count:  h.Count - p.Count,
+			Sum:    h.Sum - p.Sum,
+			Min:    h.Min,
+			Max:    h.Max,
+			Bounds: h.Bounds,
+			Counts: make([]int64, len(h.Counts)),
+		}
+		if dh.Count < 0 {
+			dh.Count = 0
+		}
+		for i := range h.Counts {
+			if dc := h.Counts[i] - p.Counts[i]; dc > 0 {
+				dh.Counts[i] = dc
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// Names returns every metric name in the snapshot, sorted.
+func (s *Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON marshals the snapshot, indented, to w.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the default registry and marshals it to w — the
+// payload of the /debug/metrics endpoint and of `swtnas -metrics-dump`.
+func WriteJSON(w io.Writer) error { return Take().WriteJSON(w) }
+
+// DurationStats summarizes one duration histogram of the snapshot as
+// count/mean/p50/p95/max durations (all zero when the histogram is missing
+// or empty) — the compact form search summaries report.
+type DurationStats struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	Max   time.Duration `json:"max"`
+}
+
+// DurationStatsOf extracts DurationStats for the named histogram, which
+// must observe seconds (the DurationBuckets convention).
+func (s *Snapshot) DurationStatsOf(name string) DurationStats {
+	h, ok := s.Histograms[name]
+	if !ok || h.Count == 0 {
+		return DurationStats{}
+	}
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	return DurationStats{
+		Count: h.Count,
+		Mean:  sec(h.Mean()),
+		P50:   sec(h.Quantile(0.50)),
+		P95:   sec(h.Quantile(0.95)),
+		Max:   sec(h.Max),
+	}
+}

@@ -41,6 +41,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"swtnas/internal/obs"
 )
 
 // EnvWorkers is the environment variable that overrides the default pool
@@ -84,6 +86,20 @@ var (
 	poolMu  sync.Mutex   // serializes pool growth
 	running atomic.Int64 // worker goroutines started so far; grows under poolMu
 	tasks   chan task    // never closed; workers live for the process
+)
+
+// Pool telemetry (internal/obs, disabled by default). The offloaded/inline
+// split is the shard-imbalance signal: inline shards are chunks no worker
+// accepted immediately — either every worker was busy (the pool is the
+// bottleneck) or the caller raced the handoff. mInflight is the live number
+// of splitting For calls, the pool's queue-depth analogue under the
+// non-blocking handoff design.
+var (
+	mCalls     = obs.GetCounter("parallel.for.calls")
+	mOffloaded = obs.GetCounter("parallel.shards.offloaded")
+	mInline    = obs.GetCounter("parallel.shards.inline")
+	mWorkers   = obs.GetGauge("parallel.workers.running")
+	mInflight  = obs.GetGauge("parallel.for.inflight")
 )
 
 func init() {
@@ -152,6 +168,7 @@ func ensureWorkers(n int) {
 		}()
 		running.Add(1)
 	}
+	mWorkers.Set(running.Load())
 	poolMu.Unlock()
 }
 
@@ -219,6 +236,14 @@ func ForShardN(n, s int, fn func(shard, lo, hi int)) {
 		default:
 			local = append(local, sp)
 		}
+	}
+	if obs.Enabled() {
+		mCalls.Inc()
+		mOffloaded.Add(int64(s - len(local)))
+		mInline.Add(int64(len(local)))
+		mWorkers.Set(running.Load())
+		mInflight.Add(1)
+		defer mInflight.Add(-1)
 	}
 	for _, sp := range local {
 		c.run(sp.shard, sp.lo, sp.hi)

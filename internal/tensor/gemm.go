@@ -1,5 +1,7 @@
 package tensor
 
+import "swtnas/internal/obs"
+
 // Blocked GEMM primitives on flat row-major slices. One kernel family serves
 // every dense product in the training stack: the Dense layer's forward and
 // gradients (via MatMulInto/MatMulTInto) and the Conv1D/Conv2D layers, which
@@ -26,6 +28,24 @@ const (
 	gemmMBlock = 240
 )
 
+// GEMM telemetry (internal/obs, disabled by default): one counter pair and
+// one latency histogram shared by all three kernels, at call granularity —
+// the per-call cost when disabled is three atomic loads, invisible next to
+// even the smallest GEMM. FLOPs are nominal 2·m·k·n multiply-adds; the
+// zero-skip shortcut makes the executed count lower on sparse activations.
+var (
+	mGemmCalls   = obs.GetCounter("tensor.gemm.calls")
+	mGemmFlops   = obs.GetCounter("tensor.gemm.flops")
+	mGemmSeconds = obs.GetHistogram("tensor.gemm.seconds", obs.DurationBuckets)
+)
+
+// observeGemm records one kernel call of nominal size 2·m·k·n.
+func observeGemm(m, k, n int, t obs.Timer) {
+	t.Stop()
+	mGemmCalls.Inc()
+	mGemmFlops.Add(2 * int64(m) * int64(k) * int64(n))
+}
+
 // Gemm computes dst = a·b for a [m, k], b [k, n], dst [m, n], all flat
 // row-major. When bias is non-nil it must have length n and initializes
 // every output row; otherwise rows start at zero. Rows of dst are computed
@@ -33,6 +53,7 @@ const (
 // inside each row, so the result is bit-identical for any worker count.
 // Zero elements of a skip their b row (activations are sparse after ReLU).
 func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
+	defer observeGemm(m, k, n, mGemmSeconds.Start())
 	ForRows(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			oi := dst[i*n : (i+1)*n]
@@ -73,6 +94,7 @@ func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
 // is reused by every row of a shard; each dot product runs j-ascending, so
 // results are bit-identical for any worker count.
 func GemmBT(dst, a, b []float64, m, n, k int) {
+	defer observeGemm(m, k, n, mGemmSeconds.Start())
 	ForRows(m, k*n, func(lo, hi int) {
 		for k0 := 0; k0 < k; k0 += gemmKBlock {
 			k1 := k0 + gemmKBlock
@@ -103,6 +125,7 @@ func GemmBT(dst, a, b []float64, m, n, k int) {
 // in ascending tile order, matching the serial sample-major loop, so weight
 // gradients are bit-identical for any worker count.
 func GemmAT(dst, a, b []float64, m, k, n int) {
+	defer observeGemm(m, k, n, mGemmSeconds.Start())
 	ForRows(k, m*n, func(lo, hi int) {
 		for m0 := 0; m0 < m; m0 += gemmMBlock {
 			m1 := m0 + gemmMBlock

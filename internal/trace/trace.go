@@ -35,6 +35,11 @@ type Record struct {
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
 	// CompletedAt is the completion offset from search start.
 	CompletedAt time.Duration `json:"completed_at"`
+	// EvalTime is the end-to-end evaluation latency (build + transfer +
+	// train + checkpoint); zero in traces from before it was recorded.
+	EvalTime time.Duration `json:"eval_time,omitempty"`
+	// QueueWait is how long the task waited for a free evaluator.
+	QueueWait time.Duration `json:"queue_wait,omitempty"`
 }
 
 // Trace is the ordered record of one NAS run.

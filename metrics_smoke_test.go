@@ -1,0 +1,155 @@
+package swtnas
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"swtnas/internal/obs"
+)
+
+// metricsDoc is the slice of the /debug/metrics document the smoke tests
+// assert on.
+type metricsDoc struct {
+	Counters   map[string]int64 `json:"counters"`
+	Histograms map[string]struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+	} `json:"histograms"`
+}
+
+// TestSearchMetricsSmoke is the end-to-end observability check: a
+// metrics-enabled search must attach a summary whose metrics document has
+// nonzero GEMM, checkpoint and per-candidate latency series — the same
+// acceptance the full `cmd/swtnas -metrics-dump` run is held to.
+func TestSearchMetricsSmoke(t *testing.T) {
+	prev := obs.SetEnabled(false)
+	t.Cleanup(func() {
+		obs.SetEnabled(prev)
+		obs.Reset()
+	})
+
+	res, err := Search(SearchOptions{
+		App: "nt3", Scheme: "LCS", Budget: 8, Workers: 2, Seed: 7,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+		Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := res.Summary
+	if s == nil {
+		t.Fatal("metrics-enabled search returned no summary")
+	}
+	if s.Candidates != 8 || s.WallTime <= 0 {
+		t.Fatalf("summary header = %+v", s)
+	}
+	if s.BestScore == 0 || math.IsInf(s.BestScore, -1) {
+		t.Fatalf("summary best score = %v", s.BestScore)
+	}
+	if s.Transferred+s.Scratch != s.Candidates {
+		t.Fatalf("transfer split %d+%d != %d", s.Transferred, s.Scratch, s.Candidates)
+	}
+	if s.Eval.Count != 8 || s.Eval.Mean <= 0 || s.Eval.Max < s.Eval.P50 {
+		t.Fatalf("eval latency stats = %+v", s.Eval)
+	}
+	if s.Gemm.Count == 0 || s.Gemm.Mean <= 0 {
+		t.Fatalf("gemm latency stats = %+v", s.Gemm)
+	}
+
+	var doc metricsDoc
+	if err := json.Unmarshal(s.Metrics, &doc); err != nil {
+		t.Fatalf("summary metrics document: %v", err)
+	}
+	for _, name := range []string{
+		"tensor.gemm.calls",
+		"tensor.gemm.flops",
+		"checkpoint.encode.bytes",
+		"checkpoint.store.load.hits",
+		"nas.candidates.transfer",
+	} {
+		if doc.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, doc.Counters[name])
+		}
+	}
+	for _, name := range []string{
+		"tensor.gemm.seconds",
+		"checkpoint.encode.seconds",
+		"checkpoint.store.save.seconds",
+		"nas.eval.seconds",
+		"nas.queue.wait.seconds",
+	} {
+		h, ok := doc.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Errorf("histogram %q missing or empty in metrics document", name)
+		}
+	}
+
+	// Per-candidate latency series surfaced on the candidates themselves.
+	for _, c := range res.Candidates {
+		if c.EvalTime <= 0 {
+			t.Errorf("candidate %d: EvalTime = %v, want > 0", c.ID, c.EvalTime)
+		}
+		if c.EvalTime < c.TrainTime {
+			t.Errorf("candidate %d: EvalTime %v < TrainTime %v", c.ID, c.EvalTime, c.TrainTime)
+		}
+	}
+}
+
+// TestDebugMetricsEndpointLive drives the HTTP edge: a live /debug/metrics
+// endpoint polled over real TCP while a search runs must serve a JSON
+// document containing the GEMM series.
+func TestDebugMetricsEndpointLive(t *testing.T) {
+	prev := obs.SetEnabled(false)
+	t.Cleanup(func() {
+		obs.SetEnabled(prev)
+		obs.Reset()
+	})
+
+	srv, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer srv.Close()
+
+	var polled metricsDoc
+	opt := SearchOptions{
+		App: "nt3", Scheme: "LCS", Budget: 4, Seed: 9,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+		Progress: func(c Candidate) {
+			if polled.Counters != nil {
+				return // one poll mid-search is enough
+			}
+			resp, err := http.Get(srv.URL())
+			if err != nil {
+				t.Errorf("GET %s: %v", srv.URL(), err)
+				return
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Errorf("content type = %q", ct)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("reading metrics body: %v", err)
+				return
+			}
+			if err := json.Unmarshal(body, &polled); err != nil {
+				t.Errorf("metrics endpoint served invalid JSON: %v", err)
+			}
+		},
+	}
+	if _, err := Search(opt); err != nil {
+		t.Fatal(err)
+	}
+	if polled.Counters == nil {
+		t.Fatal("metrics endpoint was never polled")
+	}
+	if polled.Counters["tensor.gemm.calls"] <= 0 {
+		t.Errorf("live endpoint gemm calls = %d, want > 0", polled.Counters["tensor.gemm.calls"])
+	}
+}

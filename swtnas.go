@@ -24,9 +24,12 @@
 package swtnas
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"strings"
@@ -39,6 +42,7 @@ import (
 	"swtnas/internal/evo"
 	"swtnas/internal/nas"
 	"swtnas/internal/nn"
+	"swtnas/internal/obs"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -91,6 +95,13 @@ type SearchOptions struct {
 	// goroutine, so a slow callback delays issuing the next candidate;
 	// it must not block indefinitely.
 	Progress func(Candidate)
+	// Metrics turns on process-wide metrics recording (the internal/obs
+	// registry, also served by cmd/swtnas -metrics-addr) for this search
+	// and attaches the run's metric deltas and latency statistics to
+	// Result.Summary. Recording is a process-level switch: it stays on
+	// after the search returns, and concurrent instrumented work in the
+	// same process shows up in the deltas.
+	Metrics bool
 }
 
 // Candidate is one evaluated model of a search.
@@ -113,6 +124,51 @@ type Candidate struct {
 	CheckpointBytes int64
 	// CompletedAt is the completion offset from search start.
 	CompletedAt time.Duration
+	// EvalTime is the end-to-end evaluation latency (build + transfer +
+	// train + checkpoint); TrainTime is the training share alone.
+	EvalTime time.Duration
+	// QueueWait is how long the candidate waited for a free evaluator.
+	QueueWait time.Duration
+	// BestScore is the best score of any candidate completed so far,
+	// including this one — the running best a Progress callback can use
+	// for whole-search early stopping.
+	BestScore float64
+}
+
+// LatencyStats is the compact count/mean/p50/p95/max form SearchSummary
+// reports for one latency series.
+type LatencyStats struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	Max   time.Duration `json:"max"`
+}
+
+// SearchSummary aggregates one search's telemetry. The counts and WallTime
+// are always filled from the trace; the latency series and the Metrics
+// document need SearchOptions.Metrics (they are zero/nil otherwise).
+type SearchSummary struct {
+	// WallTime is the end-to-end search duration.
+	WallTime time.Duration `json:"wall_time"`
+	// Candidates is the number of completed evaluations.
+	Candidates int `json:"candidates"`
+	// BestScore is the best estimated score of the run.
+	BestScore float64 `json:"best_score"`
+	// Transferred and Scratch split the candidates by warm start.
+	Transferred int `json:"transferred"`
+	Scratch     int `json:"scratch"`
+	// Eval and QueueWait summarize per-candidate end-to-end evaluation
+	// latency and evaluator-queue wait.
+	Eval      LatencyStats `json:"eval"`
+	QueueWait LatencyStats `json:"queue_wait"`
+	// Gemm summarizes the per-call latency of the GEMM kernels under all
+	// of the run's training.
+	Gemm LatencyStats `json:"gemm"`
+	// Metrics is the full metrics delta of the run — every counter, gauge
+	// and histogram the process recorded between search start and end, in
+	// the same JSON document shape the /debug/metrics endpoint serves.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // Result is a finished candidate-estimation phase.
@@ -121,6 +177,9 @@ type Result struct {
 	App, Scheme string
 	// Candidates are in completion order.
 	Candidates []Candidate
+	// Summary aggregates the run's telemetry (latency series and metric
+	// deltas populate when SearchOptions.Metrics is set).
+	Summary *SearchSummary
 
 	app   *apps.App
 	store checkpoint.Store
@@ -205,9 +264,18 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 				TrainTime:         r.TrainTime,
 				CheckpointBytes:   r.CheckpointBytes,
 				CompletedAt:       r.CompletedAt,
+				EvalTime:          r.EvalTime,
+				QueueWait:         r.QueueWait,
+				BestScore:         r.BestScore,
 			})
 		}
 	}
+	var before *obs.Snapshot
+	if opt.Metrics {
+		obs.SetEnabled(true)
+		before = obs.Take()
+	}
+	start := time.Now()
 	tr, runErr := nas.Run(ctx, cfg)
 	if tr == nil {
 		return nil, runErr
@@ -215,7 +283,11 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 	// runErr is ctx.Err() here: the trace holds the candidates completed
 	// before cancellation, and the partial Result is returned beside it.
 	res := &Result{App: app.Name, Scheme: nas.SchemeName(matcher), app: app, store: store, tr: tr}
+	best := math.Inf(-1)
 	for _, r := range tr.Records {
+		if r.Score > best {
+			best = r.Score
+		}
 		res.Candidates = append(res.Candidates, Candidate{
 			ID:                r.ID,
 			Arch:              r.Arch,
@@ -226,9 +298,44 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 			TrainTime:         r.TrainTime,
 			CheckpointBytes:   r.CheckpointBytes,
 			CompletedAt:       r.CompletedAt,
+			EvalTime:          r.EvalTime,
+			QueueWait:         r.QueueWait,
+			BestScore:         best,
 		})
 	}
+	res.Summary = summarize(tr, time.Since(start), before)
 	return res, runErr
+}
+
+// summarize builds the search summary from the trace, plus metric deltas
+// when a pre-run snapshot was taken.
+func summarize(tr *trace.Trace, wall time.Duration, before *obs.Snapshot) *SearchSummary {
+	s := &SearchSummary{WallTime: wall, Candidates: len(tr.Records)}
+	best := math.Inf(-1)
+	for _, r := range tr.Records {
+		if r.Score > best {
+			best = r.Score
+		}
+		if r.TransferCopied > 0 {
+			s.Transferred++
+		} else {
+			s.Scratch++
+		}
+	}
+	if len(tr.Records) > 0 {
+		s.BestScore = best
+	}
+	if before != nil {
+		d := obs.Take().Delta(before)
+		s.Eval = LatencyStats(d.DurationStatsOf("nas.eval.seconds"))
+		s.QueueWait = LatencyStats(d.DurationStatsOf("nas.queue.wait.seconds"))
+		s.Gemm = LatencyStats(d.DurationStatsOf("tensor.gemm.seconds"))
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err == nil {
+			s.Metrics = json.RawMessage(buf.Bytes())
+		}
+	}
+	return s
 }
 
 // Best returns the k highest-scoring candidates (the top-K set NAS would
