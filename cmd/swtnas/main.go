@@ -5,6 +5,8 @@
 //
 //	swtnas -app nt3 -scheme LCS -budget 200 -topk 10 -full
 //	swtnas -app cifar10 -scheme LP -budget 400 -workers 4 -trace out.json
+//	swtnas -app nt3 -budget 200 -journal run.swtj            # crash-safe
+//	swtnas -app nt3 -budget 200 -journal run.swtj -resume    # continue it
 package main
 
 import (
@@ -45,8 +47,10 @@ func main() {
 		spaceF   = flag.String("space", "", "JSON search-space spec file (the -app then names only the dataset)")
 		describe = flag.Bool("describe", false, "print a layer summary of the best model")
 		progress = flag.Bool("progress", true, "print a line per completed candidate")
-		mAddr    = flag.String("metrics-addr", "", "serve live metrics JSON on this address (e.g. 127.0.0.1:6060) at "+obs.MetricsPath)
+		mAddr    = flag.String("metrics-addr", "", "serve live metrics JSON on this address (e.g. 127.0.0.1:6060) at "+obs.MetricsPath+" (Prometheus text at "+obs.PromPath+")")
 		mDump    = flag.String("metrics-dump", "", `write the search's metrics JSON to this file ("-" = stdout)`)
+		journal  = flag.String("journal", "", "crash-resume journal path: append every completed candidate to this write-ahead log")
+		resume   = flag.Bool("resume", false, "resume the interrupted search journaled at -journal (same options required)")
 	)
 	flag.Parse()
 
@@ -70,8 +74,10 @@ func main() {
 		KernelWorkers: *kworkers,
 		Seed:          *seed, PopulationSize: *popN, SampleSize: *popS,
 		TrainN: *trainN, ValN: *valN, CheckpointDir: *ckptDir,
-		SpaceFile: *spaceF,
-		Metrics:   *mDump != "" || *mAddr != "",
+		SpaceFile:   *spaceF,
+		Metrics:     *mDump != "" || *mAddr != "",
+		JournalPath: *journal,
+		Resume:      *resume,
 	}
 	if *progress {
 		opt.Progress = func(c swtnas.Candidate) {
@@ -91,11 +97,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("interrupted: %d of %d candidates completed\n", len(res.Candidates), *budget)
+		if *journal != "" {
+			fmt.Printf("journal %s holds the completed prefix; rerun with -resume to continue\n", *journal)
+		}
 		if len(res.Candidates) == 0 {
 			os.Exit(1)
 		}
 	}
 	fmt.Printf("search %s/%s: %d candidates in %s\n", res.App, res.Scheme, len(res.Candidates), time.Since(start).Round(time.Millisecond))
+	if s := res.Summary; s != nil && s.Resumed > 0 {
+		fmt.Printf("resumed from journal: %d candidates replayed, %d evaluated in this run\n",
+			s.Resumed, len(res.Candidates)-s.Resumed)
+	}
 
 	transferred := 0
 	for _, c := range res.Candidates {

@@ -33,6 +33,11 @@ type DistConfig struct {
 	N, S int
 	// PartialEpochs overrides the app default when positive.
 	PartialEpochs int
+	// TaskDeadline, when positive, bounds each candidate's worker-side
+	// evaluation (shipped as RPCTask.DeadlineMillis); pair it with the
+	// coordinator's FaultConfig.TaskDeadline for coordinator-side stall
+	// detection.
+	TaskDeadline time.Duration
 }
 
 // RunDistributed proposes candidates with regularized evolution, ships them
@@ -64,15 +69,16 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 	issue := func() {
 		p := strategy.Propose(rng)
 		t := RPCTask{
-			ID:            issued,
-			App:           cfg.App,
-			DataSeed:      cfg.DataSeed,
-			TrainN:        cfg.TrainN,
-			ValN:          cfg.ValN,
-			Arch:          p.Arch,
-			Seed:          cfg.Seed*1_000_003 + int64(issued),
-			Matcher:       cfg.Matcher,
-			PartialEpochs: cfg.PartialEpochs,
+			ID:             issued,
+			App:            cfg.App,
+			DataSeed:       cfg.DataSeed,
+			TrainN:         cfg.TrainN,
+			ValN:           cfg.ValN,
+			Arch:           p.Arch,
+			Seed:           cfg.Seed*1_000_003 + int64(issued),
+			Matcher:        cfg.Matcher,
+			PartialEpochs:  cfg.PartialEpochs,
+			DeadlineMillis: int64(cfg.TaskDeadline / time.Millisecond),
 		}
 		parents[issued] = p.ParentID
 		if cfg.Matcher != "" && p.ParentID >= 0 {
@@ -90,6 +96,24 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 	}
 	for completed := 0; completed < cfg.Budget; completed++ {
 		res := <-c.Results()
+		if res.Failed {
+			// The coordinator exhausted the retry budget for this candidate
+			// (crashed/stalled workers or persistent evaluation errors). The
+			// search continues without it: the record is marked Failed, never
+			// reported to the strategy, and never ranked by TopK.
+			tr.Records = append(tr.Records, trace.Record{
+				ID:          res.ID,
+				Arch:        archs[res.ID],
+				ParentID:    parents[res.ID],
+				CompletedAt: time.Since(start),
+				Failed:      true,
+				FailReason:  res.Err,
+			})
+			if issued < cfg.Budget {
+				issue()
+			}
+			continue
+		}
 		if res.Err != "" {
 			return nil, fmt.Errorf("cluster: candidate %d failed on %s: %s", res.ID, res.WorkerID, res.Err)
 		}

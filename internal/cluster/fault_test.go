@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRequeueUniqueResults hammers the coordinator's scheduling
+// state directly (no TCP): many worker goroutines pull tasks and submit a
+// mix of successes and errors concurrently while the monitor requeues, and
+// every task must still resolve exactly once. Run under -race this pins the
+// coordinator's locking discipline.
+func TestConcurrentRequeueUniqueResults(t *testing.T) {
+	c := NewCoordinatorWith(FaultConfig{
+		HeartbeatTimeout: 2 * time.Second,
+		MonitorInterval:  5 * time.Millisecond,
+		RetryBackoff:     time.Millisecond,
+		MaxAttempts:      4,
+	})
+	defer c.Shutdown()
+	svc := &Service{c: c}
+
+	const tasks = 100
+	for i := 0; i < tasks; i++ {
+		c.Enqueue(RPCTask{ID: i})
+	}
+
+	// Collect terminal results concurrently with the workers.
+	seen := map[int]int{}
+	failed := 0
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for i := 0; i < tasks; i++ {
+			res := <-c.Results()
+			seen[res.ID]++
+			if res.Failed {
+				failed++
+			}
+		}
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			n := 0
+			for {
+				var task RPCTask
+				if err := svc.NextTask(id, &task); err != nil {
+					t.Error(err)
+					return
+				}
+				if task.Shutdown {
+					return
+				}
+				n++
+				var ack bool
+				switch {
+				case n%5 == 0:
+					// Injected worker error: consumes an attempt, requeues.
+					res := RPCResult{ID: task.ID, WorkerID: id, Err: "injected"}
+					if err := svc.Submit(res, &ack); err != nil {
+						t.Error(err)
+						return
+					}
+				case n%7 == 0:
+					// Lost result: submit nothing; the monitor's deadline
+					// path is off here, so instead submit a late success
+					// after a duplicate window to exercise dedup.
+					res := RPCResult{ID: task.ID, WorkerID: id, Score: 1}
+					go func() {
+						time.Sleep(2 * time.Millisecond)
+						var ack2 bool
+						_ = svc.Submit(res, &ack2)
+						_ = svc.Submit(res, &ack2) // duplicate on purpose
+					}()
+				default:
+					res := RPCResult{ID: task.ID, WorkerID: id, Score: 1}
+					if err := svc.Submit(res, &ack); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	select {
+	case <-collected:
+	case <-time.After(30 * time.Second):
+		t.Fatal("terminal results did not all arrive")
+	}
+	c.Shutdown()
+	wg.Wait()
+
+	if len(seen) != tasks {
+		t.Fatalf("distinct resolved tasks = %d, want %d", len(seen), tasks)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d resolved %d times", id, n)
+		}
+	}
+	t.Logf("terminal failures after retries: %d", failed)
+}
+
+// TestRequeueExhaustionSurfacesFailure drives one task through MaxAttempts
+// worker errors and expects a coordinator-synthesized Failed result, not a
+// hang or an extra retry.
+func TestRequeueExhaustionSurfacesFailure(t *testing.T) {
+	c := NewCoordinatorWith(FaultConfig{
+		HeartbeatTimeout: 2 * time.Second,
+		MonitorInterval:  2 * time.Millisecond,
+		RetryBackoff:     time.Millisecond,
+		MaxAttempts:      3,
+	})
+	defer c.Shutdown()
+	svc := &Service{c: c}
+	c.Enqueue(RPCTask{ID: 7})
+
+	for attempt := 1; attempt <= 3; attempt++ {
+		var task RPCTask
+		if err := svc.NextTask("w0", &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.ID != 7 {
+			t.Fatalf("attempt %d got task %d", attempt, task.ID)
+		}
+		var ack bool
+		if err := svc.Submit(RPCResult{ID: 7, WorkerID: "w0", Err: "boom"}, &ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case res := <-c.Results():
+		if !res.Failed {
+			t.Fatalf("result = %+v, want Failed", res)
+		}
+		if res.Attempts != 3 {
+			t.Fatalf("attempts = %d, want 3", res.Attempts)
+		}
+		if res.Err != "boom" {
+			t.Fatalf("err = %q, want the last worker error", res.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no terminal result after retry exhaustion")
+	}
+}
+
+// TestQuarantineAndReadmission silences a worker past the heartbeat timeout,
+// checks its in-flight task requeues, then heartbeats again and checks the
+// worker is served tasks once more.
+func TestQuarantineAndReadmission(t *testing.T) {
+	c := NewCoordinatorWith(FaultConfig{
+		HeartbeatTimeout: 50 * time.Millisecond,
+		MonitorInterval:  10 * time.Millisecond,
+		RetryBackoff:     time.Millisecond,
+		MaxAttempts:      3,
+	})
+	defer c.Shutdown()
+	svc := &Service{c: c}
+	c.Enqueue(RPCTask{ID: 1})
+
+	var task RPCTask
+	if err := svc.NextTask("flaky", &task); err != nil {
+		t.Fatal(err)
+	}
+	// Go silent: the monitor must quarantine "flaky" and requeue task 1;
+	// a healthy worker parked in NextTask then receives it.
+	got := make(chan RPCTask, 1)
+	go func() {
+		var tk RPCTask
+		if err := svc.NextTask("healthy", &tk); err == nil {
+			got <- tk
+		}
+	}()
+	var requeued RPCTask
+	select {
+	case requeued = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task was never requeued after heartbeat timeout")
+	}
+	if requeued.ID != 1 {
+		t.Fatalf("requeued task = %d, want 1", requeued.ID)
+	}
+	var ack bool
+	if err := svc.Submit(RPCResult{ID: 1, WorkerID: "healthy", Score: 2}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	res := <-c.Results()
+	if res.WorkerID != "healthy" || res.Failed {
+		t.Fatalf("result = %+v, want success from the healthy worker", res)
+	}
+
+	// Re-admission: a heartbeat from the quarantined worker restores it.
+	if err := svc.Heartbeat("flaky", &ack); err != nil {
+		t.Fatal(err)
+	}
+	c.Enqueue(RPCTask{ID: 2})
+	if err := svc.NextTask("flaky", &task); err != nil {
+		t.Fatal(err)
+	}
+	if task.ID != 2 {
+		t.Fatalf("re-admitted worker got task %d, want 2", task.ID)
+	}
+}
+
+// TestLateDuplicateSubmitIsDropped: a stalled worker's submit arriving after
+// its task was requeued and completed elsewhere must not produce a second
+// terminal result.
+func TestLateDuplicateSubmitIsDropped(t *testing.T) {
+	c := NewCoordinatorWith(FaultConfig{
+		HeartbeatTimeout: time.Hour, // manual control; no monitor action
+		MonitorInterval:  time.Hour,
+		MaxAttempts:      3,
+	})
+	defer c.Shutdown()
+	svc := &Service{c: c}
+	c.Enqueue(RPCTask{ID: 3})
+
+	var task RPCTask
+	if err := svc.NextTask("w0", &task); err != nil {
+		t.Fatal(err)
+	}
+	var ack bool
+	if err := svc.Submit(RPCResult{ID: 3, WorkerID: "w0", Score: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	// Late duplicate (e.g. a requeued copy finishing on another worker).
+	if err := svc.Submit(RPCResult{ID: 3, WorkerID: "w1", Score: 9}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	res := <-c.Results()
+	if res.WorkerID != "w0" || res.Score != 1 {
+		t.Fatalf("first result = %+v, want w0's", res)
+	}
+	select {
+	case res := <-c.Results():
+		t.Fatalf("duplicate produced a second terminal result: %+v", res)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

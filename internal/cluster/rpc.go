@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -19,14 +21,25 @@ import (
 
 // Cluster telemetry (internal/obs, disabled by default): per-RPC round-trip
 // latency as seen by workers (includes NextTask's queue-blocking time, the
-// worker-idle signal), call/error counts, dial retries, and the local
-// execution time of each shipped candidate.
+// worker-idle signal), call/error counts, dial retries, the local execution
+// time of each shipped candidate, and the coordinator's fault-tolerance
+// decisions (requeues, quarantines, re-admissions, exhausted tasks).
+// Coordinator-side RPC traffic is additionally labeled per worker id (see
+// obs.Labeled) so requeue/quarantine decisions are attributable.
 var (
 	mRPCSeconds  = obs.GetHistogram("cluster.rpc.seconds", obs.DurationBuckets)
 	mRPCCalls    = obs.GetCounter("cluster.rpc.calls")
 	mRPCErrors   = obs.GetCounter("cluster.rpc.errors")
 	mRPCRetries  = obs.GetCounter("cluster.rpc.retries")
 	mExecSeconds = obs.GetHistogram("cluster.exec.seconds", obs.DurationBuckets)
+
+	mTasksRequeued    = obs.GetCounter("cluster.tasks.requeued")
+	mTasksFailed      = obs.GetCounter("cluster.tasks.failed")
+	mResultsDuplicate = obs.GetCounter("cluster.results.duplicate")
+	mQuarantined      = obs.GetCounter("cluster.workers.quarantined")
+	mReadmitted       = obs.GetCounter("cluster.workers.readmitted")
+	mInflightGauge    = obs.GetGauge("cluster.tasks.inflight")
+	mHeartbeats       = obs.GetCounter("cluster.heartbeats")
 )
 
 // Worker.Run dial schedule; vars so tests can shrink the timing.
@@ -87,6 +100,11 @@ type RPCTask struct {
 	Parent        []byte // encoded provider checkpoint, nil for scratch
 	PartialEpochs int
 	BatchSizeHint int // 0 -> space default
+	// DeadlineMillis, when positive, bounds the worker-side evaluation: the
+	// worker trains under a context with this timeout and reports a task
+	// error when it expires (the coordinator then retries or fails the
+	// candidate). Mirrors FaultConfig.TaskDeadline on the worker side.
+	DeadlineMillis int64
 }
 
 // RPCResult returns a scored candidate to the coordinator.
@@ -99,56 +117,270 @@ type RPCResult struct {
 	TrainMillis float64
 	Checkpoint  []byte
 	Err         string
+	// Failed marks a terminal failure emitted by the coordinator after the
+	// task exhausted its retry budget; plain worker errors (Err set,
+	// Failed false) are retried internally and never reach Results.
+	Failed bool
+	// Attempts counts the executions the task consumed (retries included).
+	Attempts int
 }
 
-// Coordinator is the scheduler-side RPC endpoint: workers poll NextTask and
-// push Submit. It is the stand-in for DeepHyper's Ray head node.
+// FaultConfig tunes the coordinator's failure detection and retry policy.
+// The zero value selects the defaults noted on each field; tests shrink the
+// timings to milliseconds.
+type FaultConfig struct {
+	// HeartbeatTimeout quarantines a worker that has been silent (no
+	// NextTask/Submit/Heartbeat) for longer than this; its in-flight tasks
+	// requeue to healthy workers. A quarantined worker that heartbeats
+	// again is re-admitted. Default 15s.
+	HeartbeatTimeout time.Duration
+	// TaskDeadline requeues a task that has been running on one worker for
+	// longer than this (stall detection, independent of heartbeats).
+	// 0 disables per-task deadlines.
+	TaskDeadline time.Duration
+	// MaxAttempts bounds the executions one task may consume before the
+	// coordinator surfaces it as a Failed result instead of retrying.
+	// Default 3.
+	MaxAttempts int
+	// RetryBackoff delays a requeued task's re-dispatch, doubling per
+	// consumed attempt. Default 100ms.
+	RetryBackoff time.Duration
+	// MonitorInterval is the failure-detector scan period. Default 250ms.
+	MonitorInterval time.Duration
+}
+
+func (f FaultConfig) withDefaults() FaultConfig {
+	if f.HeartbeatTimeout <= 0 {
+		f.HeartbeatTimeout = 15 * time.Second
+	}
+	if f.MaxAttempts <= 0 {
+		f.MaxAttempts = 3
+	}
+	if f.RetryBackoff <= 0 {
+		f.RetryBackoff = 100 * time.Millisecond
+	}
+	if f.MonitorInterval <= 0 {
+		f.MonitorInterval = 250 * time.Millisecond
+	}
+	return f
+}
+
+// inflightTask is one task assigned to a worker and not yet resolved.
+type inflightTask struct {
+	task     RPCTask
+	worker   string
+	started  time.Time
+	attempts int // executions consumed, including this one
+}
+
+// queuedTask is a task waiting for a worker (attempts already consumed).
+type queuedTask struct {
+	task     RPCTask
+	attempts int
+}
+
+// delayedTask is a requeued task serving its retry backoff.
+type delayedTask struct {
+	task     RPCTask
+	attempts int
+	readyAt  time.Time
+}
+
+// workerState is the coordinator's liveness view of one worker.
+type workerState struct {
+	lastBeat    time.Time
+	quarantined bool
+}
+
+// Coordinator is the scheduler-side RPC endpoint: workers poll NextTask,
+// push Submit, and report liveness via Heartbeat. It is the stand-in for
+// DeepHyper's Ray head node, hardened for worker preemption: tasks whose
+// worker crashes or stalls are requeued (bounded attempts with backoff) and
+// dead workers are quarantined until they heartbeat again.
 type Coordinator struct {
+	cfg FaultConfig
+
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    []RPCTask
+	queue    []queuedTask
+	delayed  []delayedTask
+	inflight map[int]*inflightTask
+	workers  map[string]*workerState
+	done     map[int]bool
 	shutdown bool
-	results  chan RPCResult
+
+	monitorOnce sync.Once
+	stopMonitor chan struct{}
+
+	results chan RPCResult
 }
 
-// NewCoordinator creates a coordinator with a buffered result stream.
-func NewCoordinator() *Coordinator {
-	c := &Coordinator{results: make(chan RPCResult, 64)}
+// NewCoordinator creates a coordinator with the default fault policy.
+func NewCoordinator() *Coordinator { return NewCoordinatorWith(FaultConfig{}) }
+
+// NewCoordinatorWith creates a coordinator with an explicit fault policy.
+func NewCoordinatorWith(cfg FaultConfig) *Coordinator {
+	c := &Coordinator{
+		cfg:         cfg.withDefaults(),
+		inflight:    map[int]*inflightTask{},
+		workers:     map[string]*workerState{},
+		done:        map[int]bool{},
+		stopMonitor: make(chan struct{}),
+		results:     make(chan RPCResult, 64),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
-// Enqueue adds a task for the next free worker.
+// Enqueue adds a task for the next free worker and starts the failure
+// detector on first use.
 func (c *Coordinator) Enqueue(t RPCTask) {
+	c.monitorOnce.Do(func() { go c.monitor() })
 	c.mu.Lock()
-	c.queue = append(c.queue, t)
+	c.queue = append(c.queue, queuedTask{task: t, attempts: 0})
 	c.mu.Unlock()
 	c.cond.Signal()
 }
 
-// Results streams worker submissions.
+// Results streams terminal task outcomes: one per enqueued task, either a
+// worker's successful submission or a coordinator-synthesized Failed result
+// after the retry budget is exhausted. Duplicate submissions (a stalled
+// worker finishing after its task was requeued and re-run) are dropped.
 func (c *Coordinator) Results() <-chan RPCResult { return c.results }
 
-// Shutdown makes every pending and future NextTask return a shutdown task.
+// Shutdown makes every pending and future NextTask return a shutdown task
+// and stops the failure detector.
 func (c *Coordinator) Shutdown() {
+	c.monitorOnce.Do(func() { go c.monitor() }) // ensure stopMonitor has a consumer
 	c.mu.Lock()
-	c.shutdown = true
+	if !c.shutdown {
+		c.shutdown = true
+		close(c.stopMonitor)
+	}
 	c.mu.Unlock()
 	c.cond.Broadcast()
 }
 
+// beatLocked records worker liveness, re-admitting it from quarantine.
+// Callers hold c.mu.
+func (c *Coordinator) beatLocked(workerID string) {
+	ws := c.workers[workerID]
+	if ws == nil {
+		ws = &workerState{}
+		c.workers[workerID] = ws
+	}
+	ws.lastBeat = time.Now()
+	if ws.quarantined {
+		ws.quarantined = false
+		mReadmitted.Inc()
+		obs.GetCounter(obs.Labeled("cluster.coord.readmitted", "worker", workerID)).Inc()
+	}
+}
+
+// requeueLocked returns a resolved-but-unfinished task to the schedule: a
+// retry with backoff while attempts remain, a synthesized Failed result
+// otherwise. It returns the terminal result to send (nil for a retry);
+// callers hold c.mu and must send after unlocking.
+func (c *Coordinator) requeueLocked(t RPCTask, attempts int, reason string) *RPCResult {
+	if c.done[t.ID] {
+		return nil
+	}
+	if attempts >= c.cfg.MaxAttempts {
+		c.done[t.ID] = true
+		mTasksFailed.Inc()
+		return &RPCResult{ID: t.ID, WorkerID: "coordinator", Err: reason, Failed: true, Attempts: attempts}
+	}
+	backoff := c.cfg.RetryBackoff << (attempts - 1)
+	c.delayed = append(c.delayed, delayedTask{task: t, attempts: attempts, readyAt: time.Now().Add(backoff)})
+	mTasksRequeued.Inc()
+	return nil
+}
+
+// monitor is the failure detector: it quarantines silent workers (requeuing
+// their in-flight tasks), enforces per-task deadlines, and moves requeued
+// tasks whose backoff elapsed back into the dispatch queue.
+func (c *Coordinator) monitor() {
+	ticker := time.NewTicker(c.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopMonitor:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var failed []RPCResult
+		c.mu.Lock()
+		// Quarantine workers that stopped heartbeating and reclaim their
+		// in-flight tasks.
+		for id, ws := range c.workers {
+			if ws.quarantined || now.Sub(ws.lastBeat) <= c.cfg.HeartbeatTimeout {
+				continue
+			}
+			ws.quarantined = true
+			mQuarantined.Inc()
+			obs.GetCounter(obs.Labeled("cluster.coord.quarantined", "worker", id)).Inc()
+			for tid, ift := range c.inflight {
+				if ift.worker != id {
+					continue
+				}
+				delete(c.inflight, tid)
+				if res := c.requeueLocked(ift.task, ift.attempts, fmt.Sprintf("worker %s presumed dead (no heartbeat)", id)); res != nil {
+					failed = append(failed, *res)
+				}
+			}
+		}
+		// Per-task deadline: a task stuck on one worker is requeued even if
+		// the worker still heartbeats (stalled evaluation).
+		if c.cfg.TaskDeadline > 0 {
+			for tid, ift := range c.inflight {
+				if now.Sub(ift.started) <= c.cfg.TaskDeadline {
+					continue
+				}
+				delete(c.inflight, tid)
+				if res := c.requeueLocked(ift.task, ift.attempts, fmt.Sprintf("task deadline %s exceeded on worker %s", c.cfg.TaskDeadline, ift.worker)); res != nil {
+					failed = append(failed, *res)
+				}
+			}
+		}
+		// Release requeued tasks whose backoff elapsed.
+		released := false
+		keep := c.delayed[:0]
+		for _, d := range c.delayed {
+			if !d.readyAt.After(now) {
+				c.queue = append(c.queue, queuedTask{task: d.task, attempts: d.attempts})
+				released = true
+			} else {
+				keep = append(keep, d)
+			}
+		}
+		c.delayed = keep
+		mInflightGauge.Set(int64(len(c.inflight)))
+		c.mu.Unlock()
+		if released {
+			c.cond.Broadcast()
+		}
+		for _, res := range failed {
+			c.results <- res
+		}
+	}
+}
+
 // Service is the exported RPC receiver ("Service.NextTask",
-// "Service.Submit").
+// "Service.Submit", "Service.Heartbeat").
 type Service struct {
 	c *Coordinator
 }
 
 // NextTask blocks until a task or shutdown is available. net/rpc runs each
 // call on its own goroutine, so blocking here parks only the asking worker.
+// Asking for work counts as a heartbeat (and re-admits a quarantined
+// worker: if it can ask, it is alive).
 func (s *Service) NextTask(workerID string, reply *RPCTask) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.beatLocked(workerID)
 	for len(c.queue) == 0 && !c.shutdown {
 		c.cond.Wait()
 	}
@@ -156,16 +388,90 @@ func (s *Service) NextTask(workerID string, reply *RPCTask) error {
 		*reply = RPCTask{Shutdown: true}
 		return nil
 	}
-	*reply = c.queue[0]
+	qt := c.queue[0]
 	c.queue = c.queue[1:]
+	c.inflight[qt.task.ID] = &inflightTask{
+		task:     qt.task,
+		worker:   workerID,
+		started:  time.Now(),
+		attempts: qt.attempts + 1,
+	}
+	c.beatLocked(workerID) // cond.Wait may have parked past the timeout
+	mInflightGauge.Set(int64(len(c.inflight)))
+	obs.GetCounter(obs.Labeled("cluster.coord.tasks.assigned", "worker", workerID)).Inc()
+	*reply = qt.task
 	return nil
 }
 
-// Submit delivers a result to the coordinator's stream.
-func (s *Service) Submit(res RPCResult, ack *bool) error {
-	s.c.results <- res
+// Heartbeat reports worker liveness; workers send it from a side goroutine
+// so multi-minute evaluations do not read as death.
+func (s *Service) Heartbeat(workerID string, ack *bool) error {
+	c := s.c
+	c.mu.Lock()
+	c.beatLocked(workerID)
+	c.mu.Unlock()
+	mHeartbeats.Inc()
+	obs.GetCounter(obs.Labeled("cluster.coord.heartbeats", "worker", workerID)).Inc()
 	*ack = true
 	return nil
+}
+
+// Submit delivers a result to the coordinator. Successful results resolve
+// the task (late duplicates from requeued copies are dropped); worker-side
+// errors consume an attempt and requeue, failing terminally only once the
+// retry budget is spent.
+func (s *Service) Submit(res RPCResult, ack *bool) error {
+	c := s.c
+	*ack = true
+	var terminal *RPCResult
+	c.mu.Lock()
+	c.beatLocked(res.WorkerID)
+	obs.GetCounter(obs.Labeled("cluster.coord.results", "worker", res.WorkerID)).Inc()
+	switch {
+	case c.done[res.ID]:
+		mResultsDuplicate.Inc()
+	case res.Err != "":
+		ift := c.inflight[res.ID]
+		if ift != nil && ift.worker == res.WorkerID {
+			delete(c.inflight, res.ID)
+			terminal = c.requeueLocked(ift.task, ift.attempts, res.Err)
+		}
+		// Otherwise another attempt is already queued or running; drop.
+	default:
+		if ift := c.inflight[res.ID]; ift != nil {
+			res.Attempts = ift.attempts
+			delete(c.inflight, res.ID)
+		}
+		c.scrubLocked(res.ID)
+		c.done[res.ID] = true
+		r := res
+		terminal = &r
+	}
+	mInflightGauge.Set(int64(len(c.inflight)))
+	c.mu.Unlock()
+	if terminal != nil {
+		c.results <- *terminal
+	}
+	return nil
+}
+
+// scrubLocked removes any queued or delayed copy of a resolved task (a
+// requeued task whose original worker finished after all). Callers hold c.mu.
+func (c *Coordinator) scrubLocked(id int) {
+	keepQ := c.queue[:0]
+	for _, qt := range c.queue {
+		if qt.task.ID != id {
+			keepQ = append(keepQ, qt)
+		}
+	}
+	c.queue = keepQ
+	keepD := c.delayed[:0]
+	for _, d := range c.delayed {
+		if d.task.ID != id {
+			keepD = append(keepD, d)
+		}
+	}
+	c.delayed = keepD
 }
 
 // Serve registers the coordinator service and accepts connections until the
@@ -184,11 +490,37 @@ func (c *Coordinator) Serve(l net.Listener) error {
 	}
 }
 
+// Sentinel errors an ExecuteHook can return to simulate worker failures
+// (used by resilience/faultinject; harmless in production workers, which
+// never set a hook).
+var (
+	// ErrCrash makes the worker drop its coordinator connection and stop
+	// heartbeating — from the coordinator's view, the process died.
+	ErrCrash = errors.New("cluster: injected worker crash")
+	// ErrDropResult makes the worker skip Submit for this one task but keep
+	// serving (a lost result; the coordinator's deadline reclaims the task).
+	ErrDropResult = errors.New("cluster: injected result drop")
+)
+
 // Worker executes tasks fetched from a coordinator. It caches one
 // application per configuration so repeated tasks do not regenerate data.
 type Worker struct {
 	// ID labels the worker in results.
 	ID string
+
+	// HeartbeatEvery is the liveness-ping period Run uses while connected.
+	// 0 selects the 2s default; negative disables heartbeats entirely
+	// (tests simulating a silent stall).
+	HeartbeatEvery time.Duration
+
+	// ExecuteHook, when set, replaces Execute in Run's task loop. Returning
+	// ErrCrash kills the connection and Run; ErrDropResult suppresses the
+	// Submit. Any other error aborts Run with it. Fault-injection only.
+	ExecuteHook func(RPCTask) (RPCResult, error)
+
+	// Dial, when set, replaces the default TCP dial — faultinject wraps the
+	// returned conn to corrupt or delay traffic deterministically.
+	Dial func(addr string) (net.Conn, error)
 
 	appMu  sync.Mutex
 	appKey string
@@ -253,10 +585,16 @@ func (w *Worker) Execute(t RPCTask) RPCResult {
 	if batch <= 0 {
 		batch = app.Space.BatchSize
 	}
+	ctx := context.Background()
+	if t.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(t.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
 	start := time.Now()
 	h, err := nn.Fit(net, app.Space.Loss, app.Space.Metric, nn.NewAdam(),
 		app.Dataset.Train, app.Dataset.Val,
-		nn.FitConfig{Epochs: epochs, BatchSize: batch, RNG: rng})
+		nn.FitConfig{Context: ctx, Epochs: epochs, BatchSize: batch, RNG: rng})
 	res.TrainMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		return fail(err)
@@ -270,15 +608,61 @@ func (w *Worker) Execute(t RPCTask) RPCResult {
 	return res
 }
 
+// dial opens the coordinator connection, honoring the Dial override.
+func (w *Worker) dial(addr string) (*rpc.Client, error) {
+	if w.Dial == nil {
+		return dialRetry(addr)
+	}
+	var lastErr error
+	for i := 0; i < dialAttempts; i++ {
+		if i > 0 {
+			mRPCRetries.Inc()
+			time.Sleep(dialDelay)
+		}
+		conn, err := w.Dial(addr)
+		if err == nil {
+			return rpc.NewClient(conn), nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // Run connects to the coordinator (retrying the dial — workers commonly
 // start before the coordinator's listener is up) and processes tasks until
-// shutdown.
+// shutdown. A side goroutine heartbeats every HeartbeatEvery so the
+// coordinator distinguishes "evaluating a slow candidate" from "dead".
 func (w *Worker) Run(addr string) error {
-	client, err := dialRetry(addr)
+	client, err := w.dial(addr)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %s dialing %s: %w", w.ID, addr, err)
 	}
 	defer client.Close()
+
+	beatEvery := w.HeartbeatEvery
+	if beatEvery == 0 {
+		beatEvery = 2 * time.Second
+	}
+	stopBeats := make(chan struct{})
+	defer close(stopBeats)
+	if beatEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(beatEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopBeats:
+					return
+				case <-ticker.C:
+					var ack bool
+					// Errors here mean the connection died; the task loop
+					// will observe the same failure and exit.
+					_ = call(client, "Service.Heartbeat", w.ID, &ack)
+				}
+			}
+		}()
+	}
+
 	for {
 		var task RPCTask
 		if err := call(client, "Service.NextTask", w.ID, &task); err != nil {
@@ -287,7 +671,21 @@ func (w *Worker) Run(addr string) error {
 		if task.Shutdown {
 			return nil
 		}
-		res := w.Execute(task)
+		var res RPCResult
+		if w.ExecuteHook != nil {
+			var err error
+			res, err = w.ExecuteHook(task)
+			switch {
+			case errors.Is(err, ErrCrash):
+				return nil // drop connection + heartbeats: simulated death
+			case errors.Is(err, ErrDropResult):
+				continue // lose the result, keep serving
+			case err != nil:
+				return fmt.Errorf("cluster: worker %s execute hook: %w", w.ID, err)
+			}
+		} else {
+			res = w.Execute(task)
+		}
 		var ack bool
 		if err := call(client, "Service.Submit", res, &ack); err != nil {
 			return fmt.Errorf("cluster: worker %s submitting result: %w", w.ID, err)

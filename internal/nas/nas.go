@@ -23,6 +23,7 @@ import (
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
+	"swtnas/internal/resilience"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -104,10 +105,18 @@ type Evaluator struct {
 
 // Evaluate runs one candidate end to end. Transfer failures are not fatal:
 // a receiver that cannot be warm-started trains from its fresh weights,
-// like the paper's non-transferable pairs.
+// like the paper's non-transferable pairs. It is EvaluateCtx with a
+// background context.
 func (e *Evaluator) Evaluate(task Task) Result {
+	return e.EvaluateCtx(context.Background(), task)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation stops the
+// candidate's training between minibatches (see nn.FitConfig.Context) and
+// surfaces as a Result whose Err wraps the context error.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, task Task) Result {
 	start := time.Now()
-	res := e.evaluate(task)
+	res := e.evaluate(ctx, task)
 	res.EvalTime = time.Since(start)
 	if !task.IssuedAt.IsZero() {
 		res.QueueWait = start.Sub(task.IssuedAt)
@@ -129,8 +138,8 @@ func (e *Evaluator) Evaluate(task Task) Result {
 	return res
 }
 
-// evaluate is Evaluate without the telemetry envelope.
-func (e *Evaluator) evaluate(task Task) Result {
+// evaluate is EvaluateCtx without the telemetry envelope.
+func (e *Evaluator) evaluate(ctx context.Context, task Task) Result {
 	res := Result{ID: task.ID, Arch: task.Arch, ParentID: task.ParentID}
 	rng := rand.New(rand.NewSource(task.Seed))
 	net, err := e.App.Space.Build(task.Arch, rng)
@@ -164,7 +173,7 @@ func (e *Evaluator) evaluate(task Task) Result {
 	start := time.Now()
 	h, err := nn.Fit(net, e.App.Space.Loss, e.App.Space.Metric, nn.NewAdam(),
 		e.App.Dataset.Train, e.App.Dataset.Val,
-		nn.FitConfig{Epochs: epochs, BatchSize: e.App.Space.BatchSize, RNG: rng})
+		nn.FitConfig{Context: ctx, Epochs: epochs, BatchSize: e.App.Space.BatchSize, RNG: rng})
 	res.TrainTime = time.Since(start)
 	if err != nil {
 		res.Err = fmt.Errorf("nas: training candidate %d: %w", task.ID, err)
@@ -222,6 +231,20 @@ type Config struct {
 	// must not call back into the search; a slow callback delays issuing
 	// the next candidate but never corrupts the run.
 	Progress func(Result)
+	// Journal, when non-nil, receives an append for every completed
+	// candidate (trace record plus encoded checkpoint) before Progress
+	// fires, so a crashed run can resume from its last fsynced candidate.
+	// A journal write failure aborts the run: a search that silently stops
+	// journaling would resume wrong.
+	Journal *resilience.Journal
+	// Resume, when non-nil, is a recovered journal to replay before live
+	// evaluation: the proposal stream is re-derived from Seed, journaled
+	// candidates are recorded without re-evaluating (their checkpoints
+	// restored into Store bit for bit), the strategy's population is
+	// rebuilt in the original completion order, and evaluation continues
+	// with the tasks that were in flight at the crash. Seed, Budget,
+	// Workers and the strategy configuration must match the original run.
+	Resume *resilience.Recovery
 }
 
 // SchemeName renders the scheme label used across the evaluation.
@@ -237,11 +260,11 @@ func SchemeName(m core.Matcher) string {
 // is buildable, so an error indicates a real defect rather than a bad
 // candidate.
 //
-// Cancelling ctx stops the search between candidates: evaluations already
-// in flight finish (a candidate is never abandoned mid-training), queued
-// tasks are skipped, and Run returns the partial trace of every candidate
-// completed so far together with ctx.Err(). All evaluator goroutines have
-// stopped evaluating by the time Run returns.
+// Cancelling ctx stops the search promptly: evaluations in flight stop at
+// the next minibatch boundary (their partial candidates are dropped, not
+// recorded), queued tasks are skipped, and Run returns the partial trace of
+// every candidate completed before cancellation together with ctx.Err().
+// All evaluator goroutines have stopped evaluating by the time Run returns.
 func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	if cfg.App == nil {
 		return nil, fmt.Errorf("nas: config needs an App")
@@ -275,6 +298,23 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 		strategy = evo.NewRegularizedEvolution(cfg.App.Space, 0, 0)
 	}
 
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &trace.Trace{App: cfg.App.Name, Scheme: SchemeName(cfg.Matcher), Seed: cfg.Seed}
+
+	// Crash resume: replay the journal first — the proposal stream is
+	// re-derived from the seed, journaled results are recorded without
+	// re-evaluating — leaving only the tasks that were in flight at the
+	// crash (plus the unissued remainder of the budget) to evaluate live.
+	var pending []Task
+	issued := 0
+	if cfg.Resume != nil {
+		var err error
+		pending, issued, err = replayJournal(cfg, strategy, store, rng, workers, tr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	eval := &Evaluator{App: cfg.App, Matcher: cfg.Matcher, Store: store}
 	tasks := make(chan Task, workers)
 	results := make(chan Result, workers)
@@ -288,42 +328,61 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 					results <- Result{ID: t.ID, Arch: t.Arch, ParentID: t.ParentID, Err: err}
 					continue
 				}
-				results <- eval.Evaluate(t)
+				results <- eval.EvaluateCtx(ctx, t)
 			}
 		}()
 	}
 	defer close(tasks)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	issued := 0
-	issue := func() {
-		p := strategy.Propose(rng)
-		tasks <- Task{
-			ID:       issued,
-			Arch:     p.Arch,
-			ParentID: p.ParentID,
-			Seed:     cfg.Seed*1_000_003 + int64(issued),
-			IssuedAt: time.Now(),
+	// dispatch starts the next candidate: first any task recovered
+	// in-flight from the journal, then fresh proposals up to the budget.
+	dispatch := func() bool {
+		if len(pending) > 0 {
+			t := pending[0]
+			pending = pending[1:]
+			t.IssuedAt = time.Now()
+			tasks <- t
+			return true
 		}
-		issued++
+		if issued < cfg.Budget {
+			p := strategy.Propose(rng)
+			tasks <- Task{
+				ID:       issued,
+				Arch:     p.Arch,
+				ParentID: p.ParentID,
+				Seed:     TaskSeed(cfg.Seed, issued),
+				IssuedAt: time.Now(),
+			}
+			issued++
+			return true
+		}
+		return false
 	}
 
-	tr := &trace.Trace{App: cfg.App.Name, Scheme: SchemeName(cfg.Matcher), Seed: cfg.Seed}
 	best := math.Inf(-1)
-	start := time.Now()
-	for i := 0; i < workers; i++ {
-		issue()
+	for _, r := range tr.Records {
+		if r.Score > best {
+			best = r.Score
+		}
 	}
-	// The scheduler loop drains every issued task: outstanding results are
-	// bounded by the worker count (one new task per completed result), so
-	// the buffered channels never block and no evaluator goroutine is left
-	// holding a result when Run returns.
-	for completed := 0; completed < issued; {
+	start := time.Now()
+	inflight := 0
+	for i := 0; i < workers; i++ {
+		if !dispatch() {
+			break
+		}
+		inflight++
+	}
+	// The scheduler loop drains every dispatched task: outstanding results
+	// are bounded by the worker count (one new task per completed result),
+	// so the buffered channels never block and no evaluator goroutine is
+	// left holding a result when Run returns.
+	for inflight > 0 {
 		res := <-results
-		completed++
+		inflight--
 		if res.Err != nil {
 			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
-				continue // queued task skipped after cancellation; keep draining
+				continue // cancelled mid-training or skipped in queue; keep draining
 			}
 			return nil, res.Err
 		}
@@ -347,17 +406,34 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			EvalTime:        res.EvalTime,
 			QueueWait:       res.QueueWait,
 		})
+		if cfg.Journal != nil {
+			blob, err := checkpoint.LoadEncoded(store, CandidateID(res.ID))
+			if err != nil {
+				return nil, fmt.Errorf("nas: journaling candidate %d: %w", res.ID, err)
+			}
+			rec := resilience.EvalRecord{Record: tr.Records[len(tr.Records)-1], Checkpoint: blob}
+			if err := cfg.Journal.Append(rec); err != nil {
+				return nil, fmt.Errorf("nas: journaling candidate %d: %w", res.ID, err)
+			}
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(res)
 		}
-		if ctx.Err() == nil && issued < cfg.Budget {
-			issue()
+		if ctx.Err() == nil && dispatch() {
+			inflight++
 		}
 	}
 	if err := ctx.Err(); err != nil && len(tr.Records) < cfg.Budget {
 		return tr, err
 	}
 	return tr, nil
+}
+
+// TaskSeed derives candidate id's deterministic evaluation seed from the
+// search seed — shared by the live scheduler and journal replay so a
+// resumed task trains exactly as it would have in the original run.
+func TaskSeed(searchSeed int64, id int) int64 {
+	return searchSeed*1_000_003 + int64(id)
 }
 
 // autoKernelWorkers splits cores evenly across concurrent evaluators: each

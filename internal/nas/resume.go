@@ -1,0 +1,93 @@
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/evo"
+	"swtnas/internal/obs"
+	"swtnas/internal/search"
+	"swtnas/internal/trace"
+)
+
+var mResumedCandidates = obs.GetCounter("nas.candidates.resumed")
+
+// replayJournal rebuilds the scheduler state a crashed run had reached by
+// simulating its exact issue/complete interleaving: proposals are re-derived
+// from the seeded RNG in the original issue order, and journal records —
+// which are in completion order — drive strategy reports and follow-on
+// proposals exactly as the live loop would have. Each journaled candidate's
+// checkpoint is restored into the store bit for bit, so later weight
+// transfers read identical providers.
+//
+// It returns the tasks that were issued but not journaled (in flight at the
+// crash, or queued behind it) in issue order, plus the total proposal count
+// consumed, leaving rng and strategy in the same state as an uninterrupted
+// run at that point.
+func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, rng *rand.Rand, workers int, tr *trace.Trace) (pending []Task, issued int, err error) {
+	rec := cfg.Resume
+	if len(rec.Records) > cfg.Budget {
+		return nil, 0, fmt.Errorf("nas: journal holds %d candidates for a budget of %d", len(rec.Records), cfg.Budget)
+	}
+	open := map[int]Task{} // issued, not yet journaled
+	var order []int        // issue order of open tasks
+	issue := func() {
+		p := strategy.Propose(rng)
+		open[issued] = Task{
+			ID:       issued,
+			Arch:     p.Arch,
+			ParentID: p.ParentID,
+			Seed:     TaskSeed(cfg.Seed, issued),
+		}
+		order = append(order, issued)
+		issued++
+	}
+	upfront := workers
+	if upfront > cfg.Budget {
+		upfront = cfg.Budget
+	}
+	for i := 0; i < upfront; i++ {
+		issue()
+	}
+	for _, er := range rec.Records {
+		r := er.Record
+		t, ok := open[r.ID]
+		if !ok {
+			return nil, 0, fmt.Errorf("nas: journal candidate %d is not in the replayed schedule — journal and run options disagree", r.ID)
+		}
+		if !archsEqual(t.Arch, r.Arch) {
+			return nil, 0, fmt.Errorf("nas: journal candidate %d has arch %v, replay proposed %v — journal and run options disagree", r.ID, r.Arch, t.Arch)
+		}
+		if len(er.Checkpoint) > 0 {
+			if err := checkpoint.SaveEncoded(store, CandidateID(r.ID), er.Checkpoint); err != nil {
+				return nil, 0, fmt.Errorf("nas: restoring journaled checkpoint %d: %w", r.ID, err)
+			}
+		}
+		strategy.Report(evo.Individual{ID: r.ID, Arch: r.Arch, Score: r.Score})
+		tr.Records = append(tr.Records, r)
+		delete(open, r.ID)
+		if issued < cfg.Budget {
+			issue()
+		}
+	}
+	mResumedCandidates.Add(int64(len(rec.Records)))
+	for _, id := range order {
+		if t, ok := open[id]; ok {
+			pending = append(pending, t)
+		}
+	}
+	return pending, issued, nil
+}
+
+func archsEqual(a search.Arch, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

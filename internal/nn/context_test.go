@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFitCancelledContextStopsBeforeTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d", 2, 2, 0, rng), GraphInput(0))
+	d := twoBlobs(rng, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, NewAdam(), d, d, FitConfig{
+		Context: ctx, Epochs: 3, BatchSize: 8,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFitCancelsMidEpoch cancels from a minibatch boundary via a deadline
+// short enough to expire inside the first epoch; Fit must return the
+// context error promptly instead of finishing the pass.
+func TestFitCancelsMidEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d1", 2, 64, 0, rng), GraphInput(0))
+	net.MustAdd(NewActivation("a", ReLU), 0)
+	net.MustAdd(NewDense("d2", 64, 2, 0, rng), 1)
+	d := twoBlobs(rng, 512)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	h, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, NewAdam(), d, d, FitConfig{
+		Context: ctx, Epochs: 1000, BatchSize: 2, RNG: rng,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v (history %+v), want context.DeadlineExceeded", err, h)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the between-batch check is not firing", elapsed)
+	}
+}
+
+func TestFitNilContextTrainsToCompletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := NewNetwork([]int{2})
+	net.MustAdd(NewDense("d", 2, 2, 0, rng), GraphInput(0))
+	d := twoBlobs(rng, 16)
+	h, err := Fit(net, SoftmaxCrossEntropy{}, Accuracy{}, NewAdam(), d, d, FitConfig{
+		Epochs: 2, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EpochsRun != 2 {
+		t.Fatalf("epochs run = %d, want 2", h.EpochsRun)
+	}
+}

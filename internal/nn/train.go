@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -94,6 +95,12 @@ func (d *Data) Slice(lo, hi int) *Data {
 
 // FitConfig controls a training run.
 type FitConfig struct {
+	// Context, when non-nil, is checked between minibatches and epochs:
+	// cancellation (or a deadline) stops training promptly mid-epoch and
+	// Fit returns the context's error. nil never cancels. This is how
+	// search-level cancellation and per-task resilience deadlines stop a
+	// multi-minute candidate without waiting for its epoch to finish.
+	Context context.Context
 	// Epochs is the maximum number of passes over the training data.
 	Epochs int
 	// BatchSize is the minibatch size (paper: 64 for CIFAR/MNIST,
@@ -216,6 +223,11 @@ func Fit(net *Network, loss Loss, metric Metric, opt Optimizer, train, val *Data
 		batches := 0
 		epochTimer := mFitEpoch.Start()
 		for lo := 0; lo < n; lo += cfg.BatchSize {
+			if cfg.Context != nil {
+				if err := cfg.Context.Err(); err != nil {
+					return nil, err
+				}
+			}
 			hi := lo + cfg.BatchSize
 			if hi > n {
 				hi = n

@@ -32,12 +32,17 @@ type Server struct {
 // "http://127.0.0.1:9190/debug/metrics".
 func (s *Server) URL() string { return "http://" + s.lis.Addr().String() + MetricsPath }
 
+// PromURL returns the Prometheus text-exposition endpoint URL, e.g.
+// "http://127.0.0.1:9190/metrics".
+func (s *Server) PromURL() string { return "http://" + s.lis.Addr().String() + PromPath }
+
 // Close shuts the server down and releases the listener.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// Serve exposes the registry on MetricsPath at addr (":0" picks a free
-// port) and also enables recording — a served registry that records
-// nothing would only ever report zeros. The server runs until Close.
+// Serve exposes the registry on MetricsPath (JSON) and PromPath (Prometheus
+// text format) at addr (":0" picks a free port) and also enables recording —
+// a served registry that records nothing would only ever report zeros. The
+// server runs until Close.
 func (r *Registry) Serve(addr string) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -45,6 +50,7 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle(MetricsPath, r.Handler())
+	mux.Handle(PromPath, r.PromHandler())
 	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
 	r.SetEnabled(true)
 	go s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// PromPath is the Prometheus text-exposition endpoint path Serve registers
+// beside the JSON MetricsPath.
+const PromPath = "/metrics"
+
+// Labeled builds a flat metric name carrying Prometheus-style labels:
+// Labeled("cluster.coord.results", "worker", "w1") returns
+// `cluster.coord.results{worker="w1"}`. The registry stays flat — a labeled
+// series is just another name — but WritePrometheus re-parses the braces so
+// scraped output groups series under one metric family. Pairs are sorted by
+// key so the same label set always yields the same series name.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: Labeled needs key/value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promName sanitizes a registry name (dotted, possibly with a {labels}
+// suffix from Labeled) into a Prometheus metric name plus its label block.
+func promName(name string) (base, labels string) {
+	base = name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i:]
+	}
+	var b strings.Builder
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String(), labels
+}
+
+// mergeLabels appends extra (already escaped `k="v"` fragments) into a label
+// block that may be empty.
+func mergeLabels(labels string, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `le` bucket series plus `_sum` and `_count`. Series that
+// share a base name but different labels (see Labeled) collapse into one
+// family. Output is sorted so scrapes are diffable.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		base   string
+		labels string
+		value  float64
+	}
+	families := map[string]string{} // base -> TYPE
+	var samples []sample
+	add := func(name, typ string, v float64) {
+		base, labels := promName(name)
+		if _, ok := families[base]; !ok {
+			families[base] = typ
+		}
+		samples = append(samples, sample{base: base, labels: labels, value: v})
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", float64(v))
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", float64(v))
+	}
+	// Histograms expand into their own sample sets below; register the
+	// family type here so the TYPE line is right.
+	for name := range s.Histograms {
+		base, _ := promName(name)
+		families[base] = "histogram"
+	}
+
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].base != samples[j].base {
+			return samples[i].base < samples[j].base
+		}
+		return samples[i].labels < samples[j].labels
+	})
+	byBase := map[string][]sample{}
+	for _, sm := range samples {
+		byBase[sm.base] = append(byBase[sm.base], sm)
+	}
+
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	histByBase := map[string][]string{}
+	for _, name := range histNames {
+		base, _ := promName(name)
+		histByBase[base] = append(histByBase[base], name)
+	}
+
+	for _, base := range bases {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, families[base]); err != nil {
+			return err
+		}
+		for _, sm := range byBase[base] {
+			if _, err := fmt.Fprintf(w, "%s%s %v\n", sm.base, sm.labels, sm.value); err != nil {
+				return err
+			}
+		}
+		for _, name := range histByBase[base] {
+			h := s.Histograms[name]
+			_, labels := promName(name)
+			cum := int64(0)
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = fmt.Sprintf("%v", h.Bounds[i])
+				}
+				lbl := mergeLabels(labels, `le="`+le+`"`)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, lbl, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", base, labels, h.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromHandler returns an http.Handler serving the registry in the
+// Prometheus text exposition format.
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.Take().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// PromHandler serves the default registry in Prometheus text format.
+func PromHandler() http.Handler { return def.PromHandler() }

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("cluster.coord.results"); got != "cluster.coord.results" {
+		t.Fatalf("no labels: %q", got)
+	}
+	got := Labeled("cluster.coord.results", "worker", "w1")
+	if got != `cluster.coord.results{worker="w1"}` {
+		t.Fatalf("one label: %q", got)
+	}
+	// Keys sort, so argument order never creates a second series.
+	a := Labeled("m", "b", "2", "a", "1")
+	b := Labeled("m", "a", "1", "b", "2")
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Fatalf("sorted labels: %q vs %q", a, b)
+	}
+	if got := Labeled("m", "k", `va"l\ue`); !strings.Contains(got, `\"`) || !strings.Contains(got, `\\`) {
+		t.Fatalf("escaping: %q", got)
+	}
+}
+
+func TestLabeledPanicsOnOddPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd key/value list must panic")
+		}
+	}()
+	Labeled("m", "key-without-value")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.GetCounter("cluster.tasks.requeued").Add(3)
+	r.GetCounter(Labeled("cluster.coord.results", "worker", "w0")).Add(5)
+	r.GetCounter(Labeled("cluster.coord.results", "worker", "w1")).Add(7)
+	r.GetGauge("cluster.tasks.inflight").Set(2)
+	h := r.GetHistogram("nas.eval.seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.Take().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE cluster_tasks_requeued counter\n",
+		"cluster_tasks_requeued 3\n",
+		"# TYPE cluster_coord_results counter\n",
+		`cluster_coord_results{worker="w0"} 5` + "\n",
+		`cluster_coord_results{worker="w1"} 7` + "\n",
+		"# TYPE cluster_tasks_inflight gauge\n",
+		"cluster_tasks_inflight 2\n",
+		"# TYPE nas_eval_seconds histogram\n",
+		`nas_eval_seconds_bucket{le="1"} 1` + "\n",
+		`nas_eval_seconds_bucket{le="10"} 2` + "\n",
+		`nas_eval_seconds_bucket{le="+Inf"} 3` + "\n",
+		"nas_eval_seconds_sum 55.5\n",
+		"nas_eval_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Each family gets exactly one TYPE line even with many labeled series.
+	if n := strings.Count(out, "# TYPE cluster_coord_results"); n != 1 {
+		t.Fatalf("TYPE lines for labeled family = %d, want 1:\n%s", n, out)
+	}
+}
+
+func TestServeExposesPrometheusEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.GetCounter("demo.hits").Inc() // pre-enable: ignored
+	s, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r.GetCounter("demo.hits").Add(2)
+
+	resp, err := http.Get(s.PromURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "demo_hits 2") {
+		t.Fatalf("prometheus endpoint output:\n%s", body)
+	}
+}

@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swtnas/internal/trace"
+)
+
+func testHeader() Header {
+	return Header{
+		App: "nt3", Scheme: "LCS", Space: "nt3", Seed: 3, DataSeed: 1,
+		Budget: 8, Workers: 2, Population: 4, Sample: 2, TrainN: 32, ValN: 16,
+	}
+}
+
+func testRecord(id int) EvalRecord {
+	return EvalRecord{
+		Record: trace.Record{
+			ID:        id,
+			Arch:      []int{id, id + 1, 0},
+			Score:     0.5 + float64(id)/100,
+			ParentID:  id - 1,
+			TrainTime: time.Duration(id) * time.Millisecond,
+		},
+		Checkpoint: []byte(strings.Repeat("c", 16+id)),
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord(9)); err == nil {
+		t.Fatal("append after close must fail")
+	}
+
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Torn {
+		t.Fatal("clean journal read as torn")
+	}
+	if err := rec.Header.Validate(testHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 5 {
+		t.Fatalf("records = %d, want 5", len(rec.Records))
+	}
+	for i, er := range rec.Records {
+		want := testRecord(i)
+		if er.Record.ID != want.Record.ID || er.Record.Score != want.Record.Score {
+			t.Fatalf("record %d = %+v", i, er.Record)
+		}
+		if string(er.Checkpoint) != string(want.Checkpoint) {
+			t.Fatalf("record %d checkpoint mismatch (%d bytes)", i, len(er.Checkpoint))
+		}
+	}
+}
+
+func TestJournalHeaderValidation(t *testing.T) {
+	h := testHeader()
+	if err := h.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Header){
+		func(o *Header) { o.App = "uno" },
+		func(o *Header) { o.Scheme = "LP" },
+		func(o *Header) { o.Seed = 99 },
+		func(o *Header) { o.DataSeed = 99 },
+		func(o *Header) { o.Budget = 99 },
+		func(o *Header) { o.Workers = 99 },
+		func(o *Header) { o.Population = 99 },
+		func(o *Header) { o.Sample = 99 },
+		func(o *Header) { o.TrainN = 99 },
+		func(o *Header) { o.ValN = 99 },
+	}
+	for i, mutate := range cases {
+		o := testHeader()
+		mutate(&o)
+		if err := h.Validate(o); err == nil {
+			t.Fatalf("case %d: mismatched header validated", i)
+		}
+	}
+}
+
+// TestJournalTornTailTruncated simulates a crash mid-append: every proper
+// prefix byte length of the final record must recover to the first N-1
+// records, flag the tear, and leave the file appendable.
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore, err := j.f.Seek(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter, err := j.f.Seek(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := sizeBefore + 1; cut < sizeAfter; cut += 7 {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, rec, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !rec.Torn {
+			t.Fatalf("cut %d: tear not detected", cut)
+		}
+		if len(rec.Records) != 3 {
+			t.Fatalf("cut %d: records = %d, want 3", cut, len(rec.Records))
+		}
+		// The truncated journal must accept appends and read back clean.
+		if err := j2.Append(testRecord(3)); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec2, err := Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec2.Torn || len(rec2.Records) != 4 {
+			t.Fatalf("cut %d: after repair torn=%v records=%d", cut, rec2.Torn, len(rec2.Records))
+		}
+	}
+}
+
+// TestJournalDetectsCorruption flips one payload byte; the CRC must reject
+// the record (torn tail) rather than replay garbage.
+func TestJournalDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Torn || len(rec.Records) != 0 {
+		t.Fatalf("corrupt record survived: torn=%v records=%d", rec.Torn, len(rec.Records))
+	}
+}
+
+func TestJournalRejectsBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus")
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("bad magic must be rejected by Open")
+	}
+}
+
+func TestJournalCreateTruncatesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("recreated journal still has %d records", len(rec.Records))
+	}
+}

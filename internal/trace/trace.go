@@ -40,6 +40,12 @@ type Record struct {
 	EvalTime time.Duration `json:"eval_time,omitempty"`
 	// QueueWait is how long the task waited for a free evaluator.
 	QueueWait time.Duration `json:"queue_wait,omitempty"`
+	// Failed marks a candidate whose evaluation exhausted its retry budget
+	// under fault-tolerant distributed execution: the search completed
+	// without it (Score is meaningless) instead of aborting.
+	Failed bool `json:"failed,omitempty"`
+	// FailReason carries the last evaluation error of a Failed candidate.
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // Trace is the ordered record of one NAS run.
@@ -65,10 +71,14 @@ func (t *Trace) Scores() []float64 {
 
 // TopK returns the indices of the K best-scoring records (ties broken by
 // earlier completion), the candidates NAS would fully train in phase two.
+// Failed records (retry budget exhausted under fault-tolerant execution)
+// never rank.
 func (t *Trace) TopK(k int) []int {
-	idx := make([]int, len(t.Records))
-	for i := range idx {
-		idx[i] = i
+	idx := make([]int, 0, len(t.Records))
+	for i, r := range t.Records {
+		if !r.Failed {
+			idx = append(idx, i)
+		}
 	}
 	// Selection of the k best by score; n is small (hundreds).
 	for i := 0; i < k && i < len(idx); i++ {

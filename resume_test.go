@@ -1,0 +1,102 @@
+package swtnas
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func journalOpts(path string) SearchOptions {
+	return SearchOptions{
+		App: "nt3", Scheme: "LCS", Budget: 6, Seed: 5,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+		JournalPath: path,
+	}
+}
+
+// TestSearchResumeMatchesUninterrupted is the public-API crash-resume
+// guarantee: a journaled search cancelled partway, then resumed with the
+// same options, ends with the same candidates and top-K as one that never
+// stopped.
+func TestSearchResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+
+	fullPath := filepath.Join(dir, "full.swtj")
+	full, err := Search(journalOpts(fullPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" a second run after 2 candidates via context cancellation.
+	cutPath := filepath.Join(dir, "cut.swtj")
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := journalOpts(cutPath)
+	n := 0
+	opts.Progress = func(Candidate) {
+		n++
+		if n == 2 {
+			cancel()
+		}
+	}
+	partial, err := SearchContext(ctx, opts)
+	if err == nil {
+		t.Fatal("cancelled search must return its context error")
+	}
+	if partial == nil || len(partial.Candidates) >= 6 {
+		t.Fatalf("partial result = %+v", partial)
+	}
+
+	// Resume to completion.
+	opts = journalOpts(cutPath)
+	opts.Resume = true
+	resumed, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Candidates) != 6 {
+		t.Fatalf("resumed candidates = %d, want 6", len(resumed.Candidates))
+	}
+	if resumed.Summary.Resumed != len(partial.Candidates) {
+		t.Fatalf("Summary.Resumed = %d, want %d (the journaled prefix)",
+			resumed.Summary.Resumed, len(partial.Candidates))
+	}
+	for i := range full.Candidates {
+		a, b := full.Candidates[i], resumed.Candidates[i]
+		if a.ID != b.ID || a.Score != b.Score || fmt.Sprint(a.Arch) != fmt.Sprint(b.Arch) ||
+			a.TransferredLayers != b.TransferredLayers {
+			t.Fatalf("candidate %d differs:\n  full    %+v\n  resumed %+v", i, a, b)
+		}
+	}
+	fb, rb := full.Best(3), resumed.Best(3)
+	for i := range fb {
+		if fb[i].ID != rb[i].ID || fb[i].Score != rb[i].Score {
+			t.Fatalf("top-K differs at %d: %+v vs %+v", i, fb[i], rb[i])
+		}
+	}
+	// The resumed run's checkpoints must support phase two.
+	if _, err := resumed.FullyTrain(rb[0]); err != nil {
+		t.Fatalf("FullyTrain after resume: %v", err)
+	}
+}
+
+func TestSearchResumeValidatesOptions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.swtj")
+	if _, err := Search(journalOpts(path)); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := journalOpts(path)
+	opts.Resume = true
+	opts.Seed = 6 // drifted option
+	if _, err := Search(opts); err == nil {
+		t.Fatal("resume with a different seed must fail")
+	}
+
+	opts = journalOpts("")
+	opts.Resume = true
+	if _, err := Search(opts); err == nil {
+		t.Fatal("Resume without JournalPath must fail")
+	}
+}

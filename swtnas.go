@@ -43,6 +43,7 @@ import (
 	"swtnas/internal/nas"
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
+	"swtnas/internal/resilience"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -102,6 +103,18 @@ type SearchOptions struct {
 	// after the search returns, and concurrent instrumented work in the
 	// same process shows up in the deltas.
 	Metrics bool
+	// JournalPath enables crash-resume: every completed candidate (trace
+	// record plus encoded checkpoint) is appended to a write-ahead log at
+	// this path and fsynced before the search proceeds. Empty disables
+	// journaling.
+	JournalPath string
+	// Resume replays the journal at JournalPath instead of starting fresh:
+	// journaled candidates are restored without re-evaluating (checkpoints
+	// bit for bit), and the search continues from where the previous
+	// process died, reaching the same result as an uninterrupted run. The
+	// options must match the original run's — the journal header is
+	// validated field by field.
+	Resume bool
 }
 
 // Candidate is one evaluated model of a search.
@@ -153,6 +166,9 @@ type SearchSummary struct {
 	WallTime time.Duration `json:"wall_time"`
 	// Candidates is the number of completed evaluations.
 	Candidates int `json:"candidates"`
+	// Resumed is how many of those were replayed from a crash-resume
+	// journal rather than evaluated in this process (0 without Resume).
+	Resumed int `json:"resumed,omitempty"`
 	// BestScore is the best estimated score of the run.
 	BestScore float64 `json:"best_score"`
 	// Transferred and Scratch split the candidates by warm start.
@@ -252,6 +268,44 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 		Budget:        opt.Budget,
 		Seed:          opt.Seed,
 	}
+	resumed := 0
+	if opt.Resume && opt.JournalPath == "" {
+		return nil, fmt.Errorf("swtnas: Resume requires JournalPath")
+	}
+	if opt.JournalPath != "" {
+		header := resilience.Header{
+			App:        app.Name,
+			Scheme:     nas.SchemeName(matcher),
+			Space:      app.Space.Name,
+			Seed:       opt.Seed,
+			DataSeed:   dataSeed,
+			Budget:     opt.Budget,
+			Workers:    opt.Workers,
+			Population: opt.PopulationSize,
+			Sample:     opt.SampleSize,
+			TrainN:     opt.TrainN,
+			ValN:       opt.ValN,
+		}
+		if opt.Resume {
+			j, rec, err := resilience.Open(opt.JournalPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := rec.Header.Validate(header); err != nil {
+				j.Close()
+				return nil, err
+			}
+			cfg.Journal, cfg.Resume = j, rec
+			resumed = len(rec.Records)
+		} else {
+			j, err := resilience.Create(opt.JournalPath, header)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Journal = j
+		}
+		defer cfg.Journal.Close()
+	}
 	if opt.Progress != nil {
 		cfg.Progress = func(r nas.Result) {
 			opt.Progress(Candidate{
@@ -304,6 +358,7 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 		})
 	}
 	res.Summary = summarize(tr, time.Since(start), before)
+	res.Summary.Resumed = resumed
 	return res, runErr
 }
 
