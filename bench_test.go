@@ -741,6 +741,49 @@ func BenchmarkDenseParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchNormParallel measures the sharded batch normalization on a
+// CIFAR-block-sized activation, training forward (blocked mean/variance
+// reductions) plus backward (fused dGamma/dBeta reduction and the
+// element-wise input gradient).
+func BenchmarkBatchNormParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	bn := nn.NewBatchNorm("bn", 32)
+	if _, err := bn.OutShape([][]int{{16, 16, 32}}); err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(64, 16, 16, 32)
+	x.RandNormal(rng, 1)
+	for _, w := range benchWorkerCounts() {
+		benchWithWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := bn.Forward([]*tensor.Tensor{x}, true)
+				bn.Backward(out)
+			}
+		})
+	}
+}
+
+// BenchmarkPoolParallel measures the row-sharded max pooling (disjoint 2/2
+// windows, so both passes shard over output rows) on the same CIFAR-block
+// shape as the batch-norm benchmark.
+func BenchmarkPoolParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(26))
+	p := nn.NewMaxPool2D("mp", 2, 2)
+	if _, err := p.OutShape([][]int{{16, 16, 32}}); err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(64, 16, 16, 32)
+	x.RandNormal(rng, 1)
+	for _, w := range benchWorkerCounts() {
+		benchWithWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := p.Forward([]*tensor.Tensor{x}, true)
+				p.Backward(out)
+			}
+		})
+	}
+}
+
 // BenchmarkMatmulParallel measures the raw tensor primitive the dense path
 // is built on: [256, 512] x [512, 256].
 func BenchmarkMatmulParallel(b *testing.B) {

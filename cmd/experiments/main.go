@@ -8,9 +8,11 @@
 //	experiments -apps nt3,uno -seeds 3 -budget 120 fig7
 //
 // Experiments: table1 fig2 fig3 fig4 fig5 fig7 fig8 table3 table4 fig9
-// fig10 fig11 all. Searches are shared between experiments within one
+// fig10 fig11 dist all. Searches are shared between experiments within one
 // invocation (fig7/fig8/fig9/fig10/fig11/table3/table4 reuse the same
-// campaign runs, as the paper does).
+// campaign runs, as the paper does). dist reruns the searches over real TCP
+// workers via cluster.RunDistributed and reports per-scheme summaries with
+// kernel-level obs metric deltas; -workers sets its evaluator count.
 package main
 
 import (
@@ -23,17 +25,18 @@ import (
 	"swtnas/internal/experiments"
 )
 
-var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11"}
+var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "dist"}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		scale  = flag.String("scale", "quick", "quick or paper")
-		seeds  = flag.Int("seeds", 0, "override repetition count")
-		budget = flag.Int("budget", 0, "override per-search candidate budget")
-		appsF  = flag.String("apps", "", "comma-separated application subset")
-		seed   = flag.Int64("seed", 0, "override base seed")
+		scale   = flag.String("scale", "quick", "quick or paper")
+		seeds   = flag.Int("seeds", 0, "override repetition count")
+		budget  = flag.Int("budget", 0, "override per-search candidate budget")
+		appsF   = flag.String("apps", "", "comma-separated application subset")
+		seed    = flag.Int64("seed", 0, "override base seed")
+		workers = flag.Int("workers", 0, "override worker count (dist: TCP evaluators)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,9 @@ func main() {
 	}
 	if *appsF != "" {
 		cfg.Apps = strings.Split(*appsF, ",")
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 
 	names := flag.Args()
@@ -97,6 +103,8 @@ func main() {
 			_, err = suite.Fig10(w)
 		case "fig11":
 			_, err = suite.Fig11(w)
+		case "dist":
+			_, err = suite.Dist(w)
 		default:
 			log.Fatalf("unknown experiment %q (valid: %s, all)", name, strings.Join(order, " "))
 		}

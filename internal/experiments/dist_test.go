@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDist runs the TCP-worker summary table at tiny scale and checks the
+// per-scheme rows carry real search outcomes and kernel metric deltas.
+func TestDist(t *testing.T) {
+	cfg := tinyCfg("nt3")
+	cfg.Budget = 6
+	s := NewSuite(cfg)
+	var b strings.Builder
+	rows, err := s.Dist(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Schemes()) {
+		t.Fatalf("got %d rows, want one per scheme (%d)", len(rows), len(Schemes()))
+	}
+	for i, r := range rows {
+		if r.Scheme != Schemes()[i] {
+			t.Errorf("row %d scheme = %q, want %q", i, r.Scheme, Schemes()[i])
+		}
+		if r.Candidates+r.Failed != cfg.Budget {
+			t.Errorf("%s: %d completed + %d failed != budget %d", r.Scheme, r.Candidates, r.Failed, cfg.Budget)
+		}
+		if r.Best <= 0 {
+			t.Errorf("%s: best score %v not positive", r.Scheme, r.Best)
+		}
+		if r.CheckpointKB <= 0 {
+			t.Errorf("%s: no checkpoint traffic recorded", r.Scheme)
+		}
+		if r.GemmCalls <= 0 || r.GemmGFLOP <= 0 {
+			t.Errorf("%s: gemm delta empty (calls %d, GFLOP %v) — obs wiring broken", r.Scheme, r.GemmCalls, r.GemmGFLOP)
+		}
+		if r.Scheme != "baseline" && r.Transferred == 0 {
+			t.Errorf("%s: no candidate warm-started from a shipped checkpoint", r.Scheme)
+		}
+	}
+	out := b.String()
+	for _, want := range []string{"scheme", "baseline", "LP", "LCS", "gemmCalls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

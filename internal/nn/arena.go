@@ -1,0 +1,87 @@
+package nn
+
+// convArena is the shared im2col/col2im scratch for every convolution layer
+// of one network. Before the arena, each Conv1D/Conv2D kept private
+// cols/dcols buffers, so peak scratch memory grew with network depth — the
+// dominant allocation for the deep candidates NAS evolution produces. The
+// arena holds exactly one cols buffer (forward patches) and one dcols buffer
+// (backward patch gradients), both sized for the *largest* conv layer, so
+// scratch is O(1) in depth.
+//
+// Sharing cols across layers means a layer's forward patches may have been
+// overwritten by a deeper conv by the time its Backward runs (Backward needs
+// them for the weight-gradient GEMM). The arena tracks which layer's patches
+// currently occupy cols: on a miss the layer re-runs im2col from its cached
+// input. Network backward order makes the deepest conv — the first to run
+// backward — always hit, so exactly len(convs)-1 recomputes happen per step,
+// trading one extra gather per layer for a depth-independent footprint.
+// dcols carries no state between layers: GemmBT fully overwrites it.
+//
+// Layers attach their per-sample patch sizes during Network.Add (shape
+// inference has already run, so outH/outW are known); the batch size first
+// appears at Forward time, so buffers are allocated on first use with
+// capacity batch·maxPerSample and never grow again while the batch size is
+// stable. Standalone layers used outside a Network lazily create a private
+// arena, which behaves exactly like the pre-arena per-layer buffers.
+//
+// The arena is NOT safe for concurrent use, matching the layer contract
+// (one goroutine per network; parallelism lives inside the kernels).
+type convArena struct {
+	// perSample is the largest per-sample patch-matrix size (output
+	// positions × kdim) over all attached layers.
+	perSample int
+	cols      []float64
+	dcols     []float64
+	// owner is the layer whose forward im2col patches currently fill cols,
+	// or nil when the buffer holds no live patches.
+	owner Layer
+}
+
+// attach registers a conv layer's per-sample patch-matrix size. Called from
+// Network.Add after shape inference, and by standalone layers on first use.
+func (a *convArena) attach(perSample int) {
+	if perSample > a.perSample {
+		a.perSample = perSample
+	}
+}
+
+// grow returns a length-n view of buf, reallocating with depth-independent
+// capacity batch·perSample when buf is too small.
+func (a *convArena) grow(buf []float64, batch, n int) []float64 {
+	if cap(buf) < n {
+		want := batch * a.perSample
+		if want < n {
+			want = n
+		}
+		return make([]float64, want)[:n]
+	}
+	return buf[:n]
+}
+
+// colsFor returns the shared forward-patch buffer sized to n elements for a
+// batch of the given size. The caller must fill it (im2col) and then claim
+// it via setOwner; the previous owner's patches are gone after that.
+func (a *convArena) colsFor(batch, n int) []float64 {
+	a.cols = a.grow(a.cols, batch, n)
+	return a.cols
+}
+
+// dcolsFor returns the shared backward patch-gradient buffer sized to n
+// elements. Contents are unspecified; GemmBT overwrites every element.
+func (a *convArena) dcolsFor(batch, n int) []float64 {
+	a.dcols = a.grow(a.dcols, batch, n)
+	return a.dcols
+}
+
+// holds reports whether cols currently contains l's forward patches.
+func (a *convArena) holds(l Layer) bool { return a.owner == l }
+
+// setOwner records l as the layer whose patches fill cols.
+func (a *convArena) setOwner(l Layer) { a.owner = l }
+
+// arenaUser is implemented by layers that take scratch from a shared
+// per-network arena. Network.Add injects its arena into every layer that
+// implements it, immediately after shape inference succeeds.
+type arenaUser interface {
+	setArena(a *convArena)
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -59,11 +60,16 @@ func (p *AvgPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	b := x.Shape[0]
 	out := tensor.New(b, p.outH, p.outW, p.ch)
 	inRow := p.inW * p.ch
+	orow := p.outW * p.ch
 	inv := 1.0 / float64(p.Size*p.Size)
-	oi := 0
-	for bi := 0; bi < b; bi++ {
-		xb := bi * p.inH * inRow
-		for oy := 0; oy < p.outH; oy++ {
+	// Output rows across the batch shard independently; each window sum runs
+	// (ky, kx)-ascending exactly like the serial loop, so results are
+	// bit-identical for any worker count (see pool.go).
+	parallel.For(b*p.outH, poolMinRows(orow*p.Size*p.Size), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bi, oy := r/p.outH, r%p.outH
+			xb := bi * p.inH * inRow
+			oi := r * orow
 			for ox := 0; ox < p.outW; ox++ {
 				for c := 0; c < p.ch; c++ {
 					sum := 0.0
@@ -78,7 +84,7 @@ func (p *AvgPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -89,11 +95,15 @@ func (p *AvgPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	b := dOut.Shape[0]
 	dIn := tensor.New(append([]int{b}, p.inShape...)...)
 	inRow := p.inW * p.ch
+	orow := p.outW * p.ch
 	inv := 1.0 / float64(p.Size*p.Size)
-	oi := 0
-	for bi := 0; bi < b; bi++ {
-		xb := bi * p.inH * inRow
-		for oy := 0; oy < p.outH; oy++ {
+	// scatterRows spreads the output rows [lo, hi) back over their windows
+	// in the serial (ox, c, ky, kx) order.
+	scatterRows := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bi, oy := r/p.outH, r%p.outH
+			xb := bi * p.inH * inRow
+			oi := r * orow
 			for ox := 0; ox < p.outW; ox++ {
 				for c := 0; c < p.ch; c++ {
 					g := dOut.Data[oi] * inv
@@ -108,6 +118,16 @@ func (p *AvgPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 	}
+	if p.Stride >= p.Size {
+		// Disjoint windows: output rows write disjoint input regions.
+		parallel.For(b*p.outH, poolMinRows(orow*p.Size*p.Size), scatterRows)
+		return []*tensor.Tensor{dIn}
+	}
+	// Overlapping windows: only samples are independent; within one sample
+	// the scatter keeps the serial ascending output order (see pool.go).
+	parallel.For(b, 1, func(lo, hi int) {
+		scatterRows(lo*p.outH, hi*p.outH)
+	})
 	return []*tensor.Tensor{dIn}
 }
 
@@ -145,19 +165,24 @@ func (p *GlobalAvgPool) Forward(in []*tensor.Tensor, training bool) *tensor.Tens
 	c := p.inShape[len(p.inShape)-1]
 	out := tensor.New(b, c)
 	inv := 1.0 / float64(p.spatial)
-	for bi := 0; bi < b; bi++ {
-		base := bi * p.spatial * c
-		ob := out.Data[bi*c : (bi+1)*c]
-		for s := 0; s < p.spatial; s++ {
-			row := x.Data[base+s*c : base+(s+1)*c]
-			for ci, v := range row {
-				ob[ci] += v
+	// Samples reduce independently; each per-channel sum runs in ascending
+	// spatial order exactly like the serial loop, so results are
+	// bit-identical for any worker count.
+	parallel.For(b, poolMinRows(p.spatial*c), func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			base := bi * p.spatial * c
+			ob := out.Data[bi*c : (bi+1)*c]
+			for s := 0; s < p.spatial; s++ {
+				row := x.Data[base+s*c : base+(s+1)*c]
+				for ci, v := range row {
+					ob[ci] += v
+				}
+			}
+			for ci := range ob {
+				ob[ci] *= inv
 			}
 		}
-		for ci := range ob {
-			ob[ci] *= inv
-		}
-	}
+	})
 	return out
 }
 
@@ -166,16 +191,18 @@ func (p *GlobalAvgPool) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	c := p.inShape[len(p.inShape)-1]
 	dIn := tensor.New(append([]int{b}, p.inShape...)...)
 	inv := 1.0 / float64(p.spatial)
-	for bi := 0; bi < b; bi++ {
-		base := bi * p.spatial * c
-		gb := dOut.Data[bi*c : (bi+1)*c]
-		for s := 0; s < p.spatial; s++ {
-			row := dIn.Data[base+s*c : base+(s+1)*c]
-			for ci := range row {
-				row[ci] = gb[ci] * inv
+	parallel.For(b, poolMinRows(p.spatial*c), func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			base := bi * p.spatial * c
+			gb := dOut.Data[bi*c : (bi+1)*c]
+			for s := 0; s < p.spatial; s++ {
+				row := dIn.Data[base+s*c : base+(s+1)*c]
+				for ci := range row {
+					row[ci] = gb[ci] * inv
+				}
 			}
 		}
-	}
+	})
 	return []*tensor.Tensor{dIn}
 }
 
@@ -204,9 +231,12 @@ func (a *Add) OutShape(in [][]int) ([]int, error) {
 
 func (a *Add) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	out := in[0].Clone()
-	for i, v := range in[1].Data {
-		out.Data[i] += v
-	}
+	parallel.For(len(out.Data), actMinChunk, func(lo, hi int) {
+		od := out.Data[lo:hi]
+		for i, v := range in[1].Data[lo:hi] {
+			od[i] += v
+		}
+	})
 	return out
 }
 

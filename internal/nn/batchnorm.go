@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -12,6 +13,17 @@ import (
 // y = gamma*x̂ + beta. During training it also maintains running mean and
 // variance estimates (non-trainable, but checkpointed and transferred with
 // the layer) that inference uses.
+//
+// Both passes shard across the worker pool. The element-wise stages
+// (normalize, affine, input gradient) write each element from exactly one
+// shard, so they are trivially bit-identical for any worker count. The
+// per-channel reductions (mean, variance, dGamma/dBeta sums) use a fixed
+// blocked summation: rows are cut into bnBlockRows-sized blocks — a constant
+// independent of the worker count — whose partial sums are computed in
+// parallel and then combined serially in ascending block order. The
+// summation tree therefore never depends on how many workers ran, which is
+// what TestParallelBatchNormMatchesSerial pins (workers=1 runs the same
+// blocked path inline).
 type BatchNorm struct {
 	name string
 	C    int
@@ -28,6 +40,14 @@ type BatchNorm struct {
 	inShape              []int
 	seen                 bool // running stats initialized from a batch yet?
 }
+
+// bnBlockRows is the fixed reduction block size: per-channel sums are formed
+// per block of this many rows, then combined in ascending block order. It is
+// a constant — never derived from the worker count — so the floating-point
+// summation tree is identical for any pool size. 128 rows keeps a block's
+// input (128·C floats) comfortably inside L2 while giving even small batch×
+// spatial extents enough blocks to spread across cores.
+const bnBlockRows = 128
 
 // NewBatchNorm creates a batch-normalization layer over c channels.
 func NewBatchNorm(name string, c int) *BatchNorm {
@@ -64,6 +84,32 @@ func (b *BatchNorm) OutShape(in [][]int) ([]int, error) {
 	return append([]int(nil), s...), nil
 }
 
+// bnReduce computes a width-wide column reduction over n rows: acc adds rows
+// [r0, r1) into its partial-sum slice, once per fixed bnBlockRows block in
+// parallel; the block partials are then combined serially in ascending block
+// order. The result is independent of the worker count by construction.
+func bnReduce(n, width int, acc func(ps []float64, r0, r1 int)) []float64 {
+	nb := (n + bnBlockRows - 1) / bnBlockRows
+	partials := make([]float64, nb*width)
+	parallel.For(nb, 1+actMinChunk/(bnBlockRows*width), func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			r0 := blk * bnBlockRows
+			r1 := r0 + bnBlockRows
+			if r1 > n {
+				r1 = n
+			}
+			acc(partials[blk*width:(blk+1)*width], r0, r1)
+		}
+	})
+	out := make([]float64, width)
+	for blk := 0; blk < nb; blk++ {
+		for c, v := range partials[blk*width : (blk+1)*width] {
+			out[c] += v
+		}
+	}
+	return out
+}
+
 func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	x := in[0]
 	n := x.Numel() / b.C // samples per channel (batch × spatial)
@@ -72,26 +118,30 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 
 	if !training {
 		rm, rv := b.RunMean.W.Data, b.RunVar.W.Data
-		for i, v := range x.Data {
-			c := i % b.C
-			out.Data[i] = gamma[c]*(v-rm[c])/math.Sqrt(rv[c]+b.Eps) + beta[c]
-		}
+		parallel.For(n, 1+actMinChunk/b.C, func(lo, hi int) {
+			for i := lo * b.C; i < hi*b.C; i++ {
+				c := i % b.C
+				out.Data[i] = gamma[c]*(x.Data[i]-rm[c])/math.Sqrt(rv[c]+b.Eps) + beta[c]
+			}
+		})
 		b.lastXHat = nil
 		return out
 	}
 
-	mean := make([]float64, b.C)
-	for i, v := range x.Data {
-		mean[i%b.C] += v
-	}
+	mean := bnReduce(n, b.C, func(ps []float64, r0, r1 int) {
+		for i := r0 * b.C; i < r1*b.C; i++ {
+			ps[i%b.C] += x.Data[i]
+		}
+	})
 	for c := range mean {
 		mean[c] /= float64(n)
 	}
-	variance := make([]float64, b.C)
-	for i, v := range x.Data {
-		d := v - mean[i%b.C]
-		variance[i%b.C] += d * d
-	}
+	variance := bnReduce(n, b.C, func(ps []float64, r0, r1 int) {
+		for i := r0 * b.C; i < r1*b.C; i++ {
+			d := x.Data[i] - mean[i%b.C]
+			ps[i%b.C] += d * d
+		}
+	})
 	invStd := make([]float64, b.C)
 	for c := range variance {
 		variance[c] /= float64(n)
@@ -102,12 +152,14 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 		b.lastXHat = make([]float64, x.Numel())
 	}
 	b.lastXHat = b.lastXHat[:x.Numel()]
-	for i, v := range x.Data {
-		c := i % b.C
-		xh := (v - mean[c]) * invStd[c]
-		b.lastXHat[i] = xh
-		out.Data[i] = gamma[c]*xh + beta[c]
-	}
+	parallel.For(n, 1+actMinChunk/b.C, func(lo, hi int) {
+		for i := lo * b.C; i < hi*b.C; i++ {
+			c := i % b.C
+			xh := (x.Data[i] - mean[c]) * invStd[c]
+			b.lastXHat[i] = xh
+			out.Data[i] = gamma[c]*xh + beta[c]
+		}
+	})
 	b.lastInvStd, b.lastMean = invStd, mean
 
 	rm, rv := b.RunMean.W.Data, b.RunVar.W.Data
@@ -132,23 +184,29 @@ func (b *BatchNorm) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	gamma := b.Gamma.W.Data
 	dGamma, dBeta := b.Gamma.Grad.Data, b.Beta.Grad.Data
 
-	sumDy := make([]float64, b.C)
-	sumDyXHat := make([]float64, b.C)
-	for i, g := range dOut.Data {
-		c := i % b.C
-		sumDy[c] += g
-		sumDyXHat[c] += g * b.lastXHat[i]
-	}
+	// One blocked pass produces both per-channel sums: partial layout is
+	// [sumDy | sumDyXHat] per block.
+	sums := bnReduce(n, 2*b.C, func(ps []float64, r0, r1 int) {
+		for i := r0 * b.C; i < r1*b.C; i++ {
+			c := i % b.C
+			g := dOut.Data[i]
+			ps[c] += g
+			ps[b.C+c] += g * b.lastXHat[i]
+		}
+	})
+	sumDy, sumDyXHat := sums[:b.C], sums[b.C:]
 	for c := 0; c < b.C; c++ {
 		dGamma[c] += sumDyXHat[c]
 		dBeta[c] += sumDy[c]
 	}
 	dIn := tensor.New(dOut.Shape...)
 	nf := float64(n)
-	for i, g := range dOut.Data {
-		c := i % b.C
-		dIn.Data[i] = gamma[c] * b.lastInvStd[c] / nf *
-			(nf*g - sumDy[c] - b.lastXHat[i]*sumDyXHat[c])
-	}
+	parallel.For(n, 1+actMinChunk/b.C, func(lo, hi int) {
+		for i := lo * b.C; i < hi*b.C; i++ {
+			c := i % b.C
+			dIn.Data[i] = gamma[c] * b.lastInvStd[c] / nf *
+				(nf*dOut.Data[i] - sumDy[c] - b.lastXHat[i]*sumDyXHat[c])
+		}
+	})
 	return []*tensor.Tensor{dIn}
 }

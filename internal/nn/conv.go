@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
 
@@ -19,27 +18,20 @@ import (
 // rows — not samples — a batch of 1 still uses every core.
 //
 // Determinism: patch rows store their (ky, kx, ci) taps in ascending order,
-// the GEMM reduction runs in ascending tile order, and col2im scatters
-// per-sample in (oy, ox, ky, kx, ci) order, so outputs AND gradients are
-// bit-identical to the pre-GEMM direct kernels at workers=1 and identical
-// across worker counts (the direct loops survive as a test-only reference
-// in convdirect_test.go).
+// the GEMM reduction runs in ascending tile order, and col2im accumulates
+// each input element's contributions in ascending (oy, ox) order — the exact
+// per-element order of a serial (oy, ox, ky, kx, ci) scatter — so outputs
+// AND gradients are bit-identical to the pre-GEMM direct kernels at
+// workers=1 and identical across worker counts (the direct loops survive as
+// a test-only reference in convdirect_test.go).
+//
+// The cols/dcols patch buffers come from a convArena (arena.go) shared by
+// every conv layer of a network, so scratch memory is depth-independent.
 
 func zero(p []float64) {
 	for i := range p {
 		p[i] = 0
 	}
-}
-
-// growScratch returns a length-n slice backed by s when it has the
-// capacity, or a fresh allocation otherwise. The im2col/col2im buffers are
-// cached on the layer between steps (layers are caller-serialized, see the
-// package doc), so steady-state training performs no per-batch allocation.
-func growScratch(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
 }
 
 // Padding selects the convolution border mode, mirroring Keras "valid"/"same".
@@ -77,11 +69,11 @@ type Conv2D struct {
 	lastIn     *tensor.Tensor
 	inH, inW   int
 	outH, outW int
-	// cols holds the forward im2col patches ([B*outH*outW, KH*KW*InC]);
-	// Backward reads it for the weight gradient. dcols holds the backward
-	// patch gradients before the col2im scatter. Both are grown on demand
-	// and reused across steps.
-	cols, dcols []float64
+	// arena provides the im2col patch buffer ([B*outH*outW, KH*KW*InC])
+	// and the col2im patch-gradient buffer, shared with every other conv
+	// layer of the owning Network (injected by Network.Add); a standalone
+	// layer lazily creates a private arena on first Forward.
+	arena *convArena
 }
 
 // NewConv2D creates a conv layer with He-normal weights (ReLU-friendly).
@@ -134,6 +126,21 @@ func (c *Conv2D) padOffsets() (int, int) {
 // holds every (ky, kx, ci) tap.
 func (c *Conv2D) kdim() int { return c.KH * c.KW * c.InC }
 
+// setArena adopts the network-shared scratch arena (Network.Add calls this
+// after shape inference, so the layer's patch-matrix size is known).
+func (c *Conv2D) setArena(a *convArena) {
+	c.arena = a
+	a.attach(c.outH * c.outW * c.kdim())
+}
+
+// ensureArena gives a standalone layer (used outside a Network) a private
+// arena, which behaves exactly like the old per-layer buffers.
+func (c *Conv2D) ensureArena() {
+	if c.arena == nil {
+		c.setArena(&convArena{})
+	}
+}
+
 // Forward lowers the input to im2col patches and runs one blocked GEMM
 // against the weight matrix. Patch rows — not samples — are the unit of
 // parallelism, so a batch of 1 still shards across the worker pool.
@@ -143,9 +150,11 @@ func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	b := x.Shape[0]
 	out := tensor.New(b, c.outH, c.outW, c.OutC)
 	rows := b * c.outH * c.outW
-	c.cols = growScratch(c.cols, rows*c.kdim())
-	c.im2col(x, c.cols)
-	tensor.Gemm(out.Data, c.cols, c.W.W.Data, rows, c.kdim(), c.OutC, c.B.W.Data)
+	c.ensureArena()
+	cols := c.arena.colsFor(b, rows*c.kdim())
+	c.im2col(x, cols)
+	c.arena.setOwner(c)
+	tensor.Gemm(out.Data, cols, c.W.W.Data, rows, c.kdim(), c.OutC, c.B.W.Data)
 	return out
 }
 
@@ -198,7 +207,10 @@ func (c *Conv2D) im2col(x *tensor.Tensor, cols []float64) {
 // Backward computes all three gradients through the GEMM kernels: the bias
 // gradient is a serial column sum of dOut (cheap and order-stable), the
 // weight gradient is patchesᵀ·dOut on the forward im2col buffer, and the
-// input gradient is dOut·Wᵀ scattered back through col2im.
+// input gradient is dOut·Wᵀ scattered back through col2im. When a deeper
+// conv layer has overwritten the shared patch buffer since this layer's
+// Forward, the patches are re-gathered from the cached input first; the
+// deepest conv runs backward first and always hits.
 func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := c.lastIn
 	b := x.Shape[0]
@@ -211,46 +223,59 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			db[f] += g
 		}
 	}
-	tensor.GemmAT(c.W.Grad.Data, c.cols, dOut.Data, rows, kdim, c.OutC)
-	c.dcols = growScratch(c.dcols, rows*kdim)
-	tensor.GemmBT(c.dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
-	c.col2im(c.dcols, dIn)
+	cols := c.arena.colsFor(b, rows*kdim)
+	if !c.arena.holds(c) {
+		c.im2col(x, cols)
+		c.arena.setOwner(c)
+	}
+	tensor.GemmAT(c.W.Grad.Data, cols, dOut.Data, rows, kdim, c.OutC)
+	dcols := c.arena.dcolsFor(b, rows*kdim)
+	tensor.GemmBT(dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
+	c.col2im(dcols, dIn)
 	return []*tensor.Tensor{dIn}
 }
 
 // col2im accumulates the patch gradients back onto the input positions they
-// were gathered from. Samples are disjoint, so the batch dimension shards
-// across the pool; within one sample the scatter runs serially in
-// (oy, ox, ky, kx, ci) order, keeping input gradients bit-identical for any
-// worker count.
+// were gathered from. Work shards over *input rows* across the whole batch
+// (b·inH strips), so a batch of 1 still uses every core; each input row is
+// written by exactly one shard. For an input row y the contributing output
+// rows satisfy ky = y + padH - oy ∈ [0, KH); walking them oy-ascending, then
+// ox-ascending, accumulates every input element's contributions in exactly
+// the order the serial (oy, ox, ky, kx, ci) scatter did, keeping input
+// gradients bit-identical for any worker count.
 func (c *Conv2D) col2im(dcols []float64, dIn *tensor.Tensor) {
 	padH, padW := c.padOffsets()
 	inRow := c.inW * c.InC
 	kdim := c.kdim()
-	perSample := c.outH * c.outW * kdim
-	parallel.For(dIn.Shape[0], 1, func(lo, hi int) {
-		for bi := lo; bi < hi; bi++ {
-			dxb := dIn.Data[bi*c.inH*inRow : (bi+1)*c.inH*inRow]
-			cols := dcols[bi*perSample : (bi+1)*perSample]
-			pos := 0
-			for oy := 0; oy < c.outH; oy++ {
+	kw := c.KW * c.InC
+	tensor.ForRows(dIn.Shape[0]*c.inH, c.outW*kw, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bi, y := r/c.inH, r%c.inH
+			drow := dIn.Data[r*inRow : (r+1)*inRow]
+			oy0, oy1 := y+padH-c.KH+1, y+padH
+			if oy0 < 0 {
+				oy0 = 0
+			}
+			if oy1 > c.outH-1 {
+				oy1 = c.outH - 1
+			}
+			for oy := oy0; oy <= oy1; oy++ {
+				ky := y + padH - oy
+				base := ((bi*c.outH+oy)*c.outW)*kdim + ky*kw
 				for ox := 0; ox < c.outW; ox++ {
-					for ky := 0; ky < c.KH; ky++ {
-						seg := cols[pos : pos+c.KW*c.InC]
-						pos += c.KW * c.InC
-						y := oy + ky - padH
-						if y < 0 || y >= c.inH {
-							continue
-						}
-						for kx := 0; kx < c.KW; kx++ {
-							xp := ox + kx - padW
-							if xp < 0 || xp >= c.inW {
-								continue
-							}
-							d := dxb[y*inRow+xp*c.InC : y*inRow+(xp+1)*c.InC]
-							for ci, v := range seg[kx*c.InC : (kx+1)*c.InC] {
-								d[ci] += v
-							}
+					seg := dcols[base+ox*kdim : base+ox*kdim+kw]
+					kx0, kx1 := padW-ox, c.inW+padW-ox
+					if kx0 < 0 {
+						kx0 = 0
+					}
+					if kx1 > c.KW {
+						kx1 = c.KW
+					}
+					for kx := kx0; kx < kx1; kx++ {
+						xp := ox + kx - padW
+						d := drow[xp*c.InC : (xp+1)*c.InC]
+						for ci, v := range seg[kx*c.InC : (kx+1)*c.InC] {
+							d[ci] += v
 						}
 					}
 				}
@@ -271,9 +296,9 @@ type Conv1D struct {
 	W, B      *Param
 	lastIn    *tensor.Tensor
 	inL, outL int
-	// cols/dcols are the im2col and col2im scratch buffers, exactly as on
-	// Conv2D.
-	cols, dcols []float64
+	// arena supplies the im2col/col2im scratch buffers, shared across the
+	// owning network's conv layers exactly as on Conv2D.
+	arena *convArena
 }
 
 // NewConv1D creates a 1-D conv layer with He-normal weights.
@@ -323,6 +348,19 @@ func (c *Conv1D) padOffset() int {
 
 func (c *Conv1D) kdim() int { return c.K * c.InC }
 
+// setArena adopts the network-shared scratch arena.
+func (c *Conv1D) setArena(a *convArena) {
+	c.arena = a
+	a.attach(c.outL * c.kdim())
+}
+
+// ensureArena gives a standalone layer a private arena.
+func (c *Conv1D) ensureArena() {
+	if c.arena == nil {
+		c.setArena(&convArena{})
+	}
+}
+
 // Forward lowers to im2col patches and one blocked GEMM, parallel over
 // patch rows (intra-sample, like Conv2D.Forward).
 func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
@@ -331,9 +369,11 @@ func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	b := x.Shape[0]
 	out := tensor.New(b, c.outL, c.OutC)
 	rows := b * c.outL
-	c.cols = growScratch(c.cols, rows*c.kdim())
-	c.im2col(x, c.cols)
-	tensor.Gemm(out.Data, c.cols, c.W.W.Data, rows, c.kdim(), c.OutC, c.B.W.Data)
+	c.ensureArena()
+	cols := c.arena.colsFor(b, rows*c.kdim())
+	c.im2col(x, cols)
+	c.arena.setOwner(c)
+	tensor.Gemm(out.Data, cols, c.W.W.Data, rows, c.kdim(), c.OutC, c.B.W.Data)
 	return out
 }
 
@@ -367,7 +407,8 @@ func (c *Conv1D) im2col(x *tensor.Tensor, cols []float64) {
 }
 
 // Backward mirrors Conv2D.Backward: serial bias sum, patchesᵀ·dOut weight
-// gradient, dOut·Wᵀ patch gradients scattered through col2im.
+// gradient (re-gathering patches if another conv overwrote the shared
+// buffer), dOut·Wᵀ patch gradients scattered through col2im.
 func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	x := c.lastIn
 	b := x.Shape[0]
@@ -380,33 +421,44 @@ func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			db[f] += g
 		}
 	}
-	tensor.GemmAT(c.W.Grad.Data, c.cols, dOut.Data, rows, kdim, c.OutC)
-	c.dcols = growScratch(c.dcols, rows*kdim)
-	tensor.GemmBT(c.dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
-	c.col2im(c.dcols, dIn)
+	cols := c.arena.colsFor(b, rows*kdim)
+	if !c.arena.holds(c) {
+		c.im2col(x, cols)
+		c.arena.setOwner(c)
+	}
+	tensor.GemmAT(c.W.Grad.Data, cols, dOut.Data, rows, kdim, c.OutC)
+	dcols := c.arena.dcolsFor(b, rows*kdim)
+	tensor.GemmBT(dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
+	c.col2im(dcols, dIn)
 	return []*tensor.Tensor{dIn}
 }
 
-// col2im scatters patch gradients back per sample in (ol, k, ci) order.
+// col2im scatters patch gradients back onto the input. Work shards over
+// input *positions* across the whole batch (b·inL strips), so batch-1
+// gradients no longer serialize; each position is written by exactly one
+// shard. For input position p the contributing output positions satisfy
+// k = p + pad - ol ∈ [0, K); walking them ol-ascending accumulates the
+// contributions in exactly the order of the serial (ol, k, ci) scatter,
+// keeping gradients bit-identical for any worker count.
 func (c *Conv1D) col2im(dcols []float64, dIn *tensor.Tensor) {
 	pad := c.padOffset()
 	kdim := c.kdim()
-	perSample := c.outL * kdim
-	parallel.For(dIn.Shape[0], 1, func(lo, hi int) {
-		for bi := lo; bi < hi; bi++ {
-			dxb := dIn.Data[bi*c.inL*c.InC : (bi+1)*c.inL*c.InC]
-			cols := dcols[bi*perSample : (bi+1)*perSample]
-			for ol := 0; ol < c.outL; ol++ {
-				row := cols[ol*kdim : (ol+1)*kdim]
-				for k := 0; k < c.K; k++ {
-					p := ol + k - pad
-					if p < 0 || p >= c.inL {
-						continue
-					}
-					d := dxb[p*c.InC : (p+1)*c.InC]
-					for ci, v := range row[k*c.InC : (k+1)*c.InC] {
-						d[ci] += v
-					}
+	tensor.ForRows(dIn.Shape[0]*c.inL, c.K*c.InC, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bi, p := r/c.inL, r%c.inL
+			d := dIn.Data[r*c.InC : (r+1)*c.InC]
+			ol0, ol1 := p+pad-c.K+1, p+pad
+			if ol0 < 0 {
+				ol0 = 0
+			}
+			if ol1 > c.outL-1 {
+				ol1 = c.outL - 1
+			}
+			for ol := ol0; ol <= ol1; ol++ {
+				k := p + pad - ol
+				seg := dcols[(bi*c.outL+ol)*kdim+k*c.InC : (bi*c.outL+ol)*kdim+(k+1)*c.InC]
+				for ci, v := range seg {
+					d[ci] += v
 				}
 			}
 		}

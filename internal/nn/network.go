@@ -34,6 +34,10 @@ type Network struct {
 	inputShapes [][]int // per-sample shapes of the graph inputs
 	nodeShapes  [][]int // per-sample output shape of each node
 	output      int
+	// arena is the im2col scratch shared by every conv layer added to this
+	// network (created on the first one), keeping peak patch-buffer memory
+	// independent of depth. See arena.go.
+	arena *convArena
 }
 
 // NewNetwork creates a network with the given per-sample input shapes
@@ -72,6 +76,14 @@ func (n *Network) Add(l Layer, inputs ...InputRef) (InputRef, error) {
 	out, err := l.OutShape(inShapes)
 	if err != nil {
 		return 0, fmt.Errorf("nn: layer %q: %w", l.Name(), err)
+	}
+	if au, ok := l.(arenaUser); ok {
+		// Shape inference succeeded, so the layer knows its patch-matrix
+		// size; hand it the network-wide scratch arena.
+		if n.arena == nil {
+			n.arena = &convArena{}
+		}
+		au.setArena(n.arena)
 	}
 	n.nodes = append(n.nodes, &node{layer: l, inputs: append([]InputRef(nil), inputs...)})
 	n.nodeShapes = append(n.nodeShapes, out)

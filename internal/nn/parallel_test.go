@@ -303,3 +303,209 @@ func TestGradcheckConv2DIm2col(t *testing.T) {
 		},
 		c.W.W.Data, c.W.Grad.Data)
 }
+
+// runBatchNorm builds a fresh seeded BatchNorm over conv-shaped activations
+// and runs training forward, backward, and an inference forward (which uses
+// the running stats the training pass just wrote).
+func runBatchNorm(t *testing.T, b int) (out, inf, dIn *tensor.Tensor, dGamma, dBeta []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	bn := NewBatchNorm("bn", 6)
+	if _, err := bn.OutShape([][]int{{5, 7, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(b, 5, 7, 6)
+	x.RandNormal(rng, 1)
+	out = bn.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	dIn = bn.Backward(g)[0]
+	inf = bn.Forward([]*tensor.Tensor{x}, false)
+	return out, inf, dIn, bn.Gamma.Grad.Data, bn.Beta.Grad.Data
+}
+
+// TestParallelBatchNormMatchesSerial pins the determinism contract on the
+// sharded BatchNorm: training forward, inference forward and input gradient
+// must be bit-identical to the workers=1 run for any worker count, and the
+// per-channel reductions (mean/variance/dGamma/dBeta) must agree within
+// 1e-12. The batch=9 case gives 9·35 = 315 rows — several bnBlockRows
+// blocks, so the blocked reduction really spreads across shards; batch=1
+// (35 rows) exercises the single-block path.
+func TestParallelBatchNormMatchesSerial(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	for _, batch := range []int{1, 9} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			parallel.SetWorkers(1)
+			out0, inf0, dIn0, dg0, db0 := runBatchNorm(t, batch)
+			dg0 = append([]float64(nil), dg0...)
+			db0 = append([]float64(nil), db0...)
+			for _, workers := range []int{2, 4, 7} {
+				parallel.SetWorkers(workers)
+				out, inf, dIn, dg, db := runBatchNorm(t, batch)
+				if d := maxAbsDiff(out.Data, out0.Data); d != 0 {
+					t.Errorf("workers=%d: training forward differs from serial by %g (must be bit-identical)", workers, d)
+				}
+				if d := maxAbsDiff(inf.Data, inf0.Data); d != 0 {
+					t.Errorf("workers=%d: inference forward differs from serial by %g (must be bit-identical)", workers, d)
+				}
+				if d := maxAbsDiff(dIn.Data, dIn0.Data); d != 0 {
+					t.Errorf("workers=%d: input gradient differs from serial by %g (must be bit-identical)", workers, d)
+				}
+				if d := maxAbsDiff(dg, dg0); d > 1e-12 {
+					t.Errorf("workers=%d: dGamma differs from serial by %g > 1e-12", workers, d)
+				}
+				if d := maxAbsDiff(db, db0); d > 1e-12 {
+					t.Errorf("workers=%d: dBeta differs from serial by %g > 1e-12", workers, d)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPoolMatchesSerial pins the determinism contract on the sharded
+// pooling layers, forward and backward, for both window regimes: disjoint
+// windows (stride >= size, backward shards over output rows) and overlapping
+// windows (stride < size, backward falls back to sample-parallel scatter).
+// GlobalAvgPool rides along with its sample-parallel reduction.
+func TestParallelPoolMatchesSerial(t *testing.T) {
+	type result struct {
+		out, dIn *tensor.Tensor
+	}
+	pools := []struct {
+		name string
+		run  func(t *testing.T, b int) result
+	}{
+		{"MaxPool2D/disjoint", func(t *testing.T, b int) result {
+			return runPool2D(t, NewMaxPool2D("mp", 2, 2), b)
+		}},
+		{"MaxPool2D/overlap", func(t *testing.T, b int) result {
+			return runPool2D(t, NewMaxPool2D("mp", 3, 2), b)
+		}},
+		{"AvgPool2D/disjoint", func(t *testing.T, b int) result {
+			return runPool2D(t, NewAvgPool2D("ap", 2, 2), b)
+		}},
+		{"AvgPool2D/overlap", func(t *testing.T, b int) result {
+			return runPool2D(t, NewAvgPool2D("ap", 3, 2), b)
+		}},
+		{"MaxPool1D/disjoint", func(t *testing.T, b int) result {
+			return runPool1D(t, NewMaxPool1D("mp", 2, 2), b)
+		}},
+		{"MaxPool1D/overlap", func(t *testing.T, b int) result {
+			return runPool1D(t, NewMaxPool1D("mp", 3, 2), b)
+		}},
+		{"GlobalAvgPool", func(t *testing.T, b int) result {
+			rng := rand.New(rand.NewSource(29))
+			p := NewGlobalAvgPool("gap")
+			if _, err := p.OutShape([][]int{{6, 6, 5}}); err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.New(b, 6, 6, 5)
+			x.RandNormal(rng, 1)
+			out := p.Forward([]*tensor.Tensor{x}, true)
+			g := tensor.New(out.Shape...)
+			g.RandNormal(rng, 1)
+			return result{out, p.Backward(g)[0]}
+		}},
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	for _, p := range pools {
+		for _, batch := range []int{1, 9} {
+			t.Run(fmt.Sprintf("%s/batch=%d", p.name, batch), func(t *testing.T) {
+				parallel.SetWorkers(1)
+				r0 := p.run(t, batch)
+				for _, workers := range []int{2, 4, 7} {
+					parallel.SetWorkers(workers)
+					r := p.run(t, batch)
+					if d := maxAbsDiff(r.out.Data, r0.out.Data); d != 0 {
+						t.Errorf("workers=%d: forward differs from serial by %g (must be bit-identical)", workers, d)
+					}
+					if d := maxAbsDiff(r.dIn.Data, r0.dIn.Data); d != 0 {
+						t.Errorf("workers=%d: input gradient differs from serial by %g (must be bit-identical)", workers, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// runPool2D runs one forward/backward of a 2-D pooling layer on a seeded
+// [b, 11, 11, 3] input (11 is odd, so output rows shard unevenly).
+func runPool2D(t *testing.T, l Layer, b int) struct{ out, dIn *tensor.Tensor } {
+	t.Helper()
+	rng := rand.New(rand.NewSource(27))
+	if _, err := l.OutShape([][]int{{11, 11, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(b, 11, 11, 3)
+	x.RandNormal(rng, 1)
+	out := l.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	return struct{ out, dIn *tensor.Tensor }{out, l.Backward(g)[0]}
+}
+
+// runPool1D is runPool2D for [b, 23, 3] sequences.
+func runPool1D(t *testing.T, l Layer, b int) struct{ out, dIn *tensor.Tensor } {
+	t.Helper()
+	rng := rand.New(rand.NewSource(28))
+	if _, err := l.OutShape([][]int{{23, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(b, 23, 3)
+	x.RandNormal(rng, 1)
+	out := l.Forward([]*tensor.Tensor{x}, true)
+	g := tensor.New(out.Shape...)
+	g.RandNormal(rng, 1)
+	return struct{ out, dIn *tensor.Tensor }{out, l.Backward(g)[0]}
+}
+
+// TestGradcheckBatchNormParallel finite-differences gamma under the blocked
+// parallel reductions (workers=4, rows spanning several bnBlockRows blocks),
+// verifying the sharded statistics feed the same gradients as calculus says.
+func TestGradcheckBatchNormParallel(t *testing.T) {
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(31))
+	bn := NewBatchNorm("bn", 9)
+	if _, err := bn.OutShape([][]int{{10, 10, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, 10, 10, 9) // 300 rows: three reduction blocks
+	x.RandNormal(rng, 1)
+	gradcheckLayer(t,
+		func() *tensor.Tensor { return bn.Forward([]*tensor.Tensor{x}, true) },
+		func(g *tensor.Tensor) {
+			bn.Gamma.Grad.Zero()
+			bn.Beta.Grad.Zero()
+			bn.Backward(g)
+		},
+		bn.Gamma.W.Data, bn.Gamma.Grad.Data)
+}
+
+// TestGradcheckConv2DMicroKernel targets the GEMM register-blocked
+// micro-kernel edges: batch 1 with a 5×5 output gives 25 patch rows (12 row
+// pairs + a scalar remainder row), OutC=6 gives one 4-column group + a
+// 2-column remainder, and the 3*3*32 = 288 patch width crosses the K-tile
+// boundary — so every path through gemm2x4/gemmBT2x4/gemmAT4 and their
+// remainders contributes to the checked gradients.
+func TestGradcheckConv2DMicroKernel(t *testing.T) {
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(33))
+	c := NewConv2D("cv", 3, 3, 32, 6, Same, 0, rng)
+	if _, err := c.OutShape([][]int{{5, 5, 32}}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 5, 5, 32)
+	x.RandNormal(rng, 1)
+	gradcheckLayer(t,
+		func() *tensor.Tensor { return c.Forward([]*tensor.Tensor{x}, true) },
+		func(g *tensor.Tensor) {
+			c.W.Grad.Zero()
+			c.B.Grad.Zero()
+			c.Backward(g)
+		},
+		c.W.W.Data, c.W.Grad.Data)
+}

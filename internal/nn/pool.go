@@ -4,8 +4,32 @@ import (
 	"fmt"
 	"math"
 
+	"swtnas/internal/parallel"
 	"swtnas/internal/tensor"
 )
+
+// Pooling layers shard across the worker pool with the same bit-identical
+// contract as the conv/dense kernels (pinned by TestParallelPoolMatchesSerial):
+//
+//   - Forward shards over output rows across the whole batch; every output
+//     element (and argmax slot) is written by exactly one shard with the
+//     serial arithmetic, so results cannot depend on the worker count.
+//   - Backward scatters gradients back through the window. With
+//     Stride >= Size the windows are disjoint, every input element receives
+//     at most one contribution, and the scatter shards over output rows.
+//     With overlapping windows (Stride < Size) an input element can receive
+//     contributions from several output rows, so the scatter only shards
+//     over samples — within one sample it runs in ascending output order,
+//     the exact serial sequence.
+
+// poolMinRows converts a per-output-row cost into the minimum rows per
+// shard, reusing the actMinChunk offload threshold.
+func poolMinRows(rowCost int) int {
+	if rowCost < 1 {
+		rowCost = 1
+	}
+	return 1 + actMinChunk/rowCost
+}
 
 // MaxPool2D is a max pooling layer over [B, H, W, C] inputs with a square
 // window. When the input's spatial extent is smaller than the window (a
@@ -68,10 +92,12 @@ func (p *MaxPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	}
 	p.argmax = p.argmax[:out.Numel()]
 	inRow := p.inW * p.ch
-	oi := 0
-	for bi := 0; bi < b; bi++ {
-		xb := bi * p.inH * inRow
-		for oy := 0; oy < p.outH; oy++ {
+	orow := p.outW * p.ch
+	parallel.For(b*p.outH, poolMinRows(orow*p.Size*p.Size), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bi, oy := r/p.outH, r%p.outH
+			xb := bi * p.inH * inRow
+			oi := r * orow
 			for ox := 0; ox < p.outW; ox++ {
 				for c := 0; c < p.ch; c++ {
 					best := math.Inf(-1)
@@ -92,7 +118,7 @@ func (p *MaxPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -102,9 +128,23 @@ func (p *MaxPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	}
 	b := dOut.Shape[0]
 	dIn := tensor.New(append([]int{b}, p.inShape...)...)
-	for oi, g := range dOut.Data {
-		dIn.Data[p.argmax[oi]] += g
+	orow := p.outW * p.ch
+	if p.Stride >= p.Size {
+		// Disjoint windows: each input element gets at most one
+		// contribution, so output rows scatter independently.
+		parallel.For(b*p.outH, poolMinRows(orow), func(lo, hi int) {
+			for oi := lo * orow; oi < hi*orow; oi++ {
+				dIn.Data[p.argmax[oi]] += dOut.Data[oi]
+			}
+		})
+		return []*tensor.Tensor{dIn}
 	}
+	perSample := p.outH * orow
+	parallel.For(b, 1, func(lo, hi int) {
+		for oi := lo * perSample; oi < hi*perSample; oi++ {
+			dIn.Data[p.argmax[oi]] += dOut.Data[oi]
+		}
+	})
 	return []*tensor.Tensor{dIn}
 }
 
@@ -164,10 +204,11 @@ func (p *MaxPool1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 		p.argmax = make([]int, out.Numel())
 	}
 	p.argmax = p.argmax[:out.Numel()]
-	oi := 0
-	for bi := 0; bi < b; bi++ {
-		xb := bi * p.inL * p.ch
-		for ol := 0; ol < p.outL; ol++ {
+	parallel.For(b*p.outL, poolMinRows(p.ch*p.Size), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bi, ol := r/p.outL, r%p.outL
+			xb := bi * p.inL * p.ch
+			oi := r * p.ch
 			for c := 0; c < p.ch; c++ {
 				best := math.Inf(-1)
 				bestIdx := -1
@@ -182,7 +223,7 @@ func (p *MaxPool1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 				oi++
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -192,8 +233,19 @@ func (p *MaxPool1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	}
 	b := dOut.Shape[0]
 	dIn := tensor.New(append([]int{b}, p.inShape...)...)
-	for oi, g := range dOut.Data {
-		dIn.Data[p.argmax[oi]] += g
+	if p.Stride >= p.Size {
+		parallel.For(b*p.outL, poolMinRows(p.ch), func(lo, hi int) {
+			for oi := lo * p.ch; oi < hi*p.ch; oi++ {
+				dIn.Data[p.argmax[oi]] += dOut.Data[oi]
+			}
+		})
+		return []*tensor.Tensor{dIn}
 	}
+	perSample := p.outL * p.ch
+	parallel.For(b, 1, func(lo, hi int) {
+		for oi := lo * perSample; oi < hi*perSample; oi++ {
+			dIn.Data[p.argmax[oi]] += dOut.Data[oi]
+		}
+	})
 	return []*tensor.Tensor{dIn}
 }

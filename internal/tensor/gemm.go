@@ -11,12 +11,33 @@ import "swtnas/internal/obs"
 // layers alike — including within a single sample, because conv patch rows,
 // not samples, are the unit of parallelism.
 //
-// Determinism contract: the K (reduction) dimension is tiled for cache reuse,
-// but tiles are always visited in ascending order and each output element is
-// written by exactly one shard, so every kernel produces bit-identical
-// results for any worker count. GemmAT additionally matches the accumulation
-// order of a serial sample-major loop (m ascending per output element), which
-// keeps weight gradients bit-identical to the pre-GEMM direct kernels.
+// Two levels of blocking (see DESIGN.md "Kernel architecture"):
+//
+//   - K-tiling: the reduction dimension is cut into gemmKBlock tiles so one
+//     tile of the B operand stays hot in cache while every row of a shard
+//     consumes it.
+//   - Register blocking: inside each K-tile a micro-kernel computes a small
+//     block of output elements together, holding the accumulators in
+//     registers across the whole tile so one operand load feeds several
+//     multiply-adds. The block shapes are chosen empirically for Go's amd64
+//     backend, which spills scalar float64 locals beyond ~8 live
+//     accumulators: Gemm uses a 2-row × 4-column accumulator tile, GemmBT a
+//     2×4 dot-product block (two a rows against four b rows), and GemmAT a
+//     4-row fused axpy (one loaded b row updates four dst rows). A full 4×4
+//     accumulator block — 16 live sums plus operand temporaries — exceeds the
+//     16 XMM registers and measured *slower* than the scalar loop.
+//
+// Determinism contract: K-tiles are always visited in ascending order, each
+// output element is written by exactly one shard, and the micro-kernels add
+// each element's contributions in exactly the order the scalar remainder
+// loops do (kk ascending within a tile for Gemm, j ascending for GemmBT,
+// mm ascending for GemmAT). Register blocking therefore changes which
+// elements are computed *together*, never the per-element accumulation
+// sequence — so every kernel produces bit-identical results for any worker
+// count, and the row blocking never has to align with shard boundaries.
+// GemmAT additionally matches the accumulation order of a serial
+// sample-major loop (m ascending per output element), which keeps weight
+// gradients bit-identical to the pre-GEMM direct kernels.
 
 const (
 	// gemmKBlock tiles the reduction dimension of Gemm: one tile of the B
@@ -50,8 +71,11 @@ func observeGemm(m, k, n int, t obs.Timer) {
 // row-major. When bias is non-nil it must have length n and initializes
 // every output row; otherwise rows start at zero. Rows of dst are computed
 // in parallel shards; the reduction over k runs in ascending tile order
-// inside each row, so the result is bit-identical for any worker count.
-// Zero elements of a skip their b row (activations are sparse after ReLU).
+// inside each row (register-blocked within each tile), so the result is
+// bit-identical for any worker count. The scalar remainder path skips b rows
+// for zero elements of a (activations are sparse after ReLU); the 2×4
+// micro-kernel does not — the branch costs more on dense data than the skip
+// recovers at realistic sparsity.
 func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
 	defer observeGemm(m, k, n, mGemmSeconds.Start())
 	ForRows(m, k*n, func(lo, hi int) {
@@ -70,7 +94,11 @@ func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
 			if k1 > k {
 				k1 = k
 			}
-			for i := lo; i < hi; i++ {
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				gemm2x4(dst, a, b, i, k0, k1, k, n)
+			}
+			for ; i < hi; i++ {
 				ai := a[i*k : (i+1)*k]
 				oi := dst[i*n : (i+1)*n]
 				for kk := k0; kk < k1; kk++ {
@@ -88,11 +116,57 @@ func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
 	})
 }
 
+// gemm2x4 applies one K-tile [k0, k1) to the two consecutive output rows
+// starting at i. Columns are walked in groups of four with a 2×4 accumulator
+// tile held in registers across the whole K-tile; each accumulator sums its
+// kk contributions in ascending order, exactly like the scalar row loop, so
+// the result does not depend on whether a row lands in this micro-kernel or
+// in the remainder path. Eight accumulators plus six operand temporaries fit
+// the amd64 register file; wider tiles spill and run slower.
+func gemm2x4(dst, a, b []float64, i, k0, k1, k, n int) {
+	a0 := a[(i+0)*k : (i+1)*k]
+	a1 := a[(i+1)*k : (i+2)*k]
+	o0 := dst[(i+0)*n : (i+1)*n]
+	o1 := dst[(i+1)*n : (i+2)*n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		c00, c01, c02, c03 := o0[j], o0[j+1], o0[j+2], o0[j+3]
+		c10, c11, c12, c13 := o1[j], o1[j+1], o1[j+2], o1[j+3]
+		bi := k0*n + j
+		for kk := k0; kk < k1; kk++ {
+			av0, av1 := a0[kk], a1[kk]
+			b0, b1, b2, b3 := b[bi], b[bi+1], b[bi+2], b[bi+3]
+			bi += n
+			c00 += av0 * b0
+			c01 += av0 * b1
+			c02 += av0 * b2
+			c03 += av0 * b3
+			c10 += av1 * b0
+			c11 += av1 * b1
+			c12 += av1 * b2
+			c13 += av1 * b3
+		}
+		o0[j], o0[j+1], o0[j+2], o0[j+3] = c00, c01, c02, c03
+		o1[j], o1[j+1], o1[j+2], o1[j+3] = c10, c11, c12, c13
+	}
+	for ; j < n; j++ {
+		c0, c1 := o0[j], o1[j]
+		for kk := k0; kk < k1; kk++ {
+			bv := b[kk*n+j]
+			c0 += a0[kk] * bv
+			c1 += a1[kk] * bv
+		}
+		o0[j], o1[j] = c0, c1
+	}
+}
+
 // GemmBT computes dst = a·bᵀ for a [m, n], b [k, n], dst [m, k] — the
 // input-gradient product (dIn = dOut·Wᵀ) of both the dense layer and the
 // im2col convolution path. The output columns are tiled so one tile of b
-// is reused by every row of a shard; each dot product runs j-ascending, so
-// results are bit-identical for any worker count.
+// is reused by every row of a shard, with a 2×4 register-blocked dot-product
+// block inside each tile; every dot product runs j-ascending from zero
+// whichever path computes it, so results are bit-identical for any worker
+// count.
 func GemmBT(dst, a, b []float64, m, n, k int) {
 	defer observeGemm(m, k, n, mGemmSeconds.Start())
 	ForRows(m, k*n, func(lo, hi int) {
@@ -101,7 +175,11 @@ func GemmBT(dst, a, b []float64, m, n, k int) {
 			if k1 > k {
 				k1 = k
 			}
-			for i := lo; i < hi; i++ {
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				gemmBT2x4(dst, a, b, i, k0, k1, n, k)
+			}
+			for ; i < hi; i++ {
 				ai := a[i*n : (i+1)*n]
 				oi := dst[i*k : (i+1)*k]
 				for kk := k0; kk < k1; kk++ {
@@ -117,13 +195,59 @@ func GemmBT(dst, a, b []float64, m, n, k int) {
 	})
 }
 
+// gemmBT2x4 computes the [i, i+2) × [k0, k1) block of dst = a·bᵀ. Two rows
+// of a and four rows of b are walked together over the shared j axis,
+// accumulating eight dot products in registers — each loaded a element feeds
+// four products and each loaded b element two. Every dot product is the same
+// j-ascending sum the scalar path computes, so the two paths agree
+// bit-for-bit.
+func gemmBT2x4(dst, a, b []float64, i, k0, k1, n, k int) {
+	a0 := a[(i+0)*n : (i+1)*n]
+	a1 := a[(i+1)*n : (i+2)*n]
+	o0 := dst[(i+0)*k : (i+1)*k]
+	o1 := dst[(i+1)*k : (i+2)*k]
+	kk := k0
+	for ; kk+4 <= k1; kk += 4 {
+		b0 := b[(kk+0)*n : (kk+1)*n]
+		b1 := b[(kk+1)*n : (kk+2)*n]
+		b2 := b[(kk+2)*n : (kk+3)*n]
+		b3 := b[(kk+3)*n : (kk+4)*n]
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		for j, g0 := range a0 {
+			g1 := a1[j]
+			w0, w1, w2, w3 := b0[j], b1[j], b2[j], b3[j]
+			c00 += g0 * w0
+			c01 += g0 * w1
+			c02 += g0 * w2
+			c03 += g0 * w3
+			c10 += g1 * w0
+			c11 += g1 * w1
+			c12 += g1 * w2
+			c13 += g1 * w3
+		}
+		o0[kk], o0[kk+1], o0[kk+2], o0[kk+3] = c00, c01, c02, c03
+		o1[kk], o1[kk+1], o1[kk+2], o1[kk+3] = c10, c11, c12, c13
+	}
+	for ; kk < k1; kk++ {
+		br := b[kk*n : (kk+1)*n]
+		var c0, c1 float64
+		for j, w := range br {
+			c0 += a0[j] * w
+			c1 += a1[j] * w
+		}
+		o0[kk], o1[kk] = c0, c1
+	}
+}
+
 // GemmAT computes dst += aᵀ·b for a [m, k], b [m, n], dst [k, n] — the
 // weight-gradient product (dW += Xᵀ·dOut, or patchesᵀ·dOut for im2col
 // convolutions). It accumulates into dst, preserving the layer contract
 // that Backward adds to existing gradients. Rows of dst (the k axis) are
 // computed in parallel shards; each output element sums its m contributions
-// in ascending tile order, matching the serial sample-major loop, so weight
-// gradients are bit-identical for any worker count.
+// in ascending tile order (register-blocked within each tile), matching
+// the serial sample-major loop, so weight gradients are bit-identical for
+// any worker count.
 func GemmAT(dst, a, b []float64, m, k, n int) {
 	defer observeGemm(m, k, n, mGemmSeconds.Start())
 	ForRows(k, m*n, func(lo, hi int) {
@@ -132,7 +256,11 @@ func GemmAT(dst, a, b []float64, m, k, n int) {
 			if m1 > m {
 				m1 = m
 			}
-			for kk := lo; kk < hi; kk++ {
+			kk := lo
+			for ; kk+4 <= hi; kk += 4 {
+				gemmAT4(dst, a, b, kk, m0, m1, k, n)
+			}
+			for ; kk < hi; kk++ {
 				orow := dst[kk*n : (kk+1)*n]
 				for mm := m0; mm < m1; mm++ {
 					av := a[mm*k+kk]
@@ -147,4 +275,37 @@ func GemmAT(dst, a, b []float64, m, k, n int) {
 			}
 		}
 	})
+}
+
+// gemmAT4 applies one m-tile [m0, m1) to the four consecutive dst rows
+// starting at kk as a fused axpy: each sample's b row is loaded once and
+// scaled into all four output rows, quartering b traffic versus the scalar
+// loop. The four a elements per sample are contiguous (a[mm*k+kk .. +4]),
+// so the strided column walk of the scalar path becomes one 4-element load.
+// Samples are visited in ascending mm order — the exact per-element sequence
+// of the scalar remainder loop — and the whole group of four rows is skipped
+// for a sample only when all four a elements are zero.
+func gemmAT4(dst, a, b []float64, kk, m0, m1, k, n int) {
+	o0 := dst[(kk+0)*n : (kk+1)*n]
+	o1 := dst[(kk+1)*n : (kk+2)*n]
+	o2 := dst[(kk+2)*n : (kk+3)*n]
+	o3 := dst[(kk+3)*n : (kk+4)*n]
+	for mm := m0; mm < m1; mm++ {
+		ar := a[mm*k+kk : mm*k+kk+4 : mm*k+kk+4]
+		av0, av1, av2, av3 := ar[0], ar[1], ar[2], ar[3]
+		if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+			continue
+		}
+		br := b[mm*n : (mm+1)*n]
+		_ = o3[len(br)-1]
+		_ = o2[len(br)-1]
+		_ = o1[len(br)-1]
+		_ = o0[len(br)-1]
+		for j, g := range br {
+			o0[j] += av0 * g
+			o1[j] += av1 * g
+			o2[j] += av2 * g
+			o3[j] += av3 * g
+		}
+	}
 }
