@@ -5,15 +5,24 @@
 // Usage:
 //
 //	go test -bench . -benchtime 1x ./... | benchjson -o BENCH.json
+//	go test -bench . -benchtime 1x ./... | benchjson -diff BENCH.json -tol 50
 //
 // Lines that are not benchmark results (test output, PASS/ok trailers) are
 // ignored; goos/goarch/cpu/pkg headers are captured into the document head.
+//
+// With -diff, the parsed results are compared against a baseline document:
+// a benchmark present in the baseline but missing from the run fails (the
+// benchmark suite silently shrank), and a benchmark whose ns/op exceeds the
+// baseline by more than -tol percent fails. -floor-ns skips the timing
+// comparison for baselines faster than the floor, where scheduler noise
+// dominates real regressions.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"os"
@@ -49,7 +58,10 @@ type Doc struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("o", "-", `output file ("-" = stdout)`)
+	out := flag.String("o", "-", `output file ("-" = stdout, "" = none)`)
+	baseline := flag.String("diff", "", "baseline JSON document to compare against; regressions exit nonzero")
+	tol := flag.Float64("tol", 10, "allowed ns/op regression over the -diff baseline, in percent")
+	floorNs := flag.Float64("floor-ns", 0, "in -diff mode, skip the timing check when the baseline ns/op is below this (noise floor)")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -59,24 +71,84 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("no benchmark result lines found on stdin")
 	}
-	w := io.Writer(os.Stdout)
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if *out != "" {
+		w := io.Writer(os.Stdout)
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *baseline != "" {
+		base, err := loadDoc(*baseline)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
-		w = f
+		problems := diff(base, doc, *tol, *floorNs)
+		for _, p := range problems {
+			log.Print(p)
+		}
+		if len(problems) > 0 {
+			log.Fatalf("%d regression(s) against %s (tolerance %.0f%%)", len(problems), *baseline, *tol)
+		}
+		log.Printf("no regressions against %s (%d benchmarks, tolerance %.0f%%)", *baseline, len(base.Benchmarks), *tol)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		log.Fatal(err)
+}
+
+// loadDoc reads a previously emitted JSON document.
+func loadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// benchKey identifies a benchmark across documents. The name includes the
+// -procs suffix, so runs must use matching GOMAXPROCS to compare.
+func benchKey(b Benchmark) string { return b.Pkg + " " + b.Name }
+
+// diff reports every baseline benchmark the run lost and every benchmark
+// whose ns/op regressed beyond tol percent. Improvements and benchmarks new
+// in the run pass silently.
+func diff(base, cur *Doc, tolPct, floorNs float64) []string {
+	got := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		got[benchKey(b)] = b
+	}
+	var problems []string
+	for _, b := range base.Benchmarks {
+		c, ok := got[benchKey(b)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("missing benchmark %s (present in baseline)", benchKey(b)))
+			continue
+		}
+		if b.NsPerOp <= 0 || b.NsPerOp < floorNs {
+			continue
+		}
+		limit := b.NsPerOp * (1 + tolPct/100)
+		if c.NsPerOp > limit {
+			problems = append(problems, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, tolerance %.0f%%)",
+				benchKey(b), c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp, tolPct))
+		}
+	}
+	return problems
 }
 
 func parse(r io.Reader) (*Doc, error) {

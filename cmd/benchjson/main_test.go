@@ -51,3 +51,62 @@ func TestParseResultRejectsNonResults(t *testing.T) {
 		}
 	}
 }
+
+func benchDoc(pairs ...any) *Doc {
+	d := &Doc{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		d.Benchmarks = append(d.Benchmarks, Benchmark{
+			Name: pairs[i].(string), Pkg: "p", Iterations: 1, NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return d
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := benchDoc("BenchmarkA-4", 1000.0, "BenchmarkB-4", 2000.0)
+	cur := benchDoc("BenchmarkA-4", 1050.0, "BenchmarkB-4", 1500.0) // +5%, faster
+	if p := diff(base, cur, 10, 0); len(p) != 0 {
+		t.Fatalf("unexpected problems: %v", p)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	base := benchDoc("BenchmarkA-4", 1000.0)
+	cur := benchDoc("BenchmarkA-4", 1500.0) // +50%
+	p := diff(base, cur, 10, 0)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkA-4") {
+		t.Fatalf("problems = %v, want one ns/op regression", p)
+	}
+	// The same delta passes under a generous tolerance.
+	if p := diff(base, cur, 60, 0); len(p) != 0 {
+		t.Fatalf("problems under 60%% tolerance: %v", p)
+	}
+}
+
+func TestDiffFlagsMissingBenchmark(t *testing.T) {
+	base := benchDoc("BenchmarkA-4", 1000.0, "BenchmarkGone-4", 500.0)
+	cur := benchDoc("BenchmarkA-4", 1000.0, "BenchmarkNew-4", 700.0)
+	p := diff(base, cur, 10, 0)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkGone-4") {
+		t.Fatalf("problems = %v, want exactly the missing benchmark", p)
+	}
+}
+
+func TestDiffFloorSkipsNoise(t *testing.T) {
+	base := benchDoc("BenchmarkTiny-4", 100.0) // below the noise floor
+	cur := benchDoc("BenchmarkTiny-4", 900.0)
+	if p := diff(base, cur, 10, 1000); len(p) != 0 {
+		t.Fatalf("floored comparison still flagged: %v", p)
+	}
+	if p := diff(base, cur, 10, 50); len(p) != 1 {
+		t.Fatalf("above-floor regression not flagged: %v", p)
+	}
+}
+
+func TestDiffKeyIncludesPackage(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{{Name: "BenchmarkX-4", Pkg: "a", NsPerOp: 100}}}
+	cur := &Doc{Benchmarks: []Benchmark{{Name: "BenchmarkX-4", Pkg: "b", NsPerOp: 100}}}
+	if p := diff(base, cur, 10, 0); len(p) != 1 {
+		t.Fatalf("same name in a different package must not satisfy the baseline: %v", p)
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		mDump    = flag.String("metrics-dump", "", `write the search's metrics JSON to this file ("-" = stdout)`)
 		journal  = flag.String("journal", "", "crash-resume journal path: append every completed candidate to this write-ahead log")
 		resume   = flag.Bool("resume", false, "resume the interrupted search journaled at -journal (same options required)")
+		retain   = flag.Int("retain-topk", 0, "garbage-collect checkpoints of evicted candidates outside the running top-K (0 = keep all; must be >= -topk when set)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,10 @@ func main() {
 		Metrics:     *mDump != "" || *mAddr != "",
 		JournalPath: *journal,
 		Resume:      *resume,
+		RetainTopK:  *retain,
+	}
+	if *retain > 0 && *retain < *topK {
+		log.Fatalf("-retain-topk %d would collect checkpoints the -topk %d report needs", *retain, *topK)
 	}
 	if *progress {
 		opt.Progress = func(c swtnas.Candidate) {

@@ -27,6 +27,21 @@ var (
 	mStoreMisses      = obs.GetCounter("checkpoint.store.load.misses")
 )
 
+// Content-addressed store telemetry: the dedup ledger. RawBytes is what
+// full (undeduplicated, uncompressed) checkpoint writes would have cost;
+// WrittenBytes is what actually hit the backend — their ratio is the paper's
+// checkpoint-I/O reduction, asserted end to end by the dedup-smoke CI job.
+var (
+	mCASBlobsStored  = obs.GetCounter("checkpoint.cas.blobs.stored")
+	mCASBlobsDeduped = obs.GetCounter("checkpoint.cas.blobs.deduped")
+	mCASRawBytes     = obs.GetCounter("checkpoint.cas.bytes.raw")
+	mCASWrittenBytes = obs.GetCounter("checkpoint.cas.bytes.written")
+	mCASManifests    = obs.GetCounter("checkpoint.cas.manifests")
+	mCASGCBlobs      = obs.GetCounter("checkpoint.cas.gc.blobs")
+	mCASGCBytes      = obs.GetCounter("checkpoint.cas.gc.bytes")
+	mCASBlobsLive    = obs.GetGauge("checkpoint.cas.blobs.live")
+)
+
 // countingWriter counts the bytes flushed through it; the codec's bufio
 // layer sits on top, so Write calls are few and large.
 type countingWriter struct {

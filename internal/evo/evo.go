@@ -75,6 +75,12 @@ type RegularizedEvolution struct {
 	// N is the population size (paper: 64), S the sample size (paper: 32).
 	N, S int
 
+	// OnEvict, when non-nil, is invoked (outside the strategy lock) for each
+	// individual aged out of the population. An evicted individual can never
+	// be sampled as a parent again, so the scheduler uses this hook to
+	// garbage-collect its checkpoint. Set it before the search starts.
+	OnEvict func(Individual)
+
 	mu  sync.Mutex
 	pop []Individual // FIFO queue, oldest first
 }
@@ -123,13 +129,21 @@ func (s *RegularizedEvolution) Propose(rng *rand.Rand) Proposal {
 }
 
 // Report pushes the scored candidate into the population, aging out the
-// oldest member beyond capacity (Algorithm 1 lines 4-5).
+// oldest member beyond capacity (Algorithm 1 lines 4-5) and notifying
+// OnEvict of the aged-out individual.
 func (s *RegularizedEvolution) Report(ind Individual) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.pop = append(s.pop, ind)
+	var evicted *Individual
 	if len(s.pop) > s.N {
+		ev := s.pop[0]
 		s.pop = s.pop[1:]
+		evicted = &ev
+	}
+	cb := s.OnEvict
+	s.mu.Unlock()
+	if evicted != nil && cb != nil {
+		cb(*evicted)
 	}
 }
 

@@ -153,3 +153,27 @@ func TestEvolutionConcurrentReports(t *testing.T) {
 		t.Fatalf("population = %d, want 16", s.PopulationSize())
 	}
 }
+
+// TestEvolutionOnEvict: the eviction hook fires exactly for aged-out
+// individuals, in FIFO order — the signal checkpoint GC keys on.
+func TestEvolutionOnEvict(t *testing.T) {
+	s := NewRegularizedEvolution(toySpace(), 3, 2)
+	var evicted []int
+	s.OnEvict = func(ind Individual) { evicted = append(evicted, ind.ID) }
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 7; i++ {
+		s.Report(Individual{ID: i, Arch: toySpace().Random(rng), Score: float64(i)})
+	}
+	want := []int{0, 1, 2, 3}
+	if len(evicted) != len(want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	for i := range want {
+		if evicted[i] != want[i] {
+			t.Fatalf("evicted %v, want %v", evicted, want)
+		}
+	}
+	if s.PopulationSize() != 3 {
+		t.Fatalf("population = %d, want 3", s.PopulationSize())
+	}
+}

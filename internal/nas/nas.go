@@ -232,11 +232,22 @@ type Config struct {
 	// the next candidate but never corrupts the run.
 	Progress func(Result)
 	// Journal, when non-nil, receives an append for every completed
-	// candidate (trace record plus encoded checkpoint) before Progress
-	// fires, so a crashed run can resume from its last fsynced candidate.
-	// A journal write failure aborts the run: a search that silently stops
-	// journaling would resume wrong.
+	// candidate before Progress fires, so a crashed run can resume from its
+	// last fsynced candidate. When Store is a checkpoint.ManifestStore with
+	// durable blobs (a content-addressed disk store), the append is a small
+	// manifest record — the tensor blobs already live, deduplicated, in the
+	// store — otherwise it carries the full encoded checkpoint. A journal
+	// write failure aborts the run: a search that silently stops journaling
+	// would resume wrong.
 	Journal *resilience.Journal
+	// RetainTopK, when positive, garbage-collects the checkpoints of
+	// candidates that have aged out of a RegularizedEvolution population and
+	// fall outside the running top-K scores, as soon as no in-flight task
+	// needs them as transfer provider. With a content-addressed store this
+	// releases blob references, bounding store growth on long runs. Zero
+	// keeps every checkpoint (required when the full trace's checkpoints
+	// must stay loadable).
+	RetainTopK int
 	// Resume, when non-nil, is a recovered journal to replay before live
 	// evaluation: the proposal stream is re-derived from Seed, journaled
 	// candidates are recorded without re-evaluating (their checkpoints
@@ -291,11 +302,23 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	}
 	store := cfg.Store
 	if store == nil {
-		store = checkpoint.NewMemStore()
+		store = checkpoint.NewCASMemStore()
 	}
 	strategy := cfg.Strategy
 	if strategy == nil {
 		strategy = evo.NewRegularizedEvolution(cfg.App.Space, 0, 0)
+	}
+
+	// Checkpoint GC: eviction from an aging population is the signal that a
+	// candidate can never be a parent again; the hook feeds the collector,
+	// the scheduler sweeps. Only regularized evolution evicts — other
+	// strategies keep every checkpoint regardless of RetainTopK.
+	var gc *candidateGC
+	if cfg.RetainTopK > 0 {
+		if re, ok := strategy.(*evo.RegularizedEvolution); ok {
+			gc = newCandidateGC(store, cfg.RetainTopK)
+			re.OnEvict = func(ind evo.Individual) { gc.evict(ind.ID) }
+		}
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -309,7 +332,7 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	issued := 0
 	if cfg.Resume != nil {
 		var err error
-		pending, issued, err = replayJournal(cfg, strategy, store, rng, workers, tr)
+		pending, issued, err = replayJournal(cfg, strategy, store, gc, rng, workers, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -338,6 +361,7 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	// in-flight from the journal, then fresh proposals up to the budget.
 	dispatch := func() bool {
 		if len(pending) > 0 {
+			// Recovered in-flight tasks were already pinned during replay.
 			t := pending[0]
 			pending = pending[1:]
 			t.IssuedAt = time.Now()
@@ -346,6 +370,7 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 		}
 		if issued < cfg.Budget {
 			p := strategy.Propose(rng)
+			gc.taskIssued(p.ParentID)
 			tasks <- Task{
 				ID:       issued,
 				Arch:     p.Arch,
@@ -391,6 +416,8 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			best = res.Score
 		}
 		res.BestScore = best
+		gc.taskDone(res.ParentID)
+		gc.completed(res.ID, res.Score)
 		strategy.Report(evo.Individual{ID: res.ID, Arch: res.Arch, Score: res.Score})
 		tr.Records = append(tr.Records, trace.Record{
 			ID:              res.ID,
@@ -407,15 +434,33 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			QueueWait:       res.QueueWait,
 		})
 		if cfg.Journal != nil {
-			blob, err := checkpoint.LoadEncoded(store, CandidateID(res.ID))
-			if err != nil {
-				return nil, fmt.Errorf("nas: journaling candidate %d: %w", res.ID, err)
+			rec := resilience.EvalRecord{Record: tr.Records[len(tr.Records)-1]}
+			if ms, ok := store.(checkpoint.ManifestStore); ok && ms.DurableBlobs() {
+				// Manifest record: the blobs are already durable in the
+				// content-addressed store, so the journal carries only the
+				// layer→hash table — the per-candidate growth the paper's
+				// checkpoint-I/O numbers care about drops to a few hundred
+				// bytes.
+				man, err := ms.EncodedManifest(CandidateID(res.ID))
+				if err != nil {
+					return nil, fmt.Errorf("nas: journaling candidate %d: %w", res.ID, err)
+				}
+				rec.Manifest = man
+			} else {
+				blob, err := checkpoint.LoadEncoded(store, CandidateID(res.ID))
+				if err != nil {
+					return nil, fmt.Errorf("nas: journaling candidate %d: %w", res.ID, err)
+				}
+				rec.Checkpoint = blob
 			}
-			rec := resilience.EvalRecord{Record: tr.Records[len(tr.Records)-1], Checkpoint: blob}
 			if err := cfg.Journal.Append(rec); err != nil {
 				return nil, fmt.Errorf("nas: journaling candidate %d: %w", res.ID, err)
 			}
 		}
+		// Sweep after the journal append: the candidate just journaled is
+		// never eligible (it is the population's newest member), and evicted
+		// ones already have their records on disk.
+		gc.sweep()
 		if cfg.Progress != nil {
 			cfg.Progress(res)
 		}

@@ -1,12 +1,14 @@
 package nas
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"swtnas/internal/checkpoint"
 	"swtnas/internal/evo"
 	"swtnas/internal/obs"
+	"swtnas/internal/resilience"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -25,7 +27,7 @@ var mResumedCandidates = obs.GetCounter("nas.candidates.resumed")
 // crash, or queued behind it) in issue order, plus the total proposal count
 // consumed, leaving rng and strategy in the same state as an uninterrupted
 // run at that point.
-func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, rng *rand.Rand, workers int, tr *trace.Trace) (pending []Task, issued int, err error) {
+func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, gc *candidateGC, rng *rand.Rand, workers int, tr *trace.Trace) (pending []Task, issued int, err error) {
 	rec := cfg.Resume
 	if len(rec.Records) > cfg.Budget {
 		return nil, 0, fmt.Errorf("nas: journal holds %d candidates for a budget of %d", len(rec.Records), cfg.Budget)
@@ -34,6 +36,7 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, rn
 	var order []int        // issue order of open tasks
 	issue := func() {
 		p := strategy.Propose(rng)
+		gc.taskIssued(p.ParentID)
 		open[issued] = Task{
 			ID:       issued,
 			Arch:     p.Arch,
@@ -59,17 +62,20 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, rn
 		if !archsEqual(t.Arch, r.Arch) {
 			return nil, 0, fmt.Errorf("nas: journal candidate %d has arch %v, replay proposed %v — journal and run options disagree", r.ID, r.Arch, t.Arch)
 		}
-		if len(er.Checkpoint) > 0 {
-			if err := checkpoint.SaveEncoded(store, CandidateID(r.ID), er.Checkpoint); err != nil {
-				return nil, 0, fmt.Errorf("nas: restoring journaled checkpoint %d: %w", r.ID, err)
-			}
+		if err := restoreCheckpoint(store, er, gc != nil); err != nil {
+			return nil, 0, err
 		}
+		gc.taskDone(t.ParentID)
+		gc.completed(r.ID, r.Score)
 		strategy.Report(evo.Individual{ID: r.ID, Arch: r.Arch, Score: r.Score})
 		tr.Records = append(tr.Records, r)
 		delete(open, r.ID)
 		if issued < cfg.Budget {
 			issue()
 		}
+		// Mirror the live loop's post-journal sweep so the replayed store
+		// converges to the exact set of checkpoints the crashed run held.
+		gc.sweep()
 	}
 	mResumedCandidates.Add(int64(len(rec.Records)))
 	for _, id := range order {
@@ -78,6 +84,35 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, rn
 		}
 	}
 	return pending, issued, nil
+}
+
+// restoreCheckpoint puts one journaled candidate's checkpoint back into the
+// store. Full records carry the encoded SWTC bytes; manifest records are
+// re-registered against the durable blob store, hash-verified. A manifest
+// whose blobs were garbage-collected before the crash is skipped when GC is
+// enabled — the replay mirror deletes that candidate at the same point the
+// original run did, so the missing checkpoint can never be needed.
+func restoreCheckpoint(store checkpoint.Store, er resilience.EvalRecord, gcEnabled bool) error {
+	id := er.Record.ID
+	if len(er.Manifest) > 0 {
+		ms, ok := store.(checkpoint.ManifestStore)
+		if !ok || !ms.DurableBlobs() {
+			return fmt.Errorf("nas: journal has a manifest record for candidate %d but the store has no durable blobs — resume with the original checkpoint directory", id)
+		}
+		if err := ms.AdoptManifest(CandidateID(id), er.Manifest); err != nil {
+			if gcEnabled && errors.Is(err, checkpoint.ErrMissingBlob) {
+				return nil
+			}
+			return fmt.Errorf("nas: restoring journaled checkpoint %d: %w", id, err)
+		}
+		return nil
+	}
+	if len(er.Checkpoint) > 0 {
+		if err := checkpoint.SaveEncoded(store, CandidateID(id), er.Checkpoint); err != nil {
+			return fmt.Errorf("nas: restoring journaled checkpoint %d: %w", id, err)
+		}
+	}
+	return nil
 }
 
 func archsEqual(a search.Arch, b []int) bool {

@@ -1,0 +1,265 @@
+package nas
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/evo"
+	"swtnas/internal/resilience"
+	"swtnas/internal/trace"
+)
+
+// journaledCASRun executes one full journaled LCS search against a
+// content-addressed disk store, so the journal holds manifest (delta)
+// records instead of full checkpoints. It returns the trace, the recovered
+// records, and the store directory (shared by resumed runs, like a real
+// crash would).
+func journaledCASRun(t *testing.T, dir string, budget, retainTopK int) (*trace.Trace, []resilience.EvalRecord, string) {
+	t.Helper()
+	app := tinyApp(t, "nt3")
+	storeDir := filepath.Join(dir, "blobs")
+	store, err := checkpoint.NewCASDiskStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run.swtj")
+	j, err := resilience.Create(path, resilience.Header{App: app.Name, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		App:        app,
+		Matcher:    core.LCS{},
+		Strategy:   evo.NewRegularizedEvolution(app.Space, 3, 2),
+		Store:      store,
+		Budget:     budget,
+		Seed:       11,
+		Journal:    j,
+		RetainTopK: retainTopK,
+	}
+	tr, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := resilience.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != budget {
+		t.Fatalf("journal holds %d records, want %d", len(rec.Records), budget)
+	}
+	for i, er := range rec.Records {
+		if len(er.Manifest) == 0 || len(er.Checkpoint) > 0 {
+			t.Fatalf("record %d: CAS-backed journal must hold manifest records (manifest=%d ckpt=%d bytes)",
+				i, len(er.Manifest), len(er.Checkpoint))
+		}
+	}
+	// The structural win: the journal no longer grows by a full checkpoint
+	// per candidate.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rawCkpt int64
+	for _, r := range tr.Records {
+		rawCkpt += r.CheckpointBytes
+	}
+	if info.Size() >= rawCkpt/2 {
+		t.Fatalf("journal is %d bytes for %d bytes of checkpoints — manifest records should be far smaller", info.Size(), rawCkpt)
+	}
+	return tr, rec.Records, storeDir
+}
+
+// resumeCASRun opens the journal and store a crashed CAS-backed run left
+// behind and runs the search to completion.
+func resumeCASRun(t *testing.T, path, storeDir string, budget, retainTopK int) *trace.Trace {
+	t.Helper()
+	app := tinyApp(t, "nt3")
+	j, rec, err := resilience.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.NewCASDiskStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(context.Background(), Config{
+		App:        app,
+		Matcher:    core.LCS{},
+		Strategy:   evo.NewRegularizedEvolution(app.Space, 3, 2),
+		Store:      store,
+		Budget:     budget,
+		Seed:       11,
+		Journal:    j,
+		Resume:     rec,
+		RetainTopK: retainTopK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return resumed
+}
+
+// TestResumeManifestBitIdenticalAtEveryInterrupt is the every-index
+// interrupt guarantee on the delta-record format: rebuild the journal a
+// crash after candidate k would have left (manifest records only), resume
+// against the surviving blob store, and the completed run must match the
+// uninterrupted one record for record.
+func TestResumeManifestBitIdenticalAtEveryInterrupt(t *testing.T) {
+	const budget = 6
+	dir := t.TempDir()
+	full, recs, storeDir := journaledCASRun(t, dir, budget, 0)
+	app := tinyApp(t, "nt3")
+
+	for k := 0; k <= budget; k++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.swtj", k))
+		j, err := resilience.Create(path, resilience.Header{App: app.Name, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, er := range recs[:k] {
+			if err := j.Append(er); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		resumed := resumeCASRun(t, path, storeDir, budget, 0)
+		tracesEqual(t, full, resumed, fmt.Sprintf("manifest interrupt after %d candidates", k))
+	}
+}
+
+// TestResumeManifestTornTailMidDelta crashes mid-append of a manifest
+// record: every truncation point inside the final delta record must recover
+// the clean prefix and resume to the identical run.
+func TestResumeManifestTornTailMidDelta(t *testing.T) {
+	const budget = 3
+	dir := t.TempDir()
+	full, _, storeDir := journaledCASRun(t, dir, budget, 0)
+	path := filepath.Join(dir, "run.swtj")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the last record's start: the largest prefix that parses clean
+	// with budget-1 records.
+	lastLen := len(raw)
+	for cut := len(raw) - 1; cut > 0; cut-- {
+		r, err := readTruncated(t, dir, raw[:cut])
+		if err == nil && !r.Torn && len(r.Records) == budget-1 {
+			lastLen = cut
+			break
+		}
+	}
+	if lastLen == len(raw) {
+		t.Fatal("could not locate the final record's extent")
+	}
+
+	for _, cut := range []int{lastLen + 1, lastLen + (len(raw)-lastLen)/2, len(raw) - 1} {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.swtj", cut))
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, rc, err := resilience.Open(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !rc.Torn || len(rc.Records) != budget-1 {
+			t.Fatalf("cut %d: torn=%v records=%d", cut, rc.Torn, len(rc.Records))
+		}
+		j.Close()
+		resumed := resumeCASRun(t, torn, storeDir, budget, 0)
+		tracesEqual(t, full, resumed, fmt.Sprintf("torn mid-delta at byte %d", cut))
+	}
+}
+
+// readTruncated parses a journal prefix written to a scratch file.
+func readTruncated(t *testing.T, dir string, b []byte) (*resilience.Recovery, error) {
+	t.Helper()
+	p := filepath.Join(dir, "probe.swtj")
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return resilience.Read(p)
+}
+
+// TestResumeWithGCBitIdentical: a run that garbage-collects evicted
+// candidates' checkpoints must still resume bit-identically — the replay
+// tolerates manifests whose blobs were collected before the crash and
+// converges to the same trace and top-K.
+func TestResumeWithGCBitIdentical(t *testing.T) {
+	const (
+		budget = 6
+		retain = 2
+	)
+	fullDir := t.TempDir()
+	full, _, fullStore := journaledCASRun(t, fullDir, budget, retain)
+
+	// GC must actually have collected something: population 3 overflows at
+	// candidate 4, and only the top-2 (plus pinned parents) survive.
+	st, err := checkpoint.NewCASDiskStore(fullStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) >= budget {
+		t.Fatalf("GC run still holds all %d checkpoints", len(ids))
+	}
+
+	// Crash the run at candidate k by cancelling from the Progress hook,
+	// then resume against the same journal and store directory.
+	for _, k := range []int{2, 4} {
+		dir := t.TempDir()
+		app := tinyApp(t, "nt3")
+		storeDir := filepath.Join(dir, "blobs")
+		store, err := checkpoint.NewCASDiskStore(storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "run.swtj")
+		j, err := resilience.Create(path, resilience.Header{App: app.Name, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := 0
+		_, err = Run(ctx, Config{
+			App:        app,
+			Matcher:    core.LCS{},
+			Strategy:   evo.NewRegularizedEvolution(app.Space, 3, 2),
+			Store:      store,
+			Budget:     budget,
+			Seed:       11,
+			Journal:    j,
+			RetainTopK: retain,
+			Progress: func(Result) {
+				if done++; done >= k {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if err == nil {
+			t.Fatalf("k=%d: interrupted run should report the context error", k)
+		}
+		j.Close()
+
+		resumed := resumeCASRun(t, path, storeDir, budget, retain)
+		tracesEqual(t, full, resumed, fmt.Sprintf("GC resume after %d candidates", k))
+	}
+}

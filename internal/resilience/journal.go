@@ -13,11 +13,15 @@
 //	file   := "SWTJ" u32(version) record*
 //	record := u32(kind) u32(len) payload[len] u32(crc32c of kind+len+payload)
 //
-// Record kinds: 1 = run header (JSON), 2 = candidate evaluation
-// (u32(metaLen) + trace.Record JSON + encoded SWTC checkpoint). The
-// checkpoint bytes are exactly what the checkpoint store holds, so replay
-// restores the store bit for bit and weight transfer after resume matches an
-// uninterrupted run.
+// Record kinds: 1 = run header (JSON), 2 = full candidate evaluation
+// (u32(metaLen) + trace.Record JSON + encoded SWTC checkpoint), 3 = manifest
+// evaluation (u32(metaLen) + trace.Record JSON + encoded SWTM manifest, with
+// tensor blobs living in the durable content-addressed checkpoint store
+// rather than inline). Version 2 introduced kind 3; version-1 journals (all
+// kind-2) remain readable. Either way replay restores the store bit for bit,
+// so weight transfer after resume matches an uninterrupted run — full
+// records carry the exact SWTC bytes, manifest records resolve their hashes
+// against blobs the store already persisted before the record was appended.
 package resilience
 
 import (
@@ -43,14 +47,22 @@ var (
 	mJournalBytes    = obs.GetCounter("resilience.journal.bytes")
 	mJournalReplayed = obs.GetCounter("resilience.journal.replayed")
 	mJournalTorn     = obs.GetCounter("resilience.journal.torn")
+
+	// Split of eval appends by record kind: full inline checkpoints (kind 2)
+	// vs manifest records resolved against the blob store (kind 3). The
+	// dedup-smoke CI job asserts the manifest path dominates on a CAS-backed
+	// journaled run.
+	mJournalFullAppends     = obs.GetCounter("resilience.journal.full.appends")
+	mJournalManifestAppends = obs.GetCounter("resilience.journal.manifest.appends")
 )
 
 const (
 	journalMagic   = "SWTJ"
-	journalVersion = uint32(1)
+	journalVersion = uint32(2)
 
-	recordHeader = uint32(1)
-	recordEval   = uint32(2)
+	recordHeader   = uint32(1)
+	recordEval     = uint32(2)
+	recordManifest = uint32(3)
 
 	// maxRecordBytes bounds one record so a corrupt length field cannot
 	// allocate unbounded memory (checkpoints are tens of MB at most).
@@ -106,11 +118,16 @@ func (h Header) Validate(other Header) error {
 }
 
 // EvalRecord is one journaled candidate evaluation: the full trace record
-// plus the candidate's encoded checkpoint (the exact bytes the checkpoint
-// store persisted, SWTC format via the internal/checkpoint codec).
+// plus the candidate's checkpoint in one of two forms. Checkpoint holds the
+// exact encoded SWTC bytes the store persisted (full record, kind 2).
+// Manifest holds an encoded SWTM manifest instead (kind 3) — a few hundred
+// bytes of layer→hash references whose tensor blobs the content-addressed
+// store persisted durably before the record was appended. Exactly one of the
+// two is set on records read back from a journal.
 type EvalRecord struct {
 	Record     trace.Record
 	Checkpoint []byte
+	Manifest   []byte
 }
 
 // Recovery is a journal read back from disk, ready to replay.
@@ -199,23 +216,40 @@ func Read(path string) (*Recovery, error) {
 	return rec, err
 }
 
-// Append logs one evaluated candidate. The record is framed, CRC'd, written
-// in a single Write and fsynced before Append returns.
+// Append logs one evaluated candidate. A record with Manifest set is written
+// as a manifest record (kind 3); otherwise as a full record (kind 2) carrying
+// the inline checkpoint. The record is framed, CRC'd, written in a single
+// Write and fsynced before Append returns.
 func (j *Journal) Append(r EvalRecord) error {
+	kind, body := recordEval, r.Checkpoint
+	if len(r.Manifest) > 0 {
+		if len(r.Checkpoint) > 0 {
+			return fmt.Errorf("resilience: eval record has both checkpoint and manifest")
+		}
+		kind, body = recordManifest, r.Manifest
+	}
 	meta, err := json.Marshal(r.Record)
 	if err != nil {
 		return err
 	}
-	payload := make([]byte, 0, 4+len(meta)+len(r.Checkpoint))
+	payload := make([]byte, 0, 4+len(meta)+len(body))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(meta)))
 	payload = append(payload, meta...)
-	payload = append(payload, r.Checkpoint...)
+	payload = append(payload, body...)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return fmt.Errorf("resilience: journal %s is closed", j.path)
 	}
-	return j.writeFrame(nil, recordEval, payload)
+	if err := j.writeFrame(nil, kind, payload); err != nil {
+		return err
+	}
+	if kind == recordManifest {
+		mJournalManifestAppends.Inc()
+	} else {
+		mJournalFullAppends.Inc()
+	}
+	return nil
 }
 
 // Close fsyncs and closes the journal file. Further Appends fail.
@@ -269,7 +303,7 @@ func scan(f *os.File) (*Recovery, int64, error) {
 	if string(head[:4]) != journalMagic {
 		return nil, 0, fmt.Errorf("resilience: bad journal magic %q", head[:4])
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != journalVersion {
+	if v := binary.LittleEndian.Uint32(head[4:]); v < 1 || v > journalVersion {
 		return nil, 0, fmt.Errorf("resilience: unsupported journal version %d", v)
 	}
 	rec := &Recovery{}
@@ -295,7 +329,7 @@ func scan(f *os.File) (*Recovery, int64, error) {
 				return nil, 0, fmt.Errorf("resilience: decoding journal header: %w", err)
 			}
 			sawHeader = true
-		case recordEval:
+		case recordEval, recordManifest:
 			if !sawHeader {
 				return nil, 0, fmt.Errorf("resilience: journal record before header")
 			}
@@ -312,7 +346,12 @@ func scan(f *os.File) (*Recovery, int64, error) {
 			if err := json.Unmarshal(payload[4:4+metaLen], &er.Record); err != nil {
 				return nil, 0, fmt.Errorf("resilience: decoding journal record at offset %d: %w", offset, err)
 			}
-			er.Checkpoint = append([]byte(nil), payload[4+metaLen:]...)
+			body := append([]byte(nil), payload[4+metaLen:]...)
+			if kind == recordManifest {
+				er.Manifest = body
+			} else {
+				er.Checkpoint = body
+			}
 			rec.Records = append(rec.Records, er)
 		default:
 			// Unknown kind from a future version: skip, stay compatible.

@@ -231,3 +231,160 @@ func TestJournalCreateTruncatesExisting(t *testing.T) {
 		t.Fatalf("recreated journal still has %d records", len(rec.Records))
 	}
 }
+
+func manifestRecord(id int) EvalRecord {
+	r := testRecord(id)
+	r.Checkpoint = nil
+	r.Manifest = []byte(strings.Repeat("m", 48+id))
+	return r
+}
+
+// TestJournalManifestRecords: kind-3 records round trip with the manifest
+// bytes in Manifest (not Checkpoint), and mix freely with full records.
+func TestJournalManifestRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []EvalRecord{testRecord(0), manifestRecord(1), manifestRecord(2), testRecord(3)}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Torn || len(rec.Records) != len(recs) {
+		t.Fatalf("torn=%v records=%d", rec.Torn, len(rec.Records))
+	}
+	for i, er := range rec.Records {
+		want := recs[i]
+		if er.Record.ID != want.Record.ID {
+			t.Fatalf("record %d id = %d", i, er.Record.ID)
+		}
+		if string(er.Checkpoint) != string(want.Checkpoint) || string(er.Manifest) != string(want.Manifest) {
+			t.Fatalf("record %d body mismatch: ckpt=%d manifest=%d bytes", i, len(er.Checkpoint), len(er.Manifest))
+		}
+	}
+}
+
+func TestJournalRejectsAmbiguousRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	r := testRecord(0)
+	r.Manifest = []byte("mm")
+	if err := j.Append(r); err == nil {
+		t.Fatal("record with both checkpoint and manifest must be rejected")
+	}
+}
+
+// TestJournalReadsVersion1: a journal whose header says version 1 (the
+// pre-manifest format, all kind-2 records) must still recover.
+func TestJournalReadsVersion1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[4] = 1 // version field is outside any record CRC
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Torn || len(rec.Records) != 3 {
+		t.Fatalf("v1 journal: torn=%v records=%d", rec.Torn, len(rec.Records))
+	}
+	raw[4] = 3 // a future version must be rejected
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("future journal version must be rejected")
+	}
+}
+
+// TestJournalTornTailMidManifest is the torn-tail sweep over a manifest
+// (kind-3) final record: every proper prefix must recover the earlier
+// records, flag the tear, and leave the journal appendable.
+func TestJournalTornTailMidManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.swtj")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(manifestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore, err := j.f.Seek(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(manifestRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter, err := j.f.Seek(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := sizeBefore + 1; cut < sizeAfter; cut += 5 {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, rec, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !rec.Torn || len(rec.Records) != 2 {
+			t.Fatalf("cut %d: torn=%v records=%d", cut, rec.Torn, len(rec.Records))
+		}
+		if err := j2.Append(manifestRecord(2)); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec2, err := Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec2.Torn || len(rec2.Records) != 3 {
+			t.Fatalf("cut %d: after repair torn=%v records=%d", cut, rec2.Torn, len(rec2.Records))
+		}
+		if len(rec2.Records[2].Manifest) == 0 {
+			t.Fatalf("cut %d: repaired record lost its manifest", cut)
+		}
+	}
+}

@@ -81,9 +81,16 @@ type SearchOptions struct {
 	// PopulationSize / SampleSize configure regularized evolution
 	// (0 = the paper's 64 / 32).
 	PopulationSize, SampleSize int
-	// CheckpointDir persists candidate checkpoints on disk; empty keeps
-	// them in memory.
+	// CheckpointDir persists candidate checkpoints on disk (a
+	// content-addressed store: each distinct tensor stored once,
+	// refcounted); empty keeps them in memory.
 	CheckpointDir string
+	// RetainTopK, when positive, garbage-collects the checkpoints of
+	// candidates that aged out of the evolution population and fall outside
+	// the running top-K scores — bounding store growth on long runs. Note
+	// that Result.FullyTrain needs the candidate's checkpoint, so RetainTopK
+	// should be at least the number of candidates passed to Best.
+	RetainTopK int
 	// SpaceFile / SpaceJSON load a custom declarative search space (see
 	// internal/search.Spec) instead of the built-in one; the App field
 	// then names only the dataset the space trains on. SpaceJSON takes
@@ -103,10 +110,13 @@ type SearchOptions struct {
 	// after the search returns, and concurrent instrumented work in the
 	// same process shows up in the deltas.
 	Metrics bool
-	// JournalPath enables crash-resume: every completed candidate (trace
-	// record plus encoded checkpoint) is appended to a write-ahead log at
-	// this path and fsynced before the search proceeds. Empty disables
-	// journaling.
+	// JournalPath enables crash-resume: every completed candidate is
+	// appended to a write-ahead log at this path and fsynced before the
+	// search proceeds. With CheckpointDir set the journal holds small
+	// manifest records (the tensor blobs are already durable in the
+	// content-addressed store); without it a content-addressed store is
+	// created at JournalPath + ".blobs" so the journal never has to carry
+	// full checkpoints. Empty disables journaling.
 	JournalPath string
 	// Resume replays the journal at JournalPath instead of starting fresh:
 	// journaled candidates are restored without re-evaluating (checkpoints
@@ -250,13 +260,23 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 		app.Name = space.Name
 	}
 	var store checkpoint.Store
-	if opt.CheckpointDir != "" {
-		store, err = checkpoint.NewDiskStore(opt.CheckpointDir)
+	switch {
+	case opt.CheckpointDir != "":
+		store, err = checkpoint.NewCASDiskStore(opt.CheckpointDir)
 		if err != nil {
 			return nil, err
 		}
-	} else {
-		store = checkpoint.NewMemStore()
+	case opt.JournalPath != "":
+		// Journaling without an explicit checkpoint dir: keep the blobs in a
+		// content-addressed store next to the journal, so the journal can
+		// carry manifest records instead of a full checkpoint per candidate
+		// and resume finds the blobs where the crashed run left them.
+		store, err = checkpoint.NewCASDiskStore(opt.JournalPath + ".blobs")
+		if err != nil {
+			return nil, err
+		}
+	default:
+		store = checkpoint.NewCASMemStore()
 	}
 	cfg := nas.Config{
 		App:           app,
@@ -267,6 +287,7 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 		KernelWorkers: opt.KernelWorkers,
 		Budget:        opt.Budget,
 		Seed:          opt.Seed,
+		RetainTopK:    opt.RetainTopK,
 	}
 	resumed := 0
 	if opt.Resume && opt.JournalPath == "" {
