@@ -84,6 +84,9 @@ func main() {
 	if *retain > 0 && *retain < *topK {
 		log.Fatalf("-retain-topk %d would collect checkpoints the -topk %d report needs", *retain, *topK)
 	}
+	if err := opt.Validate(); err != nil {
+		log.Fatal(strings.TrimPrefix(err.Error(), "swtnas: "))
+	}
 	if *progress {
 		opt.Progress = func(c swtnas.Candidate) {
 			src := "scratch"

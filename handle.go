@@ -1,0 +1,514 @@
+package swtnas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"swtnas/internal/apps"
+	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
+	"swtnas/internal/data"
+	"swtnas/internal/evo"
+	"swtnas/internal/nas"
+	"swtnas/internal/obs"
+	"swtnas/internal/resilience"
+)
+
+// ErrQuotaExceeded is returned by Search.Start when the shared evaluator
+// pool's admission limits (PoolOptions.MaxActiveSearches /
+// MaxSearchesPerTenant) reject the search. Check with errors.Is.
+var ErrQuotaExceeded = nas.ErrQuotaExceeded
+
+// PoolOptions sizes a shared evaluator pool.
+type PoolOptions struct {
+	// Workers is the number of evaluation slots — how many candidates train
+	// concurrently across all searches on the pool. Default GOMAXPROCS.
+	Workers int
+	// MaxActiveSearches caps concurrently admitted searches (0 = unlimited);
+	// Search.Start fails with ErrQuotaExceeded beyond it.
+	MaxActiveSearches int
+	// MaxSearchesPerTenant caps admitted searches per SearchOptions.Tenant
+	// (0 = unlimited).
+	MaxSearchesPerTenant int
+}
+
+// EvaluatorPool is a long-lived, shared pool of evaluation slots. Many
+// concurrent searches (SearchOptions.Pool) run on one pool: a weighted-fair
+// scheduler interleaves their candidates slot by slot, per-tenant quotas
+// bound admission, and the compute-kernel worker budget is continuously
+// re-split across however many evaluations run at once. The serve layer
+// keeps one pool for the whole process; tests create small private ones.
+type EvaluatorPool struct {
+	pool *nas.SharedPool
+}
+
+// NewPool creates a shared evaluator pool. Close it when no more searches
+// will be submitted.
+func NewPool(o PoolOptions) *EvaluatorPool {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &EvaluatorPool{pool: nas.NewSharedPool(nas.PoolConfig{
+		Workers:      workers,
+		MaxActive:    o.MaxActiveSearches,
+		MaxPerTenant: o.MaxSearchesPerTenant,
+		KernelSplit:  true,
+	})}
+}
+
+// Workers reports the pool's slot count.
+func (p *EvaluatorPool) Workers() int { return p.pool.Workers() }
+
+// Close stops the pool's slots. Searches still running on it observe
+// cancelled evaluations.
+func (p *EvaluatorPool) Close() { p.pool.Close() }
+
+// EventKind discriminates Search.Events entries.
+type EventKind string
+
+// The event kinds a search streams.
+const (
+	// EventCandidate carries one completed candidate evaluation.
+	EventCandidate EventKind = "candidate"
+	// EventFault carries one fault-tolerance decision (retry, terminal
+	// failure) taken for this search's evaluations.
+	EventFault EventKind = "fault"
+)
+
+// FaultKind labels one fault-tolerance decision; see the constants.
+type FaultKind string
+
+// The fault kinds surfaced in a search's event stream, mirroring the
+// scheduler's decisions: requeue and failed are per-candidate, quarantine
+// and readmit are per-worker (distributed runs).
+const (
+	FaultRequeue    FaultKind = "requeue"
+	FaultQuarantine FaultKind = "quarantine"
+	FaultReadmit    FaultKind = "readmit"
+	FaultFailed     FaultKind = "failed"
+)
+
+// FaultEvent is one fault-tolerance decision surfaced alongside candidate
+// completions: an evaluation failed and was requeued for another attempt, or
+// exhausted its retry budget.
+type FaultEvent struct {
+	// Kind is the decision taken.
+	Kind FaultKind `json:"kind"`
+	// Worker names the worker involved, empty when not attributable.
+	Worker string `json:"worker,omitempty"`
+	// CandidateID is the affected candidate, -1 for worker-scoped events.
+	CandidateID int `json:"candidate_id"`
+	// Reason carries the triggering error.
+	Reason string `json:"reason,omitempty"`
+	// Attempt counts the executions the candidate has consumed so far.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// Event is one entry of a search's progress stream: a completed candidate or
+// a fault-tolerance decision.
+type Event struct {
+	// Kind says which of the payload fields is set.
+	Kind EventKind `json:"kind"`
+	// Candidate is set for EventCandidate.
+	Candidate *Candidate `json:"candidate,omitempty"`
+	// Fault is set for EventFault.
+	Fault *FaultEvent `json:"fault,omitempty"`
+}
+
+// SearchHandle is a handle on one (possibly running) architecture search. New
+// creates it, Start launches it, Events/TopK observe it mid-flight, Cancel
+// stops it between candidate evaluations, and Wait collects the final
+// Result. All methods are safe for concurrent use; the one-shot helpers
+// Search/SearchContext are thin wrappers over this handle.
+type SearchHandle struct {
+	opt SearchOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	history   []Event
+	closed    bool // no further events
+	started   bool
+	completed int
+	resumed   int
+	best      float64
+	hasBest   bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	res    *Result
+	err    error
+}
+
+// New validates the options and returns an idle search handle; nothing runs
+// until Start.
+func New(opt SearchOptions) (*SearchHandle, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SearchHandle{opt: opt, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Start launches the search. It returns immediately once the search is
+// admitted; progress streams through Events and the final Result through
+// Wait. Cancelling ctx stops the search between candidate evaluations, like
+// SearchContext. Start fails (and the handle becomes terminal) if the shared
+// pool rejects the search — check errors.Is(err, ErrQuotaExceeded) — or if
+// the handle was already started.
+func (s *SearchHandle) Start(ctx context.Context) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("swtnas: search already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	var client *nas.PoolClient
+	if s.opt.Pool != nil {
+		conc := s.opt.Workers
+		if conc <= 0 {
+			conc = 1
+		}
+		var err error
+		client, err = s.opt.Pool.pool.Register(nas.ClientConfig{
+			Tenant:      s.opt.Tenant,
+			Weight:      s.opt.Weight,
+			Concurrency: conc,
+			OnFault:     s.emitFault,
+		})
+		if err != nil {
+			s.finish(nil, err)
+			return err
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	s.cancel = cancel
+	s.mu.Unlock()
+	go s.run(ctx, client)
+	return nil
+}
+
+// Cancel stops the search between candidate evaluations; in-flight
+// evaluations finish and are included. Wait then returns the partial Result
+// beside context.Canceled. Cancel before Start is a no-op.
+func (s *SearchHandle) Cancel() {
+	s.mu.Lock()
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Done closes when the search has finished (any outcome).
+func (s *SearchHandle) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the search finishes and returns its Result, exactly as
+// SearchContext would: a partial Result beside ctx's error on cancellation,
+// nil beside the error otherwise. Safe to call repeatedly and from multiple
+// goroutines.
+func (s *SearchHandle) Wait() (*Result, error) {
+	<-s.done
+	return s.res, s.err
+}
+
+// Completed reports how many candidates have finished so far (replayed ones
+// included).
+func (s *SearchHandle) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
+// Resumed reports how many of the completed candidates were replayed from a
+// crash-resume journal rather than evaluated by this process.
+func (s *SearchHandle) Resumed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resumed
+}
+
+// BestScore returns the best score seen so far and whether any candidate has
+// completed.
+func (s *SearchHandle) BestScore() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.best, s.hasBest
+}
+
+// Events returns a channel that first replays every event the search has
+// produced so far, then streams new ones live, closing when the search
+// finishes. Each call gets an independent stream with the full history — a
+// subscriber attaching after a crash-resume sees the whole run, replayed
+// candidates marked Resumed. A slow consumer delays only its own stream,
+// never the search.
+func (s *SearchHandle) Events() <-chan Event {
+	ch := make(chan Event, 64)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			s.mu.Lock()
+			for next >= len(s.history) && !s.closed {
+				s.cond.Wait()
+			}
+			if next >= len(s.history) && s.closed {
+				s.mu.Unlock()
+				return
+			}
+			batch := s.history[next:len(s.history):len(s.history)]
+			next = len(s.history)
+			s.mu.Unlock()
+			for _, ev := range batch {
+				ch <- ev
+			}
+		}
+	}()
+	return ch
+}
+
+// TopK returns the n highest-scoring candidates completed so far, best
+// first — the partial answer a caller can act on while the search is still
+// running. After completion it matches Result.Best.
+func (s *SearchHandle) TopK(n int) []Candidate {
+	s.mu.Lock()
+	cands := make([]Candidate, 0, s.completed)
+	for _, ev := range s.history {
+		if ev.Kind == EventCandidate {
+			cands = append(cands, *ev.Candidate)
+		}
+	}
+	s.mu.Unlock()
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	if n < len(cands) {
+		cands = cands[:n]
+	}
+	return cands
+}
+
+// emit appends one event to the history and wakes subscribers.
+func (s *SearchHandle) emit(ev Event) {
+	s.mu.Lock()
+	s.history = append(s.history, ev)
+	if c := ev.Candidate; c != nil {
+		s.completed++
+		if c.Resumed {
+			s.resumed++
+		}
+		if !s.hasBest || c.Score > s.best {
+			s.best, s.hasBest = c.Score, true
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// emitFault adapts the scheduler's fault events into the public stream. It
+// is called from pool slots and coordinator goroutines concurrently.
+func (s *SearchHandle) emitFault(ev nas.FaultEvent) {
+	s.emit(Event{Kind: EventFault, Fault: &FaultEvent{
+		Kind:        FaultKind(ev.Kind),
+		Worker:      ev.Worker,
+		CandidateID: ev.CandidateID,
+		Reason:      ev.Reason,
+		Attempt:     ev.Attempt,
+	}})
+}
+
+// finish records the outcome, closes the event stream and releases waiters.
+func (s *SearchHandle) finish(res *Result, err error) {
+	s.mu.Lock()
+	s.res, s.err = res, err
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	close(s.done)
+}
+
+// run executes the search to completion. It owns every per-run resource:
+// the application, the checkpoint store, the journal, and (when on a shared
+// pool) the pool registration.
+func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
+	if client != nil {
+		defer client.Close()
+	}
+	opt := s.opt
+	matcher, _ := core.MatcherByName(opt.Scheme) // Validate checked it
+	dataSeed := opt.DataSeed
+	if dataSeed == 0 {
+		dataSeed = opt.Seed
+	}
+	app, err := apps.New(opt.App, dataSeed, apps.Config{Data: data.Config{TrainN: opt.TrainN, ValN: opt.ValN}})
+	if err != nil {
+		s.finish(nil, err)
+		return
+	}
+	if opt.SpaceJSON != "" || opt.SpaceFile != "" {
+		space, err := loadCustomSpace(opt)
+		if err != nil {
+			s.finish(nil, err)
+			return
+		}
+		if len(app.Dataset.InputShapes) != 1 {
+			s.finish(nil, fmt.Errorf("swtnas: custom spaces need a single-input dataset; %q has %d inputs", opt.App, len(app.Dataset.InputShapes)))
+			return
+		}
+		if !shapesEqual(space.InputShapes[0], app.Dataset.InputShapes[0]) {
+			s.finish(nil, fmt.Errorf("swtnas: space input %v does not match dataset %q input %v",
+				space.InputShapes[0], opt.App, app.Dataset.InputShapes[0]))
+			return
+		}
+		app.Space = space
+		app.Name = space.Name
+	}
+	var store checkpoint.Store
+	switch {
+	case opt.CheckpointDir != "":
+		store, err = checkpoint.NewCASDiskStore(opt.CheckpointDir)
+		if err != nil {
+			s.finish(nil, err)
+			return
+		}
+	case opt.JournalPath != "":
+		// Journaling without an explicit checkpoint dir: keep the blobs in a
+		// content-addressed store next to the journal, so the journal can
+		// carry manifest records instead of a full checkpoint per candidate
+		// and resume finds the blobs where the crashed run left them.
+		store, err = checkpoint.NewCASDiskStore(opt.JournalPath + ".blobs")
+		if err != nil {
+			s.finish(nil, err)
+			return
+		}
+	default:
+		store = checkpoint.NewCASMemStore()
+	}
+	cfg := nas.Config{
+		App:           app,
+		Strategy:      evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
+		Matcher:       matcher,
+		Store:         store,
+		Workers:       opt.Workers,
+		KernelWorkers: opt.KernelWorkers,
+		Budget:        opt.Budget,
+		Seed:          opt.Seed,
+		RetainTopK:    opt.RetainTopK,
+	}
+	if client != nil {
+		cfg.Executor = client
+	}
+	resumed := 0
+	if opt.JournalPath != "" {
+		header := resilience.Header{
+			App:        app.Name,
+			Scheme:     nas.SchemeName(matcher),
+			Space:      app.Space.Name,
+			Seed:       opt.Seed,
+			DataSeed:   dataSeed,
+			Budget:     opt.Budget,
+			Workers:    opt.Workers,
+			Population: opt.PopulationSize,
+			Sample:     opt.SampleSize,
+			TrainN:     opt.TrainN,
+			ValN:       opt.ValN,
+		}
+		if opt.Resume {
+			j, rec, err := resilience.Open(opt.JournalPath)
+			if err != nil {
+				s.finish(nil, err)
+				return
+			}
+			if err := rec.Header.Validate(header); err != nil {
+				j.Close()
+				s.finish(nil, err)
+				return
+			}
+			cfg.Journal, cfg.Resume = j, rec
+			resumed = len(rec.Records)
+		} else {
+			j, err := resilience.Create(opt.JournalPath, header)
+			if err != nil {
+				s.finish(nil, err)
+				return
+			}
+			cfg.Journal = j
+		}
+		defer cfg.Journal.Close()
+	}
+	cfg.Progress = func(r nas.Result) {
+		c := Candidate{
+			ID:                r.ID,
+			Arch:              r.Arch,
+			Score:             r.Score,
+			Params:            r.Params,
+			ParentID:          r.ParentID,
+			TransferredLayers: r.Transfer.Copied,
+			TrainTime:         r.TrainTime,
+			CheckpointBytes:   r.CheckpointBytes,
+			CompletedAt:       r.CompletedAt,
+			EvalTime:          r.EvalTime,
+			QueueWait:         r.QueueWait,
+			BestScore:         r.BestScore,
+			Resumed:           r.Resumed,
+		}
+		// The caller's callback stays synchronous with the scheduler (the
+		// documented Progress contract); the event stream gets the same
+		// candidate for subscribers.
+		if opt.Progress != nil {
+			opt.Progress(c)
+		}
+		s.emit(Event{Kind: EventCandidate, Candidate: &c})
+	}
+	var before *obs.Snapshot
+	if opt.Metrics {
+		obs.SetEnabled(true)
+		before = obs.Take()
+	}
+	start := time.Now()
+	tr, runErr := nas.Run(ctx, cfg)
+	if tr == nil {
+		s.finish(nil, runErr)
+		return
+	}
+	// runErr is ctx.Err() here: the trace holds the candidates completed
+	// before cancellation, and the partial Result is returned beside it.
+	res := &Result{App: app.Name, Scheme: nas.SchemeName(matcher), app: app, store: store, tr: tr}
+	best := math.Inf(-1)
+	for i, r := range tr.Records {
+		if r.Score > best {
+			best = r.Score
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			ID:                r.ID,
+			Arch:              r.Arch,
+			Score:             r.Score,
+			Params:            r.Params,
+			ParentID:          r.ParentID,
+			TransferredLayers: r.TransferCopied,
+			TrainTime:         r.TrainTime,
+			CheckpointBytes:   r.CheckpointBytes,
+			CompletedAt:       r.CompletedAt,
+			EvalTime:          r.EvalTime,
+			QueueWait:         r.QueueWait,
+			BestScore:         best,
+			Resumed:           i < resumed,
+		})
+	}
+	res.Summary = summarize(tr, time.Since(start), before)
+	res.Summary.Resumed = resumed
+	s.finish(res, runErr)
+}

@@ -1,0 +1,265 @@
+package swtnas
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func tinyOptions() SearchOptions {
+	return SearchOptions{
+		App: "nt3", Scheme: "LCS", Budget: 5, Seed: 9,
+		TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+	}
+}
+
+// TestHandleLifecycle drives the full handle API over one search: Start,
+// live Events, mid-run TopK, Wait — and checks the stream, the counters and
+// the final Result agree.
+func TestHandleLifecycle(t *testing.T) {
+	s, err := New(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := s.Events() // subscribed before Start: sees everything live
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err == nil {
+		t.Fatal("second Start must fail")
+	}
+	var streamed []Candidate
+	for ev := range events {
+		if ev.Kind != EventCandidate || ev.Candidate == nil {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		streamed = append(streamed, *ev.Candidate)
+	}
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, res.Candidates) {
+		t.Fatalf("streamed %d candidates != result's %d", len(streamed), len(res.Candidates))
+	}
+	if s.Completed() != 5 || s.Resumed() != 0 {
+		t.Fatalf("completed = %d resumed = %d", s.Completed(), s.Resumed())
+	}
+	best, ok := s.BestScore()
+	if !ok || best != res.Summary.BestScore {
+		t.Fatalf("BestScore = %v %v, summary has %v", best, ok, res.Summary.BestScore)
+	}
+	// TopK after completion matches Result.Best.
+	top := s.TopK(3)
+	want := res.Best(3)
+	if !reflect.DeepEqual(top, want) {
+		t.Fatalf("TopK = %+v\nBest = %+v", top, want)
+	}
+	// A late subscriber replays the whole history.
+	var replayed int
+	for ev := range s.Events() {
+		if ev.Kind == EventCandidate {
+			replayed++
+		}
+	}
+	if replayed != 5 {
+		t.Fatalf("late subscriber saw %d candidates, want 5", replayed)
+	}
+	// Wait is idempotent.
+	res2, err2 := s.Wait()
+	if res2 != res || err2 != nil {
+		t.Fatal("repeated Wait returned a different outcome")
+	}
+}
+
+// TestHandleCancelMidStream cancels through the handle while consuming the
+// event stream and expects a partial result beside context.Canceled, with
+// the stream closing cleanly.
+func TestHandleCancelMidStream(t *testing.T) {
+	opt := tinyOptions()
+	opt.Budget = 1000
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := s.Events()
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for ev := range events {
+		if ev.Kind != EventCandidate {
+			continue
+		}
+		seen++
+		if seen == 2 {
+			s.Cancel()
+		}
+	}
+	res, err := s.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Candidates) < 2 || len(res.Candidates) >= 1000 {
+		t.Fatalf("partial result has %d candidates", len(res.Candidates))
+	}
+	if len(res.Candidates) != seen {
+		t.Fatalf("stream saw %d candidates, result has %d", seen, len(res.Candidates))
+	}
+}
+
+// TestHandleSharedPoolQuota: a pool admitting one search rejects the second
+// with ErrQuotaExceeded from Start (and from Wait), then admits it once the
+// first finishes.
+func TestHandleSharedPoolQuota(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 2, MaxActiveSearches: 1})
+	defer pool.Close()
+
+	opt := tinyOptions()
+	opt.Pool, opt.Tenant = pool, "a"
+	first, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	opt2 := tinyOptions()
+	opt2.Pool, opt2.Tenant = pool, "b"
+	second, err := New(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Start(context.Background()); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Start = %v, want ErrQuotaExceeded", err)
+	}
+	if _, err := second.Wait(); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Wait = %v, want ErrQuotaExceeded", err)
+	}
+
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Slot freed: a fresh handle is admitted now.
+	third, err := New(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := third.Start(context.Background()); err != nil {
+		t.Fatalf("post-release Start = %v", err)
+	}
+	if _, err := third.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandleSharedPoolMatchesSolo: running on a shared pool changes where
+// evaluations execute, not what the search computes — same seed, same trace.
+func TestHandleSharedPoolMatchesSolo(t *testing.T) {
+	solo, err := Search(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(PoolOptions{Workers: 2})
+	defer pool.Close()
+	opt := tinyOptions()
+	opt.Pool, opt.Tenant = pool, "t"
+	pooled, err := Search(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.Candidates) != len(pooled.Candidates) {
+		t.Fatalf("candidates: %d vs %d", len(solo.Candidates), len(pooled.Candidates))
+	}
+	for i := range solo.Candidates {
+		a, b := solo.Candidates[i], pooled.Candidates[i]
+		if a.ID != b.ID || a.Score != b.Score || !reflect.DeepEqual(a.Arch, b.Arch) {
+			t.Fatalf("candidate %d differs: solo %+v pooled %+v", i, a, b)
+		}
+	}
+}
+
+// TestCandidateJSONRoundTrip pins the wire schema of Candidate: field names
+// are shared with the serve layer's candidate events, and the
+// omitempty-elided fields must stay elided so traces and events compare
+// byte for byte.
+func TestCandidateJSONRoundTrip(t *testing.T) {
+	c := Candidate{
+		ID: 3, Arch: []int{1, 2, 0}, Score: 0.91, Params: 1234, ParentID: 1,
+		TransferredLayers: 2, TrainTime: 5 * time.Millisecond,
+		CheckpointBytes: 2048, CompletedAt: 7 * time.Millisecond,
+		EvalTime: 6 * time.Millisecond, QueueWait: time.Millisecond,
+		BestScore: 0.95, Resumed: true,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":3,"arch":[1,2,0],"score":0.91,"params":1234,"parent_id":1,` +
+		`"transferred_layers":2,"train_time":5000000,"checkpoint_bytes":2048,` +
+		`"completed_at":7000000,"eval_time":6000000,"queue_wait":1000000,` +
+		`"best_score":0.95,"resumed":true}`
+	if string(b) != want {
+		t.Fatalf("schema drifted:\n got %s\nwant %s", b, want)
+	}
+	var back Candidate
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, c) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// Zero-valued optional fields disappear from the wire form.
+	lean, err := json.Marshal(Candidate{ID: 1, Arch: []int{0}, ParentID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"eval_time", "queue_wait", "resumed"} {
+		if jsonHasField(t, lean, field) {
+			t.Fatalf("zero %s serialized: %s", field, lean)
+		}
+	}
+}
+
+// TestSearchSummaryJSONRoundTrip pins SearchSummary's wire schema.
+func TestSearchSummaryJSONRoundTrip(t *testing.T) {
+	s := SearchSummary{
+		WallTime: 3 * time.Second, Candidates: 10, Resumed: 4, BestScore: 0.88,
+		Transferred: 7, Scratch: 3,
+		Eval: LatencyStats{Count: 10, Mean: time.Second, P50: time.Second, P95: 2 * time.Second, Max: 2 * time.Second},
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SearchSummary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("round trip lost data:\n got %+v\nwant %+v", back, s)
+	}
+	for _, field := range []string{"wall_time", "candidates", "resumed", "best_score", "transferred", "scratch", "eval", "queue_wait", "gemm"} {
+		if !jsonHasField(t, b, field) {
+			t.Fatalf("field %s missing from %s", field, b)
+		}
+	}
+	if jsonHasField(t, b, "metrics") {
+		t.Fatalf("nil metrics serialized: %s", b)
+	}
+}
+
+// jsonHasField reports whether a marshalled object has a top-level key.
+func jsonHasField(t *testing.T, b []byte, key string) bool {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := m[key]
+	return ok
+}

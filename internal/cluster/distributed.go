@@ -38,6 +38,12 @@ type DistConfig struct {
 	// coordinator's FaultConfig.TaskDeadline for coordinator-side stall
 	// detection.
 	TaskDeadline time.Duration
+	// Progress, when set, is invoked synchronously with each trace record as
+	// it is appended — scored candidates and terminal failures alike (the
+	// latter with Failed set). Together with FaultConfig.OnEvent it gives a
+	// live feed of a distributed run: completions here, fault-tolerance
+	// decisions there.
+	Progress func(trace.Record)
 }
 
 // RunDistributed proposes candidates with regularized evolution, ships them
@@ -109,6 +115,9 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 				Failed:      true,
 				FailReason:  res.Err,
 			})
+			if cfg.Progress != nil {
+				cfg.Progress(tr.Records[len(tr.Records)-1])
+			}
 			if issued < cfg.Budget {
 				issue()
 			}
@@ -130,6 +139,9 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 			CheckpointBytes: int64(len(res.Checkpoint)),
 			CompletedAt:     time.Since(start),
 		})
+		if cfg.Progress != nil {
+			cfg.Progress(tr.Records[len(tr.Records)-1])
+		}
 		if issued < cfg.Budget {
 			issue()
 		}

@@ -5,7 +5,44 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"swtnas/internal/nas"
 )
+
+// eventRecorder collects nas.FaultEvent values from FaultConfig.OnEvent for
+// assertions; the callback runs from RPC and monitor goroutines concurrently.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []nas.FaultEvent
+}
+
+func (r *eventRecorder) record(ev nas.FaultEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func (r *eventRecorder) snapshot() []nas.FaultEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]nas.FaultEvent(nil), r.events...)
+}
+
+// await polls until an event satisfying pred arrives or the deadline passes.
+func (r *eventRecorder) await(t *testing.T, what string, pred func(nas.FaultEvent) bool) nas.FaultEvent {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ev := range r.snapshot() {
+			if pred(ev) {
+				return ev
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no %s event arrived; have %+v", what, r.snapshot())
+	return nas.FaultEvent{}
+}
 
 // TestConcurrentRequeueUniqueResults hammers the coordinator's scheduling
 // state directly (no TCP): many worker goroutines pull tasks and submit a
@@ -114,11 +151,13 @@ func TestConcurrentRequeueUniqueResults(t *testing.T) {
 // worker errors and expects a coordinator-synthesized Failed result, not a
 // hang or an extra retry.
 func TestRequeueExhaustionSurfacesFailure(t *testing.T) {
+	rec := &eventRecorder{}
 	c := NewCoordinatorWith(FaultConfig{
 		HeartbeatTimeout: 2 * time.Second,
 		MonitorInterval:  2 * time.Millisecond,
 		RetryBackoff:     time.Millisecond,
 		MaxAttempts:      3,
+		OnEvent:          rec.record,
 	})
 	defer c.Shutdown()
 	svc := &Service{c: c}
@@ -151,17 +190,37 @@ func TestRequeueExhaustionSurfacesFailure(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("no terminal result after retry exhaustion")
 	}
+
+	// The progress feed saw each retry decision and the terminal failure:
+	// two requeues (attempts 1, 2) then a failed event (attempt 3).
+	events := rec.snapshot()
+	var kinds []nas.FaultKind
+	for _, ev := range events {
+		if ev.CandidateID != 7 {
+			t.Fatalf("event for unexpected candidate: %+v", ev)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []nas.FaultKind{nas.FaultRequeue, nas.FaultRequeue, nas.FaultFailed}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("event kinds = %v, want %v (events %+v)", kinds, want, events)
+	}
+	if events[2].Attempt != 3 || events[2].Reason != "boom" {
+		t.Fatalf("terminal event = %+v, want attempt 3 reason boom", events[2])
+	}
 }
 
 // TestQuarantineAndReadmission silences a worker past the heartbeat timeout,
 // checks its in-flight task requeues, then heartbeats again and checks the
 // worker is served tasks once more.
 func TestQuarantineAndReadmission(t *testing.T) {
+	rec := &eventRecorder{}
 	c := NewCoordinatorWith(FaultConfig{
 		HeartbeatTimeout: 50 * time.Millisecond,
 		MonitorInterval:  10 * time.Millisecond,
 		RetryBackoff:     time.Millisecond,
 		MaxAttempts:      3,
+		OnEvent:          rec.record,
 	})
 	defer c.Shutdown()
 	svc := &Service{c: c}
@@ -208,6 +267,28 @@ func TestQuarantineAndReadmission(t *testing.T) {
 	}
 	if task.ID != 2 {
 		t.Fatalf("re-admitted worker got task %d, want 2", task.ID)
+	}
+
+	// The feed carries the full worker lifecycle: quarantine of "flaky"
+	// (worker-scoped, candidate -1), the requeue of its in-flight task, and
+	// the eventual readmission.
+	// (A worker parked in NextTask can age past the timeout too and bounce
+	// through quarantine/readmit, so match on "flaky" specifically.)
+	q := rec.await(t, "quarantine", func(ev nas.FaultEvent) bool {
+		return ev.Kind == nas.FaultQuarantine && ev.Worker == "flaky"
+	})
+	if q.CandidateID != -1 {
+		t.Fatalf("quarantine event = %+v, want candidate -1", q)
+	}
+	rq := rec.await(t, "requeue", func(ev nas.FaultEvent) bool { return ev.Kind == nas.FaultRequeue })
+	if rq.CandidateID != 1 {
+		t.Fatalf("requeue event = %+v, want candidate 1", rq)
+	}
+	ra := rec.await(t, "readmit", func(ev nas.FaultEvent) bool {
+		return ev.Kind == nas.FaultReadmit && ev.Worker == "flaky"
+	})
+	if ra.CandidateID != -1 {
+		t.Fatalf("readmit event = %+v, want candidate -1", ra)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"swtnas/internal/checkpoint"
 	"swtnas/internal/core"
 	"swtnas/internal/data"
+	"swtnas/internal/nas"
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
 )
@@ -147,6 +148,13 @@ type FaultConfig struct {
 	RetryBackoff time.Duration
 	// MonitorInterval is the failure-detector scan period. Default 250ms.
 	MonitorInterval time.Duration
+	// OnEvent, when set, observes every fault-tolerance decision the
+	// coordinator takes — requeues, terminal failures, quarantines and
+	// re-admissions — as nas.FaultEvent values. Events are delivered outside
+	// the coordinator's lock, in decision order, from whichever goroutine
+	// took the decision; the callback must be safe for concurrent use and
+	// must not block (it runs on the RPC and failure-detector paths).
+	OnEvent func(nas.FaultEvent)
 }
 
 func (f FaultConfig) withDefaults() FaultConfig {
@@ -213,6 +221,37 @@ type Coordinator struct {
 	stopMonitor chan struct{}
 
 	results chan RPCResult
+
+	// pending buffers fault events recorded under mu; emitMu serializes
+	// their delivery to cfg.OnEvent so observers see decision order even
+	// when RPC goroutines and the failure detector flush concurrently.
+	pending []nas.FaultEvent
+	emitMu  sync.Mutex
+}
+
+// emitLocked queues a fault event for delivery; callers hold c.mu and must
+// call flushEvents after unlocking.
+func (c *Coordinator) emitLocked(ev nas.FaultEvent) {
+	if c.cfg.OnEvent != nil {
+		c.pending = append(c.pending, ev)
+	}
+}
+
+// flushEvents delivers queued fault events outside c.mu, preserving the
+// order the decisions were taken in.
+func (c *Coordinator) flushEvents() {
+	if c.cfg.OnEvent == nil {
+		return
+	}
+	c.emitMu.Lock()
+	defer c.emitMu.Unlock()
+	c.mu.Lock()
+	evs := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, ev := range evs {
+		c.cfg.OnEvent(ev)
+	}
 }
 
 // NewCoordinator creates a coordinator with the default fault policy.
@@ -274,6 +313,7 @@ func (c *Coordinator) beatLocked(workerID string) {
 		ws.quarantined = false
 		mReadmitted.Inc()
 		obs.GetCounter(obs.Labeled("cluster.coord.readmitted", "worker", workerID)).Inc()
+		c.emitLocked(nas.FaultEvent{Kind: nas.FaultReadmit, Worker: workerID, CandidateID: -1})
 	}
 }
 
@@ -288,11 +328,13 @@ func (c *Coordinator) requeueLocked(t RPCTask, attempts int, reason string) *RPC
 	if attempts >= c.cfg.MaxAttempts {
 		c.done[t.ID] = true
 		mTasksFailed.Inc()
+		c.emitLocked(nas.FaultEvent{Kind: nas.FaultFailed, CandidateID: t.ID, Reason: reason, Attempt: attempts})
 		return &RPCResult{ID: t.ID, WorkerID: "coordinator", Err: reason, Failed: true, Attempts: attempts}
 	}
 	backoff := c.cfg.RetryBackoff << (attempts - 1)
 	c.delayed = append(c.delayed, delayedTask{task: t, attempts: attempts, readyAt: time.Now().Add(backoff)})
 	mTasksRequeued.Inc()
+	c.emitLocked(nas.FaultEvent{Kind: nas.FaultRequeue, CandidateID: t.ID, Reason: reason, Attempt: attempts})
 	return nil
 }
 
@@ -320,6 +362,7 @@ func (c *Coordinator) monitor() {
 			ws.quarantined = true
 			mQuarantined.Inc()
 			obs.GetCounter(obs.Labeled("cluster.coord.quarantined", "worker", id)).Inc()
+			c.emitLocked(nas.FaultEvent{Kind: nas.FaultQuarantine, Worker: id, CandidateID: -1, Reason: "no heartbeat"})
 			for tid, ift := range c.inflight {
 				if ift.worker != id {
 					continue
@@ -357,6 +400,7 @@ func (c *Coordinator) monitor() {
 		c.delayed = keep
 		mInflightGauge.Set(int64(len(c.inflight)))
 		c.mu.Unlock()
+		c.flushEvents()
 		if released {
 			c.cond.Broadcast()
 		}
@@ -378,6 +422,7 @@ type Service struct {
 // worker: if it can ask, it is alive).
 func (s *Service) NextTask(workerID string, reply *RPCTask) error {
 	c := s.c
+	defer c.flushEvents() // after the unlock below (defers run LIFO)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.beatLocked(workerID)
@@ -410,6 +455,7 @@ func (s *Service) Heartbeat(workerID string, ack *bool) error {
 	c.mu.Lock()
 	c.beatLocked(workerID)
 	c.mu.Unlock()
+	c.flushEvents()
 	mHeartbeats.Inc()
 	obs.GetCounter(obs.Labeled("cluster.coord.heartbeats", "worker", workerID)).Inc()
 	*ack = true
@@ -449,6 +495,7 @@ func (s *Service) Submit(res RPCResult, ack *bool) error {
 	}
 	mInflightGauge.Set(int64(len(c.inflight)))
 	c.mu.Unlock()
+	c.flushEvents()
 	if terminal != nil {
 		c.results <- *terminal
 	}

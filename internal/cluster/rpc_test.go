@@ -3,8 +3,11 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
+
+	"swtnas/internal/trace"
 )
 
 // startCluster spins up a coordinator on a loopback port plus n in-process
@@ -87,9 +90,16 @@ func TestWorkerRejectsBadTask(t *testing.T) {
 func TestDistributedSearchOverTCP(t *testing.T) {
 	c, stop := startCluster(t, 2)
 	defer stop()
+	var mu sync.Mutex
+	var streamed []trace.Record
 	tr, err := RunDistributed(c, DistConfig{
 		App: "nt3", DataSeed: 1, TrainN: 32, ValN: 16,
 		Matcher: "LCS", Budget: 8, Outstanding: 2, Seed: 3, N: 3, S: 2,
+		Progress: func(r trace.Record) {
+			mu.Lock()
+			streamed = append(streamed, r)
+			mu.Unlock()
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +107,17 @@ func TestDistributedSearchOverTCP(t *testing.T) {
 	if len(tr.Records) != 8 {
 		t.Fatalf("records = %d", len(tr.Records))
 	}
+	// Progress streamed the same records the trace recorded, in order.
+	mu.Lock()
+	if len(streamed) != len(tr.Records) {
+		t.Fatalf("streamed %d records, trace has %d", len(streamed), len(tr.Records))
+	}
+	for i := range streamed {
+		if streamed[i].ID != tr.Records[i].ID || streamed[i].Score != tr.Records[i].Score {
+			t.Fatalf("streamed record %d = %+v, trace has %+v", i, streamed[i], tr.Records[i])
+		}
+	}
+	mu.Unlock()
 	if tr.Scheme != "LCS" {
 		t.Fatalf("scheme = %q", tr.Scheme)
 	}

@@ -85,7 +85,10 @@ type Result struct {
 	// candidate completed so far, including this one. Progress callbacks
 	// use it for whole-search early stopping.
 	BestScore float64
-	Err       error
+	// Resumed marks a candidate replayed from a crash-resume journal
+	// rather than evaluated in this process.
+	Resumed bool
+	Err     error
 }
 
 // Evaluator scores candidates for one application. An Evaluator is
@@ -227,10 +230,19 @@ type Config struct {
 	// every completed candidate, in completion order, after the result has
 	// been recorded in the trace (CompletedAt and the running BestScore
 	// are already set, so callers can implement whole-search early
-	// stopping by cancelling the context when BestScore plateaus). It
-	// must not call back into the search; a slow callback delays issuing
-	// the next candidate but never corrupts the run.
+	// stopping by cancelling the context when BestScore plateaus). On a
+	// resumed run the journaled prefix is streamed first, each replayed
+	// candidate marked Resumed, so a progress feed always sees the full
+	// history. It must not call back into the search; a slow callback
+	// delays issuing the next candidate but never corrupts the run.
 	Progress func(Result)
+	// Executor, when non-nil, runs the candidate evaluations — a
+	// SharedPool client when this search shares evaluator slots with
+	// others. Nil gives the search its own Workers goroutines, the
+	// single-search behavior. With an Executor set, Workers bounds only
+	// this search's outstanding tasks (the pool sizes real concurrency)
+	// and the automatic kernel split is left to the pool.
+	Executor Executor
 	// Journal, when non-nil, receives an append for every completed
 	// candidate before Progress fires, so a crashed run can resume from its
 	// last fsynced candidate. When Store is a checkpoint.ManifestStore with
@@ -292,7 +304,7 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	}
 	if cfg.KernelWorkers > 0 {
 		parallel.SetWorkers(cfg.KernelWorkers)
-	} else if workers > 1 && os.Getenv(parallel.EnvWorkers) == "" {
+	} else if cfg.Executor == nil && workers > 1 && os.Getenv(parallel.EnvWorkers) == "" {
 		// Evaluator×kernel auto-split: concurrent evaluations partition the
 		// cores evenly instead of each grabbing the whole machine. Unlike an
 		// explicit KernelWorkers (persistent, as documented), the automatic
@@ -339,23 +351,13 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	}
 
 	eval := &Evaluator{App: cfg.App, Matcher: cfg.Matcher, Store: store}
-	tasks := make(chan Task, workers)
 	results := make(chan Result, workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for t := range tasks {
-				// Check between candidates: a cancelled context turns
-				// every still-queued task into a sentinel result so the
-				// scheduler's outstanding count drains exactly.
-				if err := ctx.Err(); err != nil {
-					results <- Result{ID: t.ID, Arch: t.Arch, ParentID: t.ParentID, Err: err}
-					continue
-				}
-				results <- eval.EvaluateCtx(ctx, t)
-			}
-		}()
+	exec := cfg.Executor
+	if exec == nil {
+		le := newLocalExecutor(workers)
+		defer le.close()
+		exec = le
 	}
-	defer close(tasks)
 
 	// dispatch starts the next candidate: first any task recovered
 	// in-flight from the journal, then fresh proposals up to the budget.
@@ -365,19 +367,19 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			t := pending[0]
 			pending = pending[1:]
 			t.IssuedAt = time.Now()
-			tasks <- t
+			exec.Submit(ctx, t, eval.EvaluateCtx, results)
 			return true
 		}
 		if issued < cfg.Budget {
 			p := strategy.Propose(rng)
 			gc.taskIssued(p.ParentID)
-			tasks <- Task{
+			exec.Submit(ctx, Task{
 				ID:       issued,
 				Arch:     p.Arch,
 				ParentID: p.ParentID,
 				Seed:     TaskSeed(cfg.Seed, issued),
 				IssuedAt: time.Now(),
-			}
+			}, eval.EvaluateCtx, results)
 			issued++
 			return true
 		}
@@ -473,6 +475,46 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	}
 	return tr, nil
 }
+
+// localExecutor is the default Executor: a per-search set of worker
+// goroutines, dedicated to one Run call and torn down when it returns.
+type localExecutor struct {
+	tasks chan localItem
+}
+
+type localItem struct {
+	ctx  context.Context
+	task Task
+	eval EvalFunc
+	out  chan<- Result
+}
+
+func newLocalExecutor(workers int) *localExecutor {
+	le := &localExecutor{tasks: make(chan localItem, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for it := range le.tasks {
+				// Check between candidates: a cancelled context turns
+				// every still-queued task into a sentinel result so the
+				// scheduler's outstanding count drains exactly.
+				if err := it.ctx.Err(); err != nil {
+					it.out <- Result{ID: it.task.ID, Arch: it.task.Arch, ParentID: it.task.ParentID, Err: err}
+					continue
+				}
+				it.out <- it.eval(it.ctx, it.task)
+			}
+		}()
+	}
+	return le
+}
+
+// Submit never blocks the scheduler: the channel buffer covers the
+// outstanding-task bound (one new task per completed result).
+func (le *localExecutor) Submit(ctx context.Context, t Task, eval EvalFunc, out chan<- Result) {
+	le.tasks <- localItem{ctx: ctx, task: t, eval: eval, out: out}
+}
+
+func (le *localExecutor) close() { close(le.tasks) }
 
 // TaskSeed derives candidate id's deterministic evaluation seed from the
 // search seed — shared by the live scheduler and journal replay so a

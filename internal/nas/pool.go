@@ -1,0 +1,375 @@
+package nas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"swtnas/internal/obs"
+	"swtnas/internal/parallel"
+)
+
+// Shared-pool telemetry (internal/obs, disabled by default): task and
+// search accounting across tenants, retry decisions, and the current fair
+// schedule. Per-tenant task counters are additionally labeled (obs.Labeled)
+// so a multi-tenant server can attribute load.
+var (
+	mPoolSubmitted = obs.GetCounter("nas.pool.tasks.submitted")
+	mPoolCompleted = obs.GetCounter("nas.pool.tasks.completed")
+	mPoolRetries   = obs.GetCounter("nas.pool.tasks.requeued")
+	mPoolFailed    = obs.GetCounter("nas.pool.tasks.failed")
+	mPoolPanics    = obs.GetCounter("nas.pool.tasks.panics")
+	mPoolRejected  = obs.GetCounter("nas.pool.rejected.quota")
+	mPoolActive    = obs.GetGauge("nas.pool.searches.active")
+	mPoolQueued    = obs.GetGauge("nas.pool.tasks.queued")
+	mPoolKernel    = obs.GetGauge("nas.pool.kernel.workers")
+)
+
+// ErrQuotaExceeded rejects a Register that would exceed the pool's admission
+// limits (MaxActive or MaxPerTenant). Submitters should retry after one of
+// the tenant's searches finishes; a server maps it to HTTP 429.
+var ErrQuotaExceeded = errors.New("nas: evaluator pool quota exceeded")
+
+// EvalFunc evaluates one candidate; Evaluator.EvaluateCtx is the canonical
+// implementation. Each search supplies its own (the app, matcher and store
+// differ per search), so a shared pool executes closures, not a fixed
+// evaluator.
+type EvalFunc func(context.Context, Task) Result
+
+// Executor abstracts where a search's candidate evaluations run: Run's
+// built-in per-search worker goroutines (the default), or a PoolClient on a
+// SharedPool whose evaluator slots are fairly divided between many
+// concurrent searches. Submit must not block the scheduler: the result is
+// delivered to out (whose capacity covers every in-flight task) exactly
+// once, possibly after Run has returned.
+type Executor interface {
+	Submit(ctx context.Context, t Task, eval EvalFunc, out chan<- Result)
+}
+
+// PoolConfig sizes a SharedPool and sets its admission policy.
+type PoolConfig struct {
+	// Workers is the number of evaluator slots — candidate evaluations
+	// running concurrently across all searches. Defaults to 1.
+	Workers int
+	// MaxActive caps concurrently registered searches; 0 is unlimited.
+	MaxActive int
+	// MaxPerTenant caps concurrently registered searches per tenant; 0 is
+	// unlimited.
+	MaxPerTenant int
+	// KernelSplit re-splits the process-wide compute-kernel pool
+	// (internal/parallel) as searches come and go: with fewer busy
+	// evaluator slots than Workers, each running evaluation gets a larger
+	// share of the cores. The SWTNAS_WORKERS environment variable, when
+	// set, pins the kernel pool and disables the re-split, mirroring
+	// Config.KernelWorkers semantics.
+	KernelSplit bool
+}
+
+// SharedPool is a fixed set of evaluator slots shared by many concurrent
+// searches — the server-side replacement for Run's assumption that it owns
+// all workers. Each search registers a PoolClient; slots pick the next task
+// by weighted round-robin across clients (smallest weight-normalized service
+// so far wins), so a heavy search cannot starve a light one, and admission
+// control bounds how many searches a tenant may run at once.
+type SharedPool struct {
+	cfg PoolConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	clients []*PoolClient
+	tenants map[string]int
+	queued  int
+	closed  bool
+}
+
+// NewSharedPool starts a pool with cfg.Workers evaluator slots.
+func NewSharedPool(cfg PoolConfig) *SharedPool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	p := &SharedPool{cfg: cfg, tenants: map[string]int{}}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker(fmt.Sprintf("slot-%d", i))
+	}
+	return p
+}
+
+// Workers returns the pool's evaluator-slot count.
+func (p *SharedPool) Workers() int { return p.cfg.Workers }
+
+// Close stops the pool's slots once their current evaluations finish.
+// Registered clients' queued tasks are abandoned; Close is for process
+// shutdown, not search teardown (searches close their own clients).
+func (p *SharedPool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// ClientConfig identifies one search to the pool.
+type ClientConfig struct {
+	// Tenant is the quota-accounting identity ("" is a tenant like any
+	// other).
+	Tenant string
+	// Weight is the search's share of the pool relative to other clients
+	// (minimum 1): a weight-2 client is served twice as often as a
+	// weight-1 client under contention.
+	Weight int
+	// Concurrency is the search's own outstanding-task bound (its Workers
+	// option); the pool uses the sum over clients to re-split kernel
+	// cores.
+	Concurrency int
+	// MaxAttempts bounds executions per task: a task whose evaluation
+	// errors (or panics) is requeued with a FaultRequeue event until the
+	// budget is spent, then delivered with its error and a FaultFailed
+	// event. Default 1 — errors surface immediately.
+	MaxAttempts int
+	// OnFault, when non-nil, receives requeue/failed events for this
+	// client's tasks. Called from pool slots, outside pool locks; it must
+	// not block for long.
+	OnFault func(FaultEvent)
+}
+
+// PoolClient is one search's handle on a SharedPool; it implements Executor.
+type PoolClient struct {
+	pool *SharedPool
+	cfg  ClientConfig
+
+	// Guarded by pool.mu.
+	served float64 // weight-normalized tasks served (WRR virtual time)
+	queue  []poolItem
+	closed bool
+}
+
+type poolItem struct {
+	ctx     context.Context
+	task    Task
+	eval    EvalFunc
+	out     chan<- Result
+	attempt int // executions already consumed
+}
+
+// Register admits a search to the pool, enforcing the per-tenant and
+// pool-wide quotas (ErrQuotaExceeded), and re-splits the kernel-core budget
+// across the new set of searches. Close the client when the search ends.
+func (p *SharedPool) Register(cfg ClientConfig) (*PoolClient, error) {
+	if cfg.Weight < 1 {
+		cfg.Weight = 1
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("nas: evaluator pool is closed")
+	}
+	if p.cfg.MaxActive > 0 && len(p.clients) >= p.cfg.MaxActive {
+		mPoolRejected.Inc()
+		return nil, fmt.Errorf("%w: %d searches active (max %d)", ErrQuotaExceeded, len(p.clients), p.cfg.MaxActive)
+	}
+	if p.cfg.MaxPerTenant > 0 && p.tenants[cfg.Tenant] >= p.cfg.MaxPerTenant {
+		mPoolRejected.Inc()
+		return nil, fmt.Errorf("%w: tenant %q has %d searches active (max %d)", ErrQuotaExceeded, cfg.Tenant, p.tenants[cfg.Tenant], p.cfg.MaxPerTenant)
+	}
+	c := &PoolClient{pool: p, cfg: cfg}
+	// A newcomer starts at the lowest virtual time already in play: it gets
+	// its fair share from now on without a catch-up burst that would starve
+	// the searches already running.
+	for i, other := range p.clients {
+		if i == 0 || other.served < c.served {
+			c.served = other.served
+		}
+	}
+	p.clients = append(p.clients, c)
+	p.tenants[cfg.Tenant]++
+	mPoolActive.Set(int64(len(p.clients)))
+	p.resplitLocked()
+	return c, nil
+}
+
+// Submit schedules one candidate evaluation; it never blocks (the queue is
+// unbounded, fairness is applied when slots pick work). Part of Executor.
+func (c *PoolClient) Submit(ctx context.Context, t Task, eval EvalFunc, out chan<- Result) {
+	p := c.pool
+	p.mu.Lock()
+	if c.closed || p.closed {
+		p.mu.Unlock()
+		out <- Result{ID: t.ID, Arch: t.Arch, ParentID: t.ParentID, Err: context.Canceled}
+		return
+	}
+	c.queue = append(c.queue, poolItem{ctx: ctx, task: t, eval: eval, out: out})
+	p.queued++
+	mPoolQueued.Set(int64(p.queued))
+	p.mu.Unlock()
+	mPoolSubmitted.Inc()
+	if obs.Enabled() {
+		obs.GetCounter(obs.Labeled("nas.pool.tasks.submitted", "tenant", c.cfg.Tenant)).Inc()
+	}
+	p.cond.Signal()
+}
+
+// Close deregisters the search: queued tasks are dropped (their results are
+// no longer consumed), the tenant's quota slot frees, and the kernel-core
+// budget re-splits across the remaining searches. An evaluation already
+// running on a slot finishes and its result is discarded by the departed
+// scheduler's buffered channel.
+func (c *PoolClient) Close() {
+	p := c.pool
+	p.mu.Lock()
+	if c.closed {
+		p.mu.Unlock()
+		return
+	}
+	c.closed = true
+	p.queued -= len(c.queue)
+	c.queue = nil
+	mPoolQueued.Set(int64(p.queued))
+	for i, other := range p.clients {
+		if other == c {
+			p.clients = append(p.clients[:i], p.clients[i+1:]...)
+			break
+		}
+	}
+	p.tenants[c.cfg.Tenant]--
+	if p.tenants[c.cfg.Tenant] <= 0 {
+		delete(p.tenants, c.cfg.Tenant)
+	}
+	mPoolActive.Set(int64(len(p.clients)))
+	p.resplitLocked()
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// nextLocked picks the client to serve: among clients with queued work, the
+// one with the smallest weight-normalized service so far (deficit-style
+// weighted round-robin; registration order breaks ties). Callers hold p.mu.
+func (p *SharedPool) nextLocked() *PoolClient {
+	var best *PoolClient
+	for _, c := range p.clients {
+		if len(c.queue) == 0 {
+			continue
+		}
+		if best == nil || c.served < best.served {
+			best = c
+		}
+	}
+	return best
+}
+
+// worker is one evaluator slot: wait for the fair scheduler to hand it a
+// task, run it with panic isolation, retry transient failures within the
+// client's attempt budget, deliver the result.
+func (p *SharedPool) worker(slot string) {
+	for {
+		p.mu.Lock()
+		var c *PoolClient
+		for {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			if c = p.nextLocked(); c != nil {
+				break
+			}
+			p.cond.Wait()
+		}
+		it := c.queue[0]
+		c.queue = c.queue[1:]
+		p.queued--
+		mPoolQueued.Set(int64(p.queued))
+		c.served += 1 / float64(c.cfg.Weight)
+		p.mu.Unlock()
+
+		res := runIsolated(it)
+		retriable := res.Err != nil && !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, context.DeadlineExceeded)
+
+		if retriable && it.attempt+1 < c.cfg.MaxAttempts {
+			p.mu.Lock()
+			open := !c.closed && !p.closed
+			if open {
+				it.attempt++
+				c.queue = append(c.queue, it)
+				p.queued++
+				mPoolQueued.Set(int64(p.queued))
+			}
+			p.mu.Unlock()
+			if open {
+				mPoolRetries.Inc()
+				c.fault(FaultEvent{Kind: FaultRequeue, Worker: slot, CandidateID: it.task.ID, Reason: res.Err.Error(), Attempt: it.attempt})
+				p.cond.Signal()
+				continue
+			}
+		}
+		if retriable {
+			mPoolFailed.Inc()
+			c.fault(FaultEvent{Kind: FaultFailed, Worker: slot, CandidateID: it.task.ID, Reason: res.Err.Error(), Attempt: it.attempt + 1})
+		} else {
+			mPoolCompleted.Inc()
+			if obs.Enabled() {
+				obs.GetCounter(obs.Labeled("nas.pool.tasks.completed", "tenant", c.cfg.Tenant)).Inc()
+			}
+		}
+		it.out <- res
+	}
+}
+
+// fault forwards one fault event to the client's subscriber, if any.
+func (c *PoolClient) fault(ev FaultEvent) {
+	if c.cfg.OnFault != nil {
+		c.cfg.OnFault(ev)
+	}
+}
+
+// runIsolated executes one task, honoring its context and converting a
+// panicking evaluation (a defect in one tenant's space or data) into an
+// error result so the slot — and every other tenant's search — survives.
+func runIsolated(it poolItem) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			mPoolPanics.Inc()
+			res = Result{ID: it.task.ID, Arch: it.task.Arch, ParentID: it.task.ParentID,
+				Err: fmt.Errorf("nas: evaluation panicked: %v", r)}
+		}
+	}()
+	if err := it.ctx.Err(); err != nil {
+		return Result{ID: it.task.ID, Arch: it.task.Arch, ParentID: it.task.ParentID, Err: err}
+	}
+	return it.eval(it.ctx, it.task)
+}
+
+// resplitLocked recomputes the evaluator×kernel core split for the current
+// set of searches: with fewer busy slots than cores, each running evaluation
+// shards its kernels wider. Demand is the sum of the clients' own
+// concurrency bounds, so a single one-worker search on an idle 16-core pool
+// gets all 16 cores, and a full pool divides them evenly. Callers hold p.mu.
+func (p *SharedPool) resplitLocked() {
+	if !p.cfg.KernelSplit || os.Getenv(parallel.EnvWorkers) != "" {
+		return
+	}
+	demand := 0
+	for _, c := range p.clients {
+		demand += c.cfg.Concurrency
+	}
+	busy := demand
+	if busy > p.cfg.Workers {
+		busy = p.cfg.Workers
+	}
+	if busy < 1 {
+		busy = 1
+	}
+	kw := runtime.GOMAXPROCS(0) / busy
+	if kw < 1 {
+		kw = 1
+	}
+	parallel.SetWorkers(kw)
+	mPoolKernel.Set(int64(kw))
+}

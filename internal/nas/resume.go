@@ -3,9 +3,11 @@ package nas
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"swtnas/internal/checkpoint"
+	"swtnas/internal/core"
 	"swtnas/internal/evo"
 	"swtnas/internal/obs"
 	"swtnas/internal/resilience"
@@ -53,6 +55,7 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, gc
 	for i := 0; i < upfront; i++ {
 		issue()
 	}
+	best := math.Inf(-1)
 	for _, er := range rec.Records {
 		r := er.Record
 		t, ok := open[r.ID]
@@ -76,6 +79,31 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, gc
 		// Mirror the live loop's post-journal sweep so the replayed store
 		// converges to the exact set of checkpoints the crashed run held.
 		gc.sweep()
+		// Stream the replayed prefix: a progress feed (and the serve
+		// layer's SSE replay on top of it) sees the full history of a
+		// resumed run, each journaled candidate marked Resumed, with the
+		// original run's timings preserved.
+		if r.Score > best {
+			best = r.Score
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Result{
+				ID:              r.ID,
+				Arch:            search.Arch(r.Arch),
+				ParentID:        r.ParentID,
+				Score:           r.Score,
+				Params:          r.Params,
+				ShapeSeq:        r.ShapeSeq,
+				Transfer:        core.Stats{Copied: r.TransferCopied},
+				TrainTime:       r.TrainTime,
+				CheckpointBytes: r.CheckpointBytes,
+				EvalTime:        r.EvalTime,
+				QueueWait:       r.QueueWait,
+				CompletedAt:     r.CompletedAt,
+				BestScore:       best,
+				Resumed:         true,
+			})
+		}
 	}
 	mResumedCandidates.Add(int64(len(rec.Records)))
 	for _, id := range order {

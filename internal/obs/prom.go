@@ -47,6 +47,40 @@ func Labeled(name string, kv ...string) string {
 	return b.String()
 }
 
+// DropLabeled unregisters every series carrying the label pair, returning
+// how many were removed. A long-lived process that mints per-run series
+// (e.g. one per submitted search) calls this when the run is deleted so the
+// registry — and every later snapshot and scrape — does not grow without
+// bound. Handles previously returned for a dropped series keep working but
+// record into orphaned metrics no snapshot reads; re-registering the same
+// name starts a fresh series from zero.
+func (r *Registry) DropLabeled(label, value string) int {
+	pair := label + `="` + escapeLabel(value) + `"`
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.kinds {
+		i := strings.IndexByte(name, '{')
+		if i < 0 || !strings.HasSuffix(name, "}") {
+			continue
+		}
+		for _, p := range strings.Split(name[i+1:len(name)-1], ",") {
+			if p == pair {
+				delete(r.kinds, name)
+				delete(r.counts, name)
+				delete(r.gauges, name)
+				delete(r.hists, name)
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// DropLabeled unregisters matching series from the default registry.
+func DropLabeled(label, value string) int { return def.DropLabeled(label, value) }
+
 // escapeLabel escapes a label value per the Prometheus text format.
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {

@@ -26,6 +26,42 @@ func TestLabeled(t *testing.T) {
 	}
 }
 
+// TestDropLabeled: per-run labeled series disappear from the registry (and
+// snapshots) when dropped; other series — including other label values on
+// the same family and unlabeled metrics — survive.
+func TestDropLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.GetCounter(Labeled("srv.candidates", "search", "s-1", "tenant", "a")).Add(3)
+	r.GetCounter(Labeled("srv.candidates", "search", "s-2", "tenant", "b")).Add(5)
+	r.GetGauge(Labeled("srv.state", "search", "s-1")).Set(1)
+	r.GetHistogram(Labeled("srv.lat", "search", "s-1"), DurationBuckets).Observe(0.1)
+	r.GetCounter("srv.submits").Inc()
+
+	if n := r.DropLabeled("search", "s-1"); n != 3 {
+		t.Fatalf("dropped %d series, want 3", n)
+	}
+	snap := r.Take()
+	for name := range snap.Counters {
+		if strings.Contains(name, `search="s-1"`) {
+			t.Fatalf("dropped series still snapshotted: %s", name)
+		}
+	}
+	if _, ok := snap.Counters[Labeled("srv.candidates", "search", "s-2", "tenant", "b")]; !ok {
+		t.Fatal("sibling series was dropped")
+	}
+	if _, ok := snap.Counters["srv.submits"]; !ok {
+		t.Fatal("unlabeled series was dropped")
+	}
+	// Dropping again finds nothing; a fresh registration starts from zero.
+	if n := r.DropLabeled("search", "s-1"); n != 0 {
+		t.Fatalf("second drop removed %d series", n)
+	}
+	if v := r.GetCounter(Labeled("srv.candidates", "search", "s-1", "tenant", "a")).Value(); v != 0 {
+		t.Fatalf("re-registered series kept old value %d", v)
+	}
+}
+
 func TestLabeledPanicsOnOddPairs(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"swtnas"
+)
+
+// testSubmit is the canonical small search the lifecycle tests run: Workers=1
+// keeps each search's proposal stream deterministic (cross-search parallelism
+// comes from the shared pool), which is what makes crash-resume comparisons
+// exact.
+func testSubmit(tenant string, seed int64, budget int) SubmitRequest {
+	return SubmitRequest{
+		Tenant: tenant, App: "nt3", Scheme: "LCS", Budget: budget,
+		Workers: 1, Seed: seed, TrainN: 48, ValN: 24,
+		Population: 4, Sample: 2,
+	}
+}
+
+// referenceOptions is the solo equivalent of testSubmit, for comparing the
+// service's output against a plain in-process Search.
+func referenceOptions(seed int64, budget int) swtnas.SearchOptions {
+	return swtnas.SearchOptions{
+		App: "nt3", Scheme: "LCS", Budget: budget,
+		Workers: 1, Seed: seed, TrainN: 48, ValN: 24,
+		PopulationSize: 4, SampleSize: 2,
+	}
+}
+
+func newTestServer(t *testing.T, dir string, pool swtnas.PoolOptions) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{DataDir: dir, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req SubmitRequest) SubmitResponse {
+	t.Helper()
+	resp := postJSON(t, ts, "/"+APIVersion+"/searches", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) SearchStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/" + APIVersion + "/searches/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d for %s", resp.StatusCode, id)
+	}
+	var st SearchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getTopK(t *testing.T, ts *httptest.Server, id string, n int) []swtnas.Candidate {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/%s/searches/%s/topk?n=%d", ts.URL, APIVersion, id, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status %d for %s", resp.StatusCode, id)
+	}
+	var out TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Candidates
+}
+
+// waitState polls a search until pred holds or the deadline passes.
+func waitState(t *testing.T, ts *httptest.Server, id string, pred func(SearchStatus) bool) SearchStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if pred(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("search %s never reached the expected state: %+v", id, getStatus(t, ts, id))
+	return SearchStatus{}
+}
+
+// sameArchs compares candidate lists on the search-determined fields (ID,
+// architecture, score, params) — the Resumed flag legitimately differs
+// between a resumed service run and an uninterrupted reference run.
+func sameArchs(t *testing.T, got, want []swtnas.Candidate, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d candidates, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Score != w.Score || g.Params != w.Params || !reflect.DeepEqual(g.Arch, w.Arch) {
+			t.Fatalf("%s: candidate %d differs:\n got %+v\nwant %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestServerCrashResumeTwoTenants is the acceptance scenario: two tenants'
+// searches interleave on one pool, the server dies mid-search without
+// cleanup, and a new server on the same data dir resumes both from their
+// journals and finishes with the exact top-K an uninterrupted run produces.
+func TestServerCrashResumeTwoTenants(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 10
+	s1, ts1 := newTestServer(t, dir, swtnas.PoolOptions{Workers: 2})
+
+	a := submit(t, ts1, testSubmit("t1", 3, budget))
+	b := submit(t, ts1, testSubmit("t2", 4, budget))
+	if a.ID == b.ID {
+		t.Fatalf("duplicate search ids: %s", a.ID)
+	}
+
+	// Let both make progress but not finish, then die without marking
+	// anything — Close is deliberately crash-like.
+	waitState(t, ts1, a.ID, func(st SearchStatus) bool { return st.Completed >= 2 })
+	waitState(t, ts1, b.ID, func(st SearchStatus) bool { return st.Completed >= 2 })
+	ts1.Close()
+	s1.Close()
+
+	// Restart: both searches must auto-resume and run to budget.
+	s2, ts2 := newTestServer(t, dir, swtnas.PoolOptions{Workers: 2})
+	defer s2.Close()
+	stA := waitState(t, ts2, a.ID, func(st SearchStatus) bool { return st.State == StateDone })
+	stB := waitState(t, ts2, b.ID, func(st SearchStatus) bool { return st.State == StateDone })
+	for _, st := range []SearchStatus{stA, stB} {
+		if st.Completed != budget {
+			t.Fatalf("%s completed %d of %d", st.ID, st.Completed, budget)
+		}
+		if st.Resumed == 0 || st.Resumed >= budget {
+			t.Fatalf("%s resumed %d candidates; want a strict mid-run split", st.ID, st.Resumed)
+		}
+		if st.BestScore == nil {
+			t.Fatalf("%s has no best score", st.ID)
+		}
+	}
+
+	// The resumed runs must match uninterrupted reference searches bit for
+	// bit on everything the search computes.
+	refA, err := swtnas.Search(referenceOptions(3, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := swtnas.Search(referenceOptions(4, budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameArchs(t, getTopK(t, ts2, a.ID, 5), refA.Best(5), "tenant t1 top-K")
+	sameArchs(t, getTopK(t, ts2, b.ID, 5), refB.Best(5), "tenant t2 top-K")
+	if *stA.BestScore != refA.Summary.BestScore || *stB.BestScore != refB.Summary.BestScore {
+		t.Fatalf("best scores drifted: %v/%v vs %v/%v",
+			*stA.BestScore, *stB.BestScore, refA.Summary.BestScore, refB.Summary.BestScore)
+	}
+
+	// The scrape endpoint attributes per-search progress by label.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		fmt.Sprintf(`serve_candidates{search="%s",tenant="t1"}`, a.ID),
+		fmt.Sprintf(`serve_candidates{search="%s",tenant="t2"}`, b.ID),
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Third process: both searches are terminal now, so status comes from
+	// metadata and top-K from the journal — and they must agree with the
+	// answers the live process gave.
+	liveTop := getTopK(t, ts2, a.ID, 5)
+	ts2.Close()
+	s2.Close()
+	s3, ts3 := newTestServer(t, dir, swtnas.PoolOptions{Workers: 1})
+	defer s3.Close()
+	st := getStatus(t, ts3, a.ID)
+	if st.State != StateDone || st.Completed != budget {
+		t.Fatalf("restored terminal status: %+v", st)
+	}
+	sameArchs(t, getTopK(t, ts3, a.ID, 5), liveTop, "journal-backed top-K")
+
+	// Deleting a terminal search removes its files, events and metrics.
+	req, err := http.NewRequest(http.MethodDelete, ts3.URL+"/"+APIVersion+"/searches/"+a.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	gone, err := http.Get(ts3.URL + "/" + APIVersion + "/searches/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted search still answers: %d", gone.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServerCancelWhileStreaming opens the SSE feed, cancels mid-stream, and
+// expects the stream to drain cleanly into a terminal "cancelled" status
+// event whose completed count matches the candidates streamed.
+func TestServerCancelWhileStreaming(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), swtnas.PoolOptions{Workers: 1})
+	defer s.Close()
+	sub := submit(t, ts, testSubmit("t1", 7, 100000))
+
+	resp, err := http.Get(ts.URL + "/" + APIVersion + "/searches/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var (
+		candidates int
+		lastSeq    = -1
+		terminal   *SearchStatus
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev CandidateEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		if ev.SearchID != sub.ID || ev.Seq != lastSeq+1 {
+			t.Fatalf("event stream out of order: %+v after seq %d", ev, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Kind {
+		case EventKindCandidate:
+			if ev.Candidate == nil {
+				t.Fatalf("candidate event without payload: %+v", ev)
+			}
+			candidates++
+			if candidates == 3 {
+				// Cancel from a second connection while this one streams.
+				go func() {
+					r := postJSON(t, ts, "/"+APIVersion+"/searches/"+sub.ID+"/cancel", struct{}{})
+					r.Body.Close()
+				}()
+			}
+		case EventKindStatus:
+			terminal = ev.Status
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if terminal == nil {
+		t.Fatal("stream ended without a terminal status event")
+	}
+	if terminal.State != StateCancelled {
+		t.Fatalf("terminal state %q, want cancelled", terminal.State)
+	}
+	if candidates < 3 || candidates >= 100000 {
+		t.Fatalf("streamed %d candidates before cancel", candidates)
+	}
+	if terminal.Completed != candidates {
+		t.Fatalf("terminal status says %d completed, stream saw %d", terminal.Completed, candidates)
+	}
+	// The partial result stays queryable after cancellation.
+	if got := getTopK(t, ts, sub.ID, 3); len(got) == 0 {
+		t.Fatal("no top-K after cancel")
+	}
+}
+
+// TestServerQuotaRejection: a pool admitting one search answers the second
+// submit with 429 and a JSON error, then admits it once capacity frees up.
+func TestServerQuotaRejection(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), swtnas.PoolOptions{Workers: 1, MaxActiveSearches: 1})
+	defer s.Close()
+	first := submit(t, ts, testSubmit("t1", 1, 100000))
+
+	resp := postJSON(t, ts, "/"+APIVersion+"/searches", testSubmit("t2", 2, 5))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit status %d, want 429", resp.StatusCode)
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if eresp.Error == "" {
+		t.Fatal("429 without an error message")
+	}
+
+	cancel := postJSON(t, ts, "/"+APIVersion+"/searches/"+first.ID+"/cancel", struct{}{})
+	cancel.Body.Close()
+	waitState(t, ts, first.ID, func(st SearchStatus) bool { return st.State == StateCancelled })
+
+	second := submit(t, ts, testSubmit("t2", 2, 3))
+	waitState(t, ts, second.ID, func(st SearchStatus) bool { return st.State == StateDone })
+}
+
+// TestServerValidation: a bad submission is rejected with 400 naming the
+// offending wire field, before any search is created.
+func TestServerValidation(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), swtnas.PoolOptions{Workers: 1})
+	defer s.Close()
+
+	resp := postJSON(t, ts, "/"+APIVersion+"/searches", SubmitRequest{Tenant: "t", App: "nt3", Scheme: "LCS"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid submit status %d, want 400", resp.StatusCode)
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	if eresp.Field != "budget" {
+		t.Fatalf("error field %q, want budget", eresp.Field)
+	}
+
+	// Unknown apps are caught too, and nothing was admitted either time.
+	resp2 := postJSON(t, ts, "/"+APIVersion+"/searches", SubmitRequest{App: "no-such-app", Budget: 3})
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-app submit status %d, want 400", resp2.StatusCode)
+	}
+	list, err := http.Get(ts.URL + "/" + APIVersion + "/searches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var lresp ListResponse
+	if err := json.NewDecoder(list.Body).Decode(&lresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(lresp.Searches) != 0 {
+		t.Fatalf("rejected submissions created %d searches", len(lresp.Searches))
+	}
+}
+
+// TestCandidateEventWireSchema pins the SSE payload: exactly one variant set,
+// snake_case keys, and the embedded candidate identical to its standalone
+// swtnas.Candidate encoding (shared schema with trace dumps).
+func TestCandidateEventWireSchema(t *testing.T) {
+	c := swtnas.Candidate{ID: 2, Arch: []int{1, 0}, Score: 0.5, ParentID: -1, BestScore: 0.5}
+	standalone, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(CandidateEvent{Kind: EventKindCandidate, SearchID: "s-000001", Seq: 4, Candidate: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`{"kind":"candidate","search_id":"s-000001","seq":4,"candidate":%s}`, standalone)
+	if string(b) != want {
+		t.Fatalf("event schema drifted:\n got %s\nwant %s", b, want)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"fault", "status"} {
+		if _, ok := m[absent]; ok {
+			t.Fatalf("unset variant %s serialized: %s", absent, b)
+		}
+	}
+
+	// Status events carry only the status variant.
+	st := SearchStatus{ID: "s-000001", App: "nt3", Scheme: "LCS", State: StateDone, Budget: 3, Completed: 3}
+	sb, err := json.Marshal(CandidateEvent{Kind: EventKindStatus, SearchID: st.ID, Seq: 5, Status: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(sb), `"candidate"`) || !strings.Contains(string(sb), `"state":"done"`) {
+		t.Fatalf("status event schema: %s", sb)
+	}
+}

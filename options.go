@@ -1,0 +1,162 @@
+package swtnas
+
+import (
+	"fmt"
+
+	"swtnas/internal/core"
+	"swtnas/internal/data"
+)
+
+// SearchOptions configures a NAS run.
+type SearchOptions struct {
+	// App is one of Applications(). Required.
+	App string
+	// Scheme is one of Schemes(); empty means baseline.
+	Scheme string
+	// Budget is the number of candidates to evaluate. Required.
+	Budget int
+	// Workers sizes the parallel evaluator pool (default 1). With Pool set
+	// it instead caps how many of the shared pool's slots this search uses
+	// at once.
+	Workers int
+	// KernelWorkers caps the intra-candidate compute-kernel parallelism
+	// (the process-wide worker pool the Conv/Dense kernels shard batches
+	// across). 0 keeps the current setting: the SWTNAS_WORKERS
+	// environment variable when set, GOMAXPROCS otherwise. When Workers
+	// evaluators run concurrently, KernelWorkers ≈ cores/Workers
+	// partitions the machine between them.
+	KernelWorkers int
+	// Seed drives the search; DataSeed the synthetic dataset (defaults
+	// to Seed).
+	Seed, DataSeed int64
+	// TrainN / ValN override the dataset split sizes (0 = defaults).
+	TrainN, ValN int
+	// PopulationSize / SampleSize configure regularized evolution
+	// (0 = the paper's 64 / 32).
+	PopulationSize, SampleSize int
+	// CheckpointDir persists candidate checkpoints on disk (a
+	// content-addressed store: each distinct tensor stored once,
+	// refcounted); empty keeps them in memory.
+	CheckpointDir string
+	// RetainTopK, when positive, garbage-collects the checkpoints of
+	// candidates that aged out of the evolution population and fall outside
+	// the running top-K scores — bounding store growth on long runs. Note
+	// that Result.FullyTrain needs the candidate's checkpoint, so RetainTopK
+	// should be at least the number of candidates passed to Best.
+	RetainTopK int
+	// SpaceFile / SpaceJSON load a custom declarative search space (see
+	// internal/search.Spec) instead of the built-in one; the App field
+	// then names only the dataset the space trains on. SpaceJSON takes
+	// precedence over SpaceFile.
+	SpaceFile string
+	SpaceJSON string
+	// Progress, when non-nil, streams each candidate as its evaluation
+	// completes, in completion order — the same candidates that end up in
+	// Result.Candidates. It is invoked from the search's scheduler
+	// goroutine, so a slow callback delays issuing the next candidate;
+	// it must not block indefinitely. On a resumed run the journaled prefix
+	// is streamed first, each candidate marked Resumed.
+	Progress func(Candidate)
+	// Metrics turns on process-wide metrics recording (the internal/obs
+	// registry, also served by cmd/swtnas -metrics-addr) for this search
+	// and attaches the run's metric deltas and latency statistics to
+	// Result.Summary. Recording is a process-level switch: it stays on
+	// after the search returns, and concurrent instrumented work in the
+	// same process shows up in the deltas.
+	Metrics bool
+	// JournalPath enables crash-resume: every completed candidate is
+	// appended to a write-ahead log at this path and fsynced before the
+	// search proceeds. With CheckpointDir set the journal holds small
+	// manifest records (the tensor blobs are already durable in the
+	// content-addressed store); without it a content-addressed store is
+	// created at JournalPath + ".blobs" so the journal never has to carry
+	// full checkpoints. Empty disables journaling.
+	JournalPath string
+	// Resume replays the journal at JournalPath instead of starting fresh:
+	// journaled candidates are restored without re-evaluating (checkpoints
+	// bit for bit), and the search continues from where the previous
+	// process died, reaching the same result as an uninterrupted run. The
+	// options must match the original run's — the journal header is
+	// validated field by field.
+	Resume bool
+	// Pool, when non-nil, runs this search's evaluations on a shared
+	// evaluator pool instead of private worker goroutines — many concurrent
+	// searches then share one core budget under weighted-fair scheduling.
+	// The pool outlives the search; admission may fail with
+	// ErrQuotaExceeded.
+	Pool *EvaluatorPool
+	// Tenant attributes the search to a quota and metrics group on the
+	// shared pool. Only meaningful with Pool set.
+	Tenant string
+	// Weight biases the shared pool's fair scheduler toward this search
+	// (default 1; a weight-2 search receives twice the evaluation slots of
+	// a weight-1 search under contention). Only meaningful with Pool set.
+	Weight int
+}
+
+// InvalidOptionError reports which SearchOptions field failed validation and
+// why; callers (the CLI, the serve layer) use Field to point the user at the
+// exact input to fix.
+type InvalidOptionError struct {
+	// Field is the SearchOptions field name, e.g. "Budget".
+	Field string
+	// Reason says what is wrong with the value.
+	Reason string
+}
+
+func (e *InvalidOptionError) Error() string {
+	return fmt.Sprintf("swtnas: invalid SearchOptions.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the options without running anything, returning an
+// *InvalidOptionError naming the offending field. Search, Search handles and
+// the serve layer all validate through it, so every entry point rejects the
+// same inputs with the same message.
+func (opt SearchOptions) Validate() error {
+	if opt.App == "" {
+		return &InvalidOptionError{Field: "App", Reason: fmt.Sprintf("required (one of %v)", Applications())}
+	}
+	known := false
+	for _, n := range data.Names() {
+		if n == opt.App {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return &InvalidOptionError{Field: "App", Reason: fmt.Sprintf("unknown application %q (one of %v)", opt.App, Applications())}
+	}
+	if _, ok := core.MatcherByName(opt.Scheme); !ok {
+		return &InvalidOptionError{Field: "Scheme", Reason: fmt.Sprintf("unknown scheme %q (one of %v)", opt.Scheme, Schemes())}
+	}
+	if opt.Budget <= 0 {
+		return &InvalidOptionError{Field: "Budget", Reason: fmt.Sprintf("must be positive, got %d", opt.Budget)}
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Workers", opt.Workers},
+		{"KernelWorkers", opt.KernelWorkers},
+		{"TrainN", opt.TrainN},
+		{"ValN", opt.ValN},
+		{"PopulationSize", opt.PopulationSize},
+		{"SampleSize", opt.SampleSize},
+		{"RetainTopK", opt.RetainTopK},
+		{"Weight", opt.Weight},
+	} {
+		if f.v < 0 {
+			return &InvalidOptionError{Field: f.name, Reason: fmt.Sprintf("must not be negative, got %d", f.v)}
+		}
+	}
+	if opt.PopulationSize > 0 && opt.SampleSize > opt.PopulationSize {
+		return &InvalidOptionError{Field: "SampleSize", Reason: fmt.Sprintf("%d exceeds PopulationSize %d", opt.SampleSize, opt.PopulationSize)}
+	}
+	if opt.Resume && opt.JournalPath == "" {
+		return &InvalidOptionError{Field: "Resume", Reason: "requires JournalPath"}
+	}
+	if opt.Weight > 0 && opt.Pool == nil {
+		return &InvalidOptionError{Field: "Weight", Reason: "set without Pool — weights only apply to shared-pool searches"}
+	}
+	return nil
+}

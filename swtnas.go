@@ -17,6 +17,13 @@
 //	best := res.Best(10)
 //	full, err := res.FullyTrain(best[0])
 //
+// Long-lived callers (the swtnas-server service, dashboards, schedulers)
+// use the handle form of the same API: New validates options into a *Search,
+// Start launches it, Events streams per-candidate progress, TopK reads the
+// partial leaderboard mid-run, Cancel stops it, Wait collects the Result.
+// Many concurrent searches can share one EvaluatorPool under weighted-fair
+// scheduling with per-tenant admission quotas.
+//
 // Lower-level building blocks (the training stack, search spaces, the
 // transfer engine, the cluster simulator, the experiment harness) live in
 // internal packages; the cmd/ tools and examples/ programs show them in
@@ -27,7 +34,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -39,11 +45,9 @@ import (
 	"swtnas/internal/checkpoint"
 	"swtnas/internal/core"
 	"swtnas/internal/data"
-	"swtnas/internal/evo"
 	"swtnas/internal/nas"
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
-	"swtnas/internal/resilience"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -56,106 +60,39 @@ func Applications() []string { return data.Names() }
 // scratch), LP and LCS (selective weight transfer).
 func Schemes() []string { return []string{"baseline", "LP", "LCS"} }
 
-// SearchOptions configures a NAS run.
-type SearchOptions struct {
-	// App is one of Applications(). Required.
-	App string
-	// Scheme is one of Schemes(); empty means baseline.
-	Scheme string
-	// Budget is the number of candidates to evaluate. Required.
-	Budget int
-	// Workers sizes the parallel evaluator pool (default 1).
-	Workers int
-	// KernelWorkers caps the intra-candidate compute-kernel parallelism
-	// (the process-wide worker pool the Conv/Dense kernels shard batches
-	// across). 0 keeps the current setting: the SWTNAS_WORKERS
-	// environment variable when set, GOMAXPROCS otherwise. When Workers
-	// evaluators run concurrently, KernelWorkers ≈ cores/Workers
-	// partitions the machine between them.
-	KernelWorkers int
-	// Seed drives the search; DataSeed the synthetic dataset (defaults
-	// to Seed).
-	Seed, DataSeed int64
-	// TrainN / ValN override the dataset split sizes (0 = defaults).
-	TrainN, ValN int
-	// PopulationSize / SampleSize configure regularized evolution
-	// (0 = the paper's 64 / 32).
-	PopulationSize, SampleSize int
-	// CheckpointDir persists candidate checkpoints on disk (a
-	// content-addressed store: each distinct tensor stored once,
-	// refcounted); empty keeps them in memory.
-	CheckpointDir string
-	// RetainTopK, when positive, garbage-collects the checkpoints of
-	// candidates that aged out of the evolution population and fall outside
-	// the running top-K scores — bounding store growth on long runs. Note
-	// that Result.FullyTrain needs the candidate's checkpoint, so RetainTopK
-	// should be at least the number of candidates passed to Best.
-	RetainTopK int
-	// SpaceFile / SpaceJSON load a custom declarative search space (see
-	// internal/search.Spec) instead of the built-in one; the App field
-	// then names only the dataset the space trains on. SpaceJSON takes
-	// precedence over SpaceFile.
-	SpaceFile string
-	SpaceJSON string
-	// Progress, when non-nil, streams each candidate as its evaluation
-	// completes, in completion order — the same candidates that end up in
-	// Result.Candidates. It is invoked from the search's scheduler
-	// goroutine, so a slow callback delays issuing the next candidate;
-	// it must not block indefinitely.
-	Progress func(Candidate)
-	// Metrics turns on process-wide metrics recording (the internal/obs
-	// registry, also served by cmd/swtnas -metrics-addr) for this search
-	// and attaches the run's metric deltas and latency statistics to
-	// Result.Summary. Recording is a process-level switch: it stays on
-	// after the search returns, and concurrent instrumented work in the
-	// same process shows up in the deltas.
-	Metrics bool
-	// JournalPath enables crash-resume: every completed candidate is
-	// appended to a write-ahead log at this path and fsynced before the
-	// search proceeds. With CheckpointDir set the journal holds small
-	// manifest records (the tensor blobs are already durable in the
-	// content-addressed store); without it a content-addressed store is
-	// created at JournalPath + ".blobs" so the journal never has to carry
-	// full checkpoints. Empty disables journaling.
-	JournalPath string
-	// Resume replays the journal at JournalPath instead of starting fresh:
-	// journaled candidates are restored without re-evaluating (checkpoints
-	// bit for bit), and the search continues from where the previous
-	// process died, reaching the same result as an uninterrupted run. The
-	// options must match the original run's — the journal header is
-	// validated field by field.
-	Resume bool
-}
-
-// Candidate is one evaluated model of a search.
+// Candidate is one evaluated model of a search. The JSON field names are a
+// stable wire schema shared with the serve layer's candidate events.
 type Candidate struct {
 	// ID is the candidate number; its checkpoint id is derived from it.
-	ID int
+	ID int `json:"id"`
 	// Arch is the architecture sequence (paper Section II).
-	Arch []int
+	Arch []int `json:"arch"`
 	// Score is the estimated objective metric from partial training.
-	Score float64
+	Score float64 `json:"score"`
 	// Params is the trainable-parameter count.
-	Params int
+	Params int `json:"params"`
 	// ParentID is the weight-transfer provider (-1 for scratch).
-	ParentID int
+	ParentID int `json:"parent_id"`
 	// TransferredLayers counts layer groups warm-started from the parent.
-	TransferredLayers int
+	TransferredLayers int `json:"transferred_layers"`
 	// TrainTime is the measured candidate-estimation training time.
-	TrainTime time.Duration
+	TrainTime time.Duration `json:"train_time"`
 	// CheckpointBytes is the encoded checkpoint size.
-	CheckpointBytes int64
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
 	// CompletedAt is the completion offset from search start.
-	CompletedAt time.Duration
+	CompletedAt time.Duration `json:"completed_at"`
 	// EvalTime is the end-to-end evaluation latency (build + transfer +
 	// train + checkpoint); TrainTime is the training share alone.
-	EvalTime time.Duration
+	EvalTime time.Duration `json:"eval_time,omitempty"`
 	// QueueWait is how long the candidate waited for a free evaluator.
-	QueueWait time.Duration
+	QueueWait time.Duration `json:"queue_wait,omitempty"`
 	// BestScore is the best score of any candidate completed so far,
 	// including this one — the running best a Progress callback can use
 	// for whole-search early stopping.
-	BestScore float64
+	BestScore float64 `json:"best_score"`
+	// Resumed marks a candidate replayed from a crash-resume journal rather
+	// than evaluated by this process.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // LatencyStats is the compact count/mean/p50/p95/max form SearchSummary
@@ -228,159 +165,18 @@ func Search(opt SearchOptions) (*Result, error) {
 // ctx.Err(). The partial Result supports the full API — Best, FullyTrain,
 // WriteTrace — so an interrupted search still yields its top models. No
 // evaluator goroutines are left running when SearchContext returns.
+//
+// It is New + Start + Wait: callers that need mid-run visibility (progress
+// streams, partial top-K, cancellation by handle) use those directly.
 func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
-	if opt.App == "" {
-		return nil, fmt.Errorf("swtnas: SearchOptions.App is required (one of %v)", Applications())
-	}
-	matcher, ok := core.MatcherByName(opt.Scheme)
-	if !ok {
-		return nil, fmt.Errorf("swtnas: unknown scheme %q (one of %v)", opt.Scheme, Schemes())
-	}
-	dataSeed := opt.DataSeed
-	if dataSeed == 0 {
-		dataSeed = opt.Seed
-	}
-	app, err := apps.New(opt.App, dataSeed, apps.Config{Data: data.Config{TrainN: opt.TrainN, ValN: opt.ValN}})
+	s, err := New(opt)
 	if err != nil {
 		return nil, err
 	}
-	if opt.SpaceJSON != "" || opt.SpaceFile != "" {
-		space, err := loadCustomSpace(opt)
-		if err != nil {
-			return nil, err
-		}
-		if len(app.Dataset.InputShapes) != 1 {
-			return nil, fmt.Errorf("swtnas: custom spaces need a single-input dataset; %q has %d inputs", opt.App, len(app.Dataset.InputShapes))
-		}
-		if !shapesEqual(space.InputShapes[0], app.Dataset.InputShapes[0]) {
-			return nil, fmt.Errorf("swtnas: space input %v does not match dataset %q input %v",
-				space.InputShapes[0], opt.App, app.Dataset.InputShapes[0])
-		}
-		app.Space = space
-		app.Name = space.Name
+	if err := s.Start(ctx); err != nil {
+		return nil, err
 	}
-	var store checkpoint.Store
-	switch {
-	case opt.CheckpointDir != "":
-		store, err = checkpoint.NewCASDiskStore(opt.CheckpointDir)
-		if err != nil {
-			return nil, err
-		}
-	case opt.JournalPath != "":
-		// Journaling without an explicit checkpoint dir: keep the blobs in a
-		// content-addressed store next to the journal, so the journal can
-		// carry manifest records instead of a full checkpoint per candidate
-		// and resume finds the blobs where the crashed run left them.
-		store, err = checkpoint.NewCASDiskStore(opt.JournalPath + ".blobs")
-		if err != nil {
-			return nil, err
-		}
-	default:
-		store = checkpoint.NewCASMemStore()
-	}
-	cfg := nas.Config{
-		App:           app,
-		Strategy:      evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
-		Matcher:       matcher,
-		Store:         store,
-		Workers:       opt.Workers,
-		KernelWorkers: opt.KernelWorkers,
-		Budget:        opt.Budget,
-		Seed:          opt.Seed,
-		RetainTopK:    opt.RetainTopK,
-	}
-	resumed := 0
-	if opt.Resume && opt.JournalPath == "" {
-		return nil, fmt.Errorf("swtnas: Resume requires JournalPath")
-	}
-	if opt.JournalPath != "" {
-		header := resilience.Header{
-			App:        app.Name,
-			Scheme:     nas.SchemeName(matcher),
-			Space:      app.Space.Name,
-			Seed:       opt.Seed,
-			DataSeed:   dataSeed,
-			Budget:     opt.Budget,
-			Workers:    opt.Workers,
-			Population: opt.PopulationSize,
-			Sample:     opt.SampleSize,
-			TrainN:     opt.TrainN,
-			ValN:       opt.ValN,
-		}
-		if opt.Resume {
-			j, rec, err := resilience.Open(opt.JournalPath)
-			if err != nil {
-				return nil, err
-			}
-			if err := rec.Header.Validate(header); err != nil {
-				j.Close()
-				return nil, err
-			}
-			cfg.Journal, cfg.Resume = j, rec
-			resumed = len(rec.Records)
-		} else {
-			j, err := resilience.Create(opt.JournalPath, header)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Journal = j
-		}
-		defer cfg.Journal.Close()
-	}
-	if opt.Progress != nil {
-		cfg.Progress = func(r nas.Result) {
-			opt.Progress(Candidate{
-				ID:                r.ID,
-				Arch:              r.Arch,
-				Score:             r.Score,
-				Params:            r.Params,
-				ParentID:          r.ParentID,
-				TransferredLayers: r.Transfer.Copied,
-				TrainTime:         r.TrainTime,
-				CheckpointBytes:   r.CheckpointBytes,
-				CompletedAt:       r.CompletedAt,
-				EvalTime:          r.EvalTime,
-				QueueWait:         r.QueueWait,
-				BestScore:         r.BestScore,
-			})
-		}
-	}
-	var before *obs.Snapshot
-	if opt.Metrics {
-		obs.SetEnabled(true)
-		before = obs.Take()
-	}
-	start := time.Now()
-	tr, runErr := nas.Run(ctx, cfg)
-	if tr == nil {
-		return nil, runErr
-	}
-	// runErr is ctx.Err() here: the trace holds the candidates completed
-	// before cancellation, and the partial Result is returned beside it.
-	res := &Result{App: app.Name, Scheme: nas.SchemeName(matcher), app: app, store: store, tr: tr}
-	best := math.Inf(-1)
-	for _, r := range tr.Records {
-		if r.Score > best {
-			best = r.Score
-		}
-		res.Candidates = append(res.Candidates, Candidate{
-			ID:                r.ID,
-			Arch:              r.Arch,
-			Score:             r.Score,
-			Params:            r.Params,
-			ParentID:          r.ParentID,
-			TransferredLayers: r.TransferCopied,
-			TrainTime:         r.TrainTime,
-			CheckpointBytes:   r.CheckpointBytes,
-			CompletedAt:       r.CompletedAt,
-			EvalTime:          r.EvalTime,
-			QueueWait:         r.QueueWait,
-			BestScore:         best,
-		})
-	}
-	res.Summary = summarize(tr, time.Since(start), before)
-	res.Summary.Resumed = resumed
-	return res, runErr
+	return s.Wait()
 }
 
 // summarize builds the search summary from the trace, plus metric deltas
