@@ -8,11 +8,14 @@
 //	experiments -apps nt3,uno -seeds 3 -budget 120 fig7
 //
 // Experiments: table1 fig2 fig3 fig4 fig5 fig7 fig8 table3 table4 fig9
-// fig10 fig11 dist all. Searches are shared between experiments within one
-// invocation (fig7/fig8/fig9/fig10/fig11/table3/table4 reuse the same
-// campaign runs, as the paper does). dist reruns the searches over real TCP
-// workers via cluster.RunDistributed and reports per-scheme summaries with
-// kernel-level obs metric deltas; -workers sets its evaluator count.
+// fig10 fig11 proxy dist all. Searches are shared between experiments within
+// one invocation (fig7/fig8/fig9/fig10/fig11/proxy/table3/table4 reuse the
+// same campaign runs, as the paper does). proxy is the zero-cost-score
+// rank-correlation study behind -proxy-filter: Kendall's tau of each
+// pre-training score against fully trained metrics, per app. dist reruns the
+// searches over real TCP workers via cluster.RunDistributed and reports
+// per-scheme summaries with kernel-level obs metric deltas; -workers sets
+// its evaluator count.
 package main
 
 import (
@@ -25,7 +28,7 @@ import (
 	"swtnas/internal/experiments"
 )
 
-var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "dist"}
+var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "proxy", "dist"}
 
 func main() {
 	log.SetFlags(0)
@@ -37,6 +40,8 @@ func main() {
 		appsF   = flag.String("apps", "", "comma-separated application subset")
 		seed    = flag.Int64("seed", 0, "override base seed")
 		workers = flag.Int("workers", 0, "override worker count (dist: TCP evaluators)")
+		trainN  = flag.Int("train", 0, "override training samples per app (CI-speed runs)")
+		valN    = flag.Int("val", 0, "override validation samples per app")
 	)
 	flag.Parse()
 
@@ -63,6 +68,12 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *trainN > 0 {
+		cfg.TrainN = *trainN
+	}
+	if *valN > 0 {
+		cfg.ValN = *valN
 	}
 
 	names := flag.Args()
@@ -103,6 +114,8 @@ func main() {
 			_, err = suite.Fig10(w)
 		case "fig11":
 			_, err = suite.Fig11(w)
+		case "proxy":
+			_, err = suite.Proxy(w)
 		case "dist":
 			_, err = suite.Dist(w)
 		default:

@@ -52,6 +52,9 @@ func main() {
 		journal  = flag.String("journal", "", "crash-resume journal path: append every completed candidate to this write-ahead log")
 		resume   = flag.Bool("resume", false, "resume the interrupted search journaled at -journal (same options required)")
 		retain   = flag.Int("retain-topk", 0, "garbage-collect checkpoints of evicted candidates outside the running top-K (0 = keep all; must be >= -topk when set)")
+		proxyF   = flag.Bool("proxy-filter", false, "pre-screen proposals with zero-cost proxies + an online surrogate; only the best -proxy-admit fraction trains")
+		proxyA   = flag.Float64("proxy-admit", 0, "fraction of each proposal batch admitted to training, in (0,1] (0 = default 0.5; needs -proxy-filter)")
+		multiObj = flag.Bool("multi-objective", false, "Pareto (score x params) parent selection instead of best-score evolution")
 	)
 	flag.Parse()
 
@@ -75,11 +78,14 @@ func main() {
 		KernelWorkers: *kworkers,
 		Seed:          *seed, PopulationSize: *popN, SampleSize: *popS,
 		TrainN: *trainN, ValN: *valN, CheckpointDir: *ckptDir,
-		SpaceFile:   *spaceF,
-		Metrics:     *mDump != "" || *mAddr != "",
-		JournalPath: *journal,
-		Resume:      *resume,
-		RetainTopK:  *retain,
+		SpaceFile:      *spaceF,
+		Metrics:        *mDump != "" || *mAddr != "",
+		JournalPath:    *journal,
+		Resume:         *resume,
+		RetainTopK:     *retain,
+		ProxyFilter:    *proxyF,
+		ProxyAdmit:     *proxyA,
+		MultiObjective: *multiObj,
 	}
 	if *retain > 0 && *retain < *topK {
 		log.Fatalf("-retain-topk %d would collect checkpoints the -topk %d report needs", *retain, *topK)
@@ -125,6 +131,11 @@ func main() {
 		}
 	}
 	fmt.Printf("weight transfer warm-started %d of %d candidates\n", transferred, len(res.Candidates))
+	if s := res.Summary; s != nil && s.Proxy != nil {
+		p := s.Proxy
+		fmt.Printf("proxy filter: %d proposals scored, %d admitted, %d rejected (%d surrogate refits, MAE %.4f)\n",
+			p.Proposals, p.Admitted, p.Filtered, p.SurrogateRefits, p.SurrogateMAE)
+	}
 
 	if s := res.Summary; s != nil && s.Eval.Count > 0 {
 		fmt.Printf("eval latency: mean %s  p50 %s  p95 %s  max %s  (queue wait mean %s)\n",
@@ -167,6 +178,13 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("      fully trained: score %.4f after %d epochs (early stop: %v)\n", ft.Score, ft.Epochs, ft.EarlyStopped)
+		}
+	}
+
+	if *multiObj {
+		fmt.Printf("\npareto front (score maximized, params minimized):\n")
+		for _, c := range res.ParetoFront() {
+			fmt.Printf("    score %.4f  params %7d  arch %v\n", c.Score, c.Params, c.Arch)
 		}
 	}
 

@@ -17,6 +17,7 @@ import (
 	"swtnas/internal/evo"
 	"swtnas/internal/nas"
 	"swtnas/internal/obs"
+	"swtnas/internal/proxy"
 	"swtnas/internal/resilience"
 )
 
@@ -80,6 +81,12 @@ const (
 	// EventFault carries one fault-tolerance decision (retry, terminal
 	// failure) taken for this search's evaluations.
 	EventFault EventKind = "fault"
+	// EventFiltered carries one proposal the proxy pre-filter rejected
+	// before training (SearchOptions.ProxyFilter): the Candidate payload
+	// has Filtered set, ID -1, and the proxy score that ranked it below
+	// the admission cut. Filtered events never count toward Completed,
+	// TopK or BestScore.
+	EventFiltered EventKind = "filtered"
 )
 
 // FaultKind labels one fault-tolerance decision; see the constants.
@@ -305,7 +312,9 @@ func (s *SearchHandle) TopK(n int) []Candidate {
 func (s *SearchHandle) emit(ev Event) {
 	s.mu.Lock()
 	s.history = append(s.history, ev)
-	if c := ev.Candidate; c != nil {
+	// Only completed evaluations advance the counters: filtered events also
+	// carry a Candidate payload but consumed no budget and have no score.
+	if c := ev.Candidate; c != nil && ev.Kind == EventCandidate {
 		s.completed++
 		if c.Resumed {
 			s.resumed++
@@ -397,9 +406,15 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 	default:
 		store = checkpoint.NewCASMemStore()
 	}
+	var strategy evo.Strategy
+	if opt.MultiObjective {
+		strategy = evo.NewParetoEvolution(app.Space, opt.PopulationSize, opt.SampleSize)
+	} else {
+		strategy = evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize)
+	}
 	cfg := nas.Config{
 		App:           app,
-		Strategy:      evo.NewRegularizedEvolution(app.Space, opt.PopulationSize, opt.SampleSize),
+		Strategy:      strategy,
 		Matcher:       matcher,
 		Store:         store,
 		Workers:       opt.Workers,
@@ -411,20 +426,55 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 	if client != nil {
 		cfg.Executor = client
 	}
+	var pf *proxy.Prefilter
+	if opt.ProxyFilter {
+		// Score proposals on a small fixed prefix of the training split: the
+		// zero-cost proxies need only a minibatch, and a deterministic batch
+		// keeps filter decisions reproducible across runs and crash-resume.
+		n := app.Dataset.Train.N()
+		if n > 16 {
+			n = 16
+		}
+		pf, err = proxy.NewPrefilter(proxy.FilterConfig{
+			Space: app.Space,
+			Loss:  app.Space.Loss,
+			Batch: app.Dataset.Train.Slice(0, n),
+			Seed:  opt.Seed,
+			Admit: opt.ProxyAdmit,
+		})
+		if err != nil {
+			s.finish(nil, err)
+			return
+		}
+		cfg.Prefilter = pf
+		cfg.OnFiltered = func(fc proxy.FilteredCandidate) {
+			s.emit(Event{Kind: EventFiltered, Candidate: &Candidate{
+				ID:         -1,
+				Arch:       fc.Arch,
+				Params:     fc.Params,
+				ParentID:   fc.ParentID,
+				ProxyScore: fc.ProxyScore,
+				Filtered:   true,
+			}})
+		}
+	}
 	resumed := 0
 	if opt.JournalPath != "" {
 		header := resilience.Header{
-			App:        app.Name,
-			Scheme:     nas.SchemeName(matcher),
-			Space:      app.Space.Name,
-			Seed:       opt.Seed,
-			DataSeed:   dataSeed,
-			Budget:     opt.Budget,
-			Workers:    opt.Workers,
-			Population: opt.PopulationSize,
-			Sample:     opt.SampleSize,
-			TrainN:     opt.TrainN,
-			ValN:       opt.ValN,
+			App:            app.Name,
+			Scheme:         nas.SchemeName(matcher),
+			Space:          app.Space.Name,
+			Seed:           opt.Seed,
+			DataSeed:       dataSeed,
+			Budget:         opt.Budget,
+			Workers:        opt.Workers,
+			Population:     opt.PopulationSize,
+			Sample:         opt.SampleSize,
+			TrainN:         opt.TrainN,
+			ValN:           opt.ValN,
+			ProxyFilter:    opt.ProxyFilter,
+			ProxyAdmit:     opt.ProxyAdmit,
+			MultiObjective: opt.MultiObjective,
 		}
 		if opt.Resume {
 			j, rec, err := resilience.Open(opt.JournalPath)
@@ -464,6 +514,7 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 			QueueWait:         r.QueueWait,
 			BestScore:         r.BestScore,
 			Resumed:           r.Resumed,
+			ProxyScore:        r.ProxyScore,
 		}
 		// The caller's callback stays synchronous with the scheduler (the
 		// documented Progress contract); the event stream gets the same
@@ -506,9 +557,10 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 			QueueWait:         r.QueueWait,
 			BestScore:         best,
 			Resumed:           i < resumed,
+			ProxyScore:        r.ProxyScore,
 		})
 	}
-	res.Summary = summarize(tr, time.Since(start), before)
+	res.Summary = summarize(tr, time.Since(start), before, pf)
 	res.Summary.Resumed = resumed
 	s.finish(res, runErr)
 }

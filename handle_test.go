@@ -193,7 +193,7 @@ func TestCandidateJSONRoundTrip(t *testing.T) {
 		TransferredLayers: 2, TrainTime: 5 * time.Millisecond,
 		CheckpointBytes: 2048, CompletedAt: 7 * time.Millisecond,
 		EvalTime: 6 * time.Millisecond, QueueWait: time.Millisecond,
-		BestScore: 0.95, Resumed: true,
+		BestScore: 0.95, Resumed: true, ProxyScore: 1.75, Filtered: true,
 	}
 	b, err := json.Marshal(c)
 	if err != nil {
@@ -202,7 +202,7 @@ func TestCandidateJSONRoundTrip(t *testing.T) {
 	want := `{"id":3,"arch":[1,2,0],"score":0.91,"params":1234,"parent_id":1,` +
 		`"transferred_layers":2,"train_time":5000000,"checkpoint_bytes":2048,` +
 		`"completed_at":7000000,"eval_time":6000000,"queue_wait":1000000,` +
-		`"best_score":0.95,"resumed":true}`
+		`"best_score":0.95,"resumed":true,"proxy_score":1.75,"filtered":true}`
 	if string(b) != want {
 		t.Fatalf("schema drifted:\n got %s\nwant %s", b, want)
 	}
@@ -218,7 +218,7 @@ func TestCandidateJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"eval_time", "queue_wait", "resumed"} {
+	for _, field := range []string{"eval_time", "queue_wait", "resumed", "proxy_score", "filtered"} {
 		if jsonHasField(t, lean, field) {
 			t.Fatalf("zero %s serialized: %s", field, lean)
 		}
@@ -250,6 +250,28 @@ func TestSearchSummaryJSONRoundTrip(t *testing.T) {
 	}
 	if jsonHasField(t, b, "metrics") {
 		t.Fatalf("nil metrics serialized: %s", b)
+	}
+	if jsonHasField(t, b, "proxy") {
+		t.Fatalf("nil proxy summary serialized: %s", b)
+	}
+
+	// With the pre-filter on, the proxy block appears and pins its own
+	// field names (the serve layer forwards it verbatim).
+	s.Proxy = &ProxySummary{Proposals: 20, Admitted: 10, Filtered: 10, SurrogateRefits: 2, SurrogateMAE: 0.03}
+	pb, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm struct {
+		Proxy map[string]json.RawMessage `json:"proxy"`
+	}
+	if err := json.Unmarshal(pb, &pm); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"proposals", "admitted", "filtered", "surrogate_refits", "surrogate_mae", "score"} {
+		if _, ok := pm.Proxy[field]; !ok {
+			t.Fatalf("proxy field %s missing from %s", field, pb)
+		}
 	}
 }
 

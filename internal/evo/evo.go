@@ -18,6 +18,9 @@ type Individual struct {
 	Arch search.Arch
 	// Score is the estimated objective metric.
 	Score float64
+	// Params is the trainable-parameter count, the second objective of
+	// Pareto (multi-objective) selection; 0 when the scheduler predates it.
+	Params int
 }
 
 // Proposal is a candidate the strategy wants evaluated next.
@@ -29,6 +32,9 @@ type Proposal struct {
 	ParentID int
 	// ParentArch is the provider's architecture (empty when ParentID<0).
 	ParentArch search.Arch
+	// ProxyScore is the admission score a proxy pre-filter attached (the
+	// surrogate prediction or zero-cost score); 0 when no filter ran.
+	ProxyScore float64
 }
 
 // Strategy proposes candidates and absorbs results. Implementations are

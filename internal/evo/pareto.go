@@ -1,0 +1,161 @@
+package evo
+
+import (
+	"math/rand"
+	"sync"
+
+	"swtnas/internal/search"
+)
+
+// Dominates reports whether a Pareto-dominates b under the two search
+// objectives: maximize Score, minimize Params. a dominates b when it is no
+// worse on both and strictly better on at least one; equal individuals
+// dominate in neither direction, so both survive a front.
+func Dominates(a, b Individual) bool {
+	if a.Score < b.Score || a.Params > b.Params {
+		return false
+	}
+	return a.Score > b.Score || a.Params < b.Params
+}
+
+// ParetoFront returns the non-dominated subset of inds, preserving input
+// order. The front is permutation-stable as a set: reordering inds reorders
+// the returned slice but never changes which individuals are in it.
+func ParetoFront(inds []Individual) []Individual {
+	var front []Individual
+	for i, a := range inds {
+		dominated := false
+		for j, b := range inds {
+			if i != j && Dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	return front
+}
+
+// ParetoTopK selects at least k individuals by peeling Pareto fronts: the
+// first front, then the front of the remainder, until k is reached. The
+// front containing the cutoff is retained whole — the rank analog of the
+// checkpoint GC's all-score-ties rule, so no member of a front is dropped
+// in favor of an equally ranked sibling. Fewer than k individuals are
+// returned only when inds has fewer. Input order is preserved within and
+// across fronts.
+func ParetoTopK(inds []Individual, k int) []Individual {
+	if k <= 0 {
+		return nil
+	}
+	rest := append([]Individual(nil), inds...)
+	var out []Individual
+	for len(out) < k && len(rest) > 0 {
+		front := ParetoFront(rest)
+		out = append(out, front...)
+		inFront := make(map[int]bool, len(front))
+		for _, f := range front {
+			inFront[f.ID] = true
+		}
+		next := rest[:0]
+		for _, ind := range rest {
+			if !inFront[ind.ID] {
+				next = append(next, ind)
+			}
+		}
+		if len(next) == len(rest) {
+			break // defensive: duplicate IDs could stall the peel
+		}
+		rest = next
+	}
+	return out
+}
+
+// ParetoEvolution is regularized evolution with multi-objective parent
+// selection (the accuracy×complexity search of surrogate-assisted NAS,
+// arXiv:2011.13591): the same aging FIFO population, but each proposal
+// samples S individuals and mutates a uniformly drawn member of the
+// sample's Pareto front (score maximized, parameters minimized) instead of
+// the single best score — keeping small accurate models in the breeding
+// pool instead of letting large ones crowd them out.
+type ParetoEvolution struct {
+	space *search.Space
+	// N is the population size, S the sample size (defaults 64 / 32).
+	N, S int
+
+	// OnEvict, when non-nil, is invoked (outside the strategy lock) for
+	// each individual aged out of the population, exactly like
+	// RegularizedEvolution.OnEvict. Set it before the search starts.
+	OnEvict func(Individual)
+
+	mu  sync.Mutex
+	pop []Individual // FIFO queue, oldest first
+}
+
+// NewParetoEvolution creates the strategy with the paper's population
+// defaults when n or s are non-positive (N=64, S=32).
+func NewParetoEvolution(space *search.Space, n, s int) *ParetoEvolution {
+	if n <= 0 {
+		n = 64
+	}
+	if s <= 0 {
+		s = 32
+	}
+	if s > n {
+		s = n
+	}
+	return &ParetoEvolution{space: space, N: n, S: s}
+}
+
+// Name returns "pareto-evolution".
+func (s *ParetoEvolution) Name() string { return "pareto-evolution" }
+
+// Propose returns a random candidate while the population is filling, and a
+// single-node mutation of a random Pareto-front member of S sampled
+// individuals afterwards.
+func (s *ParetoEvolution) Propose(rng *rand.Rand) Proposal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pop) < s.N {
+		return Proposal{Arch: s.space.Random(rng), ParentID: -1}
+	}
+	perm := rng.Perm(len(s.pop))
+	sample := make([]Individual, s.S)
+	for i, idx := range perm[:s.S] {
+		sample[i] = s.pop[idx]
+	}
+	front := ParetoFront(sample)
+	parent := front[rng.Intn(len(front))]
+	child, err := s.space.Mutate(parent.Arch, rng)
+	if err != nil {
+		// No mutable nodes; degenerate but valid — repeat the parent.
+		child = parent.Arch.Clone()
+	}
+	return Proposal{Arch: child, ParentID: parent.ID, ParentArch: parent.Arch.Clone()}
+}
+
+// Report pushes the scored candidate into the population, aging out the
+// oldest member beyond capacity and notifying OnEvict.
+func (s *ParetoEvolution) Report(ind Individual) {
+	s.mu.Lock()
+	s.pop = append(s.pop, ind)
+	var evicted *Individual
+	if len(s.pop) > s.N {
+		ev := s.pop[0]
+		s.pop = s.pop[1:]
+		evicted = &ev
+	}
+	cb := s.OnEvict
+	s.mu.Unlock()
+	if evicted != nil && cb != nil {
+		cb(*evicted)
+	}
+}
+
+// PopulationSize reports the current population fill (tests/diagnostics).
+func (s *ParetoEvolution) PopulationSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pop)
+}

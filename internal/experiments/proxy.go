@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"swtnas/internal/nas"
+	"swtnas/internal/nn"
+	"swtnas/internal/proxy"
+	"swtnas/internal/stats"
+)
+
+// ProxyRow is one application's rank-correlation study of the pre-training
+// scores: Kendall's τ between each score and the fully trained ("ground
+// truth") objective metric over the same sampled candidates. TauEst is the
+// partial-training estimate (the search's own score, scheme LCS); TauGrad,
+// TauJacob and TauSur are the gradient-norm proxy, the Jacobian-covariance
+// proxy and the ridge surrogate fit on the rest of the trace.
+type ProxyRow struct {
+	App      string
+	TauEst   float64
+	TauGrad  float64
+	TauJacob float64
+	TauSur   float64
+}
+
+// Proxy runs the zero-cost-proxy rank-correlation study behind the
+// -proxy-filter admission mode: how well does each score that is available
+// before (or much cheaper than) training rank candidates, measured against
+// full training? TauSamples candidates per repetition are fully trained from
+// their checkpoints exactly as in Fig9; the surrogate is fit on the trace
+// records outside the sample, so its τ is out-of-sample. τ is computed per
+// repetition and averaged.
+func (s *Suite) Proxy(w io.Writer) ([]ProxyRow, error) {
+	line(w, "Proxy study: Kendall's tau of pre-training scores vs fully trained metrics (scheme LCS)")
+	var rows []ProxyRow
+	for _, name := range s.Cfg.Apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		full := s.fullEpochs(app)
+		c, err := s.Campaign(name, "LCS")
+		if err != nil {
+			return nil, err
+		}
+		bn := app.Dataset.Train.N()
+		if bn > 16 {
+			bn = 16
+		}
+		batch := app.Dataset.Train.Slice(0, bn)
+		var tEst, tGrad, tJac, tSur []float64
+		for rep, tr := range c.Traces {
+			// Zero-cost scores for every record: one minibatch through a
+			// freshly initialized network — the same signal the pre-filter
+			// sees before admitting a proposal.
+			gns := make([]float64, len(tr.Records))
+			jcs := make([]float64, len(tr.Records))
+			feats := make([][]float64, len(tr.Records))
+			for i, rec := range tr.Records {
+				net, err := buildReceiver(app, rec.Arch, s.Cfg.Seed+int64(rec.ID))
+				if err != nil {
+					return nil, err
+				}
+				gn, err := (proxy.GradNorm{}).Score(net, app.Space.Loss, batch)
+				if err != nil {
+					return nil, err
+				}
+				jc, err := (proxy.JacobCov{}).Score(net, app.Space.Loss, batch)
+				if err != nil {
+					return nil, err
+				}
+				gns[i], jcs[i] = gn, jc
+				feats[i] = proxy.Features(app.Space, rec.Arch, gn, jc, rec.Params)
+			}
+			rng := rand.New(rand.NewSource(s.Cfg.Seed + 9500 + int64(rep)))
+			n := len(tr.Records)
+			k := s.Cfg.TauSamples
+			if k > n {
+				k = n
+			}
+			perm := rng.Perm(n)[:k]
+			inSample := make(map[int]bool, k)
+			for _, idx := range perm {
+				inSample[idx] = true
+			}
+			sur := &proxy.Surrogate{}
+			for i, rec := range tr.Records {
+				if !inSample[i] {
+					sur.Observe(feats[i], rec.Score)
+				}
+			}
+			// Too few out-of-sample points leave the surrogate unfit; its
+			// predictions then default to zero and its τ to zero.
+			sur.Fit() //nolint:errcheck
+
+			var est, grad, jac, surr, truth []float64
+			for _, idx := range perm {
+				rec := tr.Records[idx]
+				ckpt, err := c.Stores[rep].Load(nas.CandidateID(rec.ID))
+				if err != nil {
+					return nil, err
+				}
+				net, err := buildReceiver(app, rec.Arch, s.Cfg.Seed+int64(rec.ID))
+				if err != nil {
+					return nil, err
+				}
+				if err := ckpt.RestoreInto(net); err != nil {
+					return nil, err
+				}
+				h, err := nn.Fit(net, app.Space.Loss, app.Space.Metric, nn.NewAdam(),
+					app.Dataset.Train, app.Dataset.Val, nn.FitConfig{
+						Epochs: full, BatchSize: app.Space.BatchSize,
+						RNG:               rand.New(rand.NewSource(s.Cfg.Seed + int64(rec.ID) + 1)),
+						EarlyStopDelta:    app.Space.EarlyStopDelta,
+						EarlyStopPatience: app.EarlyStopPatience,
+					})
+				if err != nil {
+					return nil, err
+				}
+				truth = append(truth, h.FinalScore())
+				est = append(est, rec.Score)
+				grad = append(grad, gns[idx])
+				jac = append(jac, jcs[idx])
+				p, ok := sur.Predict(feats[idx])
+				if !ok {
+					p = 0
+				}
+				surr = append(surr, p)
+			}
+			for _, t := range []struct {
+				scores *[]float64
+				out    *[]float64
+			}{{&est, &tEst}, {&grad, &tGrad}, {&jac, &tJac}, {&surr, &tSur}} {
+				tau, err := stats.KendallTau(*t.scores, truth)
+				if err != nil {
+					return nil, err
+				}
+				*t.out = append(*t.out, tau)
+			}
+		}
+		row := ProxyRow{App: name}
+		row.TauEst, _ = stats.MeanStd(tEst)
+		row.TauGrad, _ = stats.MeanStd(tGrad)
+		row.TauJacob, _ = stats.MeanStd(tJac)
+		row.TauSur, _ = stats.MeanStd(tSur)
+		rows = append(rows, row)
+		line(w, "  %-8s tau(estimate) %6.3f  tau(gradnorm) %6.3f  tau(jacobcov) %6.3f  tau(surrogate) %6.3f",
+			row.App, row.TauEst, row.TauGrad, row.TauJacob, row.TauSur)
+	}
+	return rows, nil
+}

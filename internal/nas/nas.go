@@ -23,6 +23,7 @@ import (
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
+	"swtnas/internal/proxy"
 	"swtnas/internal/resilience"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
@@ -60,6 +61,9 @@ type Task struct {
 	// IssuedAt is stamped by the scheduler when the task is queued; the
 	// evaluator derives queue-wait telemetry from it.
 	IssuedAt time.Time
+	// ProxyScore is the admission score the proxy pre-filter attached to
+	// the proposal (0 without a filter); scheduler metadata only.
+	ProxyScore float64
 }
 
 // Result is the outcome of one evaluation.
@@ -85,6 +89,9 @@ type Result struct {
 	// candidate completed so far, including this one. Progress callbacks
 	// use it for whole-search early stopping.
 	BestScore float64
+	// ProxyScore is filled by the scheduler when a proxy pre-filter
+	// admitted the candidate: the admission score it trained on.
+	ProxyScore float64
 	// Resumed marks a candidate replayed from a crash-resume journal
 	// rather than evaluated in this process.
 	Resumed bool
@@ -268,6 +275,17 @@ type Config struct {
 	// with the tasks that were in flight at the crash. Seed, Budget,
 	// Workers and the strategy configuration must match the original run.
 	Resume *resilience.Recovery
+	// Prefilter, when non-nil, wraps Strategy with the proxy admission
+	// filter: proposals are drawn in batches, scored without training, and
+	// only the top fraction reaches an evaluator. Rejected proposals land
+	// in the trace's Filtered list and OnFiltered. The filter's decisions
+	// re-derive deterministically from Seed during journal replay, so
+	// Resume needs the same Prefilter configuration as the original run.
+	Prefilter *proxy.Prefilter
+	// OnFiltered, when non-nil, is invoked from the scheduler goroutine
+	// for every proposal the Prefilter rejects, after the rejection is
+	// recorded in the trace. Ignored without Prefilter.
+	OnFiltered func(proxy.FilteredCandidate)
 }
 
 // SchemeName renders the scheme label used across the evaluation.
@@ -327,14 +345,39 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	// strategies keep every checkpoint regardless of RetainTopK.
 	var gc *candidateGC
 	if cfg.RetainTopK > 0 {
-		if re, ok := strategy.(*evo.RegularizedEvolution); ok {
+		switch st := strategy.(type) {
+		case *evo.RegularizedEvolution:
 			gc = newCandidateGC(store, cfg.RetainTopK)
-			re.OnEvict = func(ind evo.Individual) { gc.evict(ind.ID) }
+			st.OnEvict = func(ind evo.Individual) { gc.evict(ind.ID) }
+		case *evo.ParetoEvolution:
+			gc = newCandidateGC(store, cfg.RetainTopK)
+			st.OnEvict = func(ind evo.Individual) { gc.evict(ind.ID) }
 		}
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := &trace.Trace{App: cfg.App.Name, Scheme: SchemeName(cfg.Matcher), Seed: cfg.Seed}
+
+	// Proxy admission filter: wrap the strategy so both the live loop and
+	// journal replay see the filtered proposal stream — replay re-derives
+	// the filter's deterministic decisions instead of reading them from the
+	// journal. Rejections are recorded from the scheduler goroutine only
+	// (Propose is never called concurrently), so the trace append is safe.
+	if cfg.Prefilter != nil {
+		cfg.Prefilter.SetOnFiltered(func(fc proxy.FilteredCandidate) {
+			tr.Filtered = append(tr.Filtered, trace.FilteredRecord{
+				Seq:        fc.Seq,
+				Arch:       fc.Arch,
+				ParentID:   fc.ParentID,
+				ProxyScore: fc.ProxyScore,
+				Params:     fc.Params,
+			})
+			if cfg.OnFiltered != nil {
+				cfg.OnFiltered(fc)
+			}
+		})
+		strategy = cfg.Prefilter.Wrap(strategy)
+	}
 
 	// Crash resume: replay the journal first — the proposal stream is
 	// re-derived from the seed, journaled results are recorded without
@@ -361,6 +404,14 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 
 	// dispatch starts the next candidate: first any task recovered
 	// in-flight from the journal, then fresh proposals up to the budget.
+	// proxyScores remembers the admission score of each issued candidate
+	// until its result completes.
+	proxyScores := map[int]float64{}
+	for _, t := range pending {
+		if t.ProxyScore != 0 {
+			proxyScores[t.ID] = t.ProxyScore
+		}
+	}
 	dispatch := func() bool {
 		if len(pending) > 0 {
 			// Recovered in-flight tasks were already pinned during replay.
@@ -373,6 +424,9 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 		if issued < cfg.Budget {
 			p := strategy.Propose(rng)
 			gc.taskIssued(p.ParentID)
+			if p.ProxyScore != 0 {
+				proxyScores[issued] = p.ProxyScore
+			}
 			exec.Submit(ctx, Task{
 				ID:       issued,
 				Arch:     p.Arch,
@@ -418,9 +472,11 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			best = res.Score
 		}
 		res.BestScore = best
+		res.ProxyScore = proxyScores[res.ID]
+		delete(proxyScores, res.ID)
 		gc.taskDone(res.ParentID)
 		gc.completed(res.ID, res.Score)
-		strategy.Report(evo.Individual{ID: res.ID, Arch: res.Arch, Score: res.Score})
+		strategy.Report(evo.Individual{ID: res.ID, Arch: res.Arch, Score: res.Score, Params: res.Params})
 		tr.Records = append(tr.Records, trace.Record{
 			ID:              res.ID,
 			Arch:            res.Arch,
@@ -434,6 +490,7 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 			CompletedAt:     res.CompletedAt,
 			EvalTime:        res.EvalTime,
 			QueueWait:       res.QueueWait,
+			ProxyScore:      res.ProxyScore,
 		})
 		if cfg.Journal != nil {
 			rec := resilience.EvalRecord{Record: tr.Records[len(tr.Records)-1]}

@@ -40,10 +40,11 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, gc
 		p := strategy.Propose(rng)
 		gc.taskIssued(p.ParentID)
 		open[issued] = Task{
-			ID:       issued,
-			Arch:     p.Arch,
-			ParentID: p.ParentID,
-			Seed:     TaskSeed(cfg.Seed, issued),
+			ID:         issued,
+			Arch:       p.Arch,
+			ParentID:   p.ParentID,
+			Seed:       TaskSeed(cfg.Seed, issued),
+			ProxyScore: p.ProxyScore,
 		}
 		order = append(order, issued)
 		issued++
@@ -70,7 +71,7 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, gc
 		}
 		gc.taskDone(t.ParentID)
 		gc.completed(r.ID, r.Score)
-		strategy.Report(evo.Individual{ID: r.ID, Arch: r.Arch, Score: r.Score})
+		strategy.Report(evo.Individual{ID: r.ID, Arch: r.Arch, Score: r.Score, Params: r.Params})
 		tr.Records = append(tr.Records, r)
 		delete(open, r.ID)
 		if issued < cfg.Budget {
@@ -101,6 +102,7 @@ func replayJournal(cfg Config, strategy evo.Strategy, store checkpoint.Store, gc
 				QueueWait:       r.QueueWait,
 				CompletedAt:     r.CompletedAt,
 				BestScore:       best,
+				ProxyScore:      r.ProxyScore,
 				Resumed:         true,
 			})
 		}

@@ -348,3 +348,10 @@ var SizeBuckets = []float64{
 	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
 	256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
 }
+
+// ScoreErrorBuckets are the preset histogram bounds for absolute errors of
+// unit-scale objective scores (accuracy, R²): 0.001 to 1, roughly geometric.
+// The surrogate pre-filter's prediction-error series uses them.
+var ScoreErrorBuckets = []float64{
+	1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1,
+}

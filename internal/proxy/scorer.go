@@ -1,0 +1,143 @@
+package proxy
+
+import (
+	"fmt"
+	"math"
+
+	"swtnas/internal/nn"
+)
+
+// Scorer ranks a freshly initialized candidate network without training it.
+// Higher scores predict better trained candidates. Implementations must be
+// deterministic: the same network weights and batch always produce the same
+// score, so a crash-resumed search reproduces every filter decision.
+type Scorer interface {
+	// Name identifies the scorer in traces and experiment tables.
+	Name() string
+	// Score evaluates net on the scoring minibatch. The network is left
+	// with dirty gradients; callers that reuse it must ZeroGrads first.
+	Score(net *nn.Network, loss nn.Loss, batch *nn.Data) (float64, error)
+}
+
+// GradNorm scores a candidate by the global L2 norm of its parameter
+// gradients after one forward/backward pass on the scoring minibatch — the
+// one-step NTK-trace signal of NASI (arXiv:2109.00817): architectures whose
+// initial gradients carry more energy train faster under the same budget.
+type GradNorm struct{}
+
+// Name returns "gradnorm".
+func (GradNorm) Name() string { return "gradnorm" }
+
+// Score runs one forward + loss + backward pass and returns the global
+// gradient L2 norm.
+func (GradNorm) Score(net *nn.Network, loss nn.Loss, batch *nn.Data) (float64, error) {
+	g, err := paramGradient(net, loss, batch)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, v := range g {
+		total += v * v
+	}
+	return math.Sqrt(total), nil
+}
+
+// JacobCov scores a candidate by how decorrelated its per-sample parameter
+// gradients are at initialization, the Jacobian-covariance heuristic of the
+// training-free NAS literature: a network whose samples pull the weights in
+// independent directions can tell inputs apart before any training. The
+// score is the negated mean absolute off-diagonal correlation, so higher
+// (closer to zero) means more decorrelated and ranks better.
+type JacobCov struct {
+	// Samples caps how many batch rows get an individual backward pass
+	// (each costs one forward+backward at batch size 1); <=0 means 8.
+	Samples int
+}
+
+// Name returns "jacobcov".
+func (JacobCov) Name() string { return "jacobcov" }
+
+// Score computes per-sample parameter gradients for the first Samples rows
+// of the batch and returns the negated mean |correlation| between them.
+func (j JacobCov) Score(net *nn.Network, loss nn.Loss, batch *nn.Data) (float64, error) {
+	k := j.Samples
+	if k <= 0 {
+		k = 8
+	}
+	if n := batch.N(); k > n {
+		k = n
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("proxy: jacobcov needs at least 2 samples, batch has %d", batch.N())
+	}
+	grads := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		g, err := paramGradient(net, loss, batch.Slice(i, i+1))
+		if err != nil {
+			return 0, err
+		}
+		grads[i] = g
+	}
+	// Correlation of each pair of gradient vectors; a zero-norm gradient
+	// (dead network for that sample) counts as fully correlated — it cannot
+	// distinguish inputs, the worst case for this proxy.
+	norms := make([]float64, k)
+	for i, g := range grads {
+		s := 0.0
+		for _, v := range g {
+			s += v * v
+		}
+		norms[i] = math.Sqrt(s)
+	}
+	sum, pairs := 0.0, 0
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			pairs++
+			if norms[a] == 0 || norms[b] == 0 {
+				sum += 1
+				continue
+			}
+			dot := 0.0
+			for i, v := range grads[a] {
+				dot += v * grads[b][i]
+			}
+			sum += math.Abs(dot / (norms[a] * norms[b]))
+		}
+	}
+	return -sum / float64(pairs), nil
+}
+
+// Complexity scores a candidate by its trainable-parameter count, the free
+// model-complexity proxy already on nn.Network (the paper's Table IV
+// column): smaller models rank higher. It never touches the batch.
+type Complexity struct{}
+
+// Name returns "complexity".
+func (Complexity) Name() string { return "complexity" }
+
+// Score returns -log(1+params), so fewer parameters score higher.
+func (Complexity) Score(net *nn.Network, _ nn.Loss, _ *nn.Data) (float64, error) {
+	return -math.Log1p(float64(net.ParamCount())), nil
+}
+
+// paramGradient runs one forward + loss + backward pass and returns the
+// flattened trainable-parameter gradient vector.
+func paramGradient(net *nn.Network, loss nn.Loss, batch *nn.Data) ([]float64, error) {
+	pred, err := net.Forward(batch.Inputs, true)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: scoring forward: %w", err)
+	}
+	_, grad := loss.Forward(pred, batch.Targets)
+	net.ZeroGrads()
+	if err := net.Backward(grad); err != nil {
+		return nil, fmt.Errorf("proxy: scoring backward: %w", err)
+	}
+	var flat []float64
+	for _, p := range net.Params() {
+		if !p.Trainable() || p.Grad == nil {
+			continue
+		}
+		flat = append(flat, p.Grad.Data...)
+	}
+	return flat, nil
+}

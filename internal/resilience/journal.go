@@ -88,6 +88,14 @@ type Header struct {
 	Sample     int    `json:"sample"`
 	TrainN     int    `json:"train_n"`
 	ValN       int    `json:"val_n"`
+	// The proxy pre-filter and multi-objective knobs change the proposal
+	// stream, so resume must see them unchanged. omitempty keeps journals
+	// written before these fields existed decoding to zero values, which
+	// validate against a run using the defaults — old journals stay
+	// bit-identically resumable.
+	ProxyFilter    bool    `json:"proxy_filter,omitempty"`
+	ProxyAdmit     float64 `json:"proxy_admit,omitempty"`
+	MultiObjective bool    `json:"multi_objective,omitempty"`
 }
 
 // Validate reports the first field on which other diverges from h, or nil
@@ -109,6 +117,9 @@ func (h Header) Validate(other Header) error {
 		{"sample", h.Sample, other.Sample},
 		{"train samples", h.TrainN, other.TrainN},
 		{"val samples", h.ValN, other.ValN},
+		{"proxy filter", h.ProxyFilter, other.ProxyFilter},
+		{"proxy admit", h.ProxyAdmit, other.ProxyAdmit},
+		{"multi-objective", h.MultiObjective, other.MultiObjective},
 	} {
 		if f.a != f.b {
 			return fmt.Errorf("resilience: journal %s = %v, run has %v — resume needs the original run options", f.name, f.a, f.b)

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,12 +89,35 @@ func TestJournalHeaderValidation(t *testing.T) {
 		func(o *Header) { o.Sample = 99 },
 		func(o *Header) { o.TrainN = 99 },
 		func(o *Header) { o.ValN = 99 },
+		func(o *Header) { o.ProxyFilter = true },
+		func(o *Header) { o.ProxyAdmit = 0.25 },
+		func(o *Header) { o.MultiObjective = true },
 	}
 	for i, mutate := range cases {
 		o := testHeader()
 		mutate(&o)
 		if err := h.Validate(o); err == nil {
 			t.Fatalf("case %d: mismatched header validated", i)
+		}
+	}
+
+	// Headers written before the proxy fields existed decode with zero values
+	// (omitempty keeps new writers from emitting them when unset), so an old
+	// journal still validates against default options.
+	var old Header
+	if err := json.Unmarshal([]byte(`{"app":"nt3","scheme":"LCS","budget":4,"seed":7,"data_seed":7,"workers":2,"population":10,"sample":3,"train_n":100,"val_n":20}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if old.ProxyFilter || old.ProxyAdmit != 0 || old.MultiObjective {
+		t.Fatalf("legacy header grew proxy fields: %+v", old)
+	}
+	b, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"proxy_filter", "proxy_admit", "multi_objective"} {
+		if strings.Contains(string(b), absent) {
+			t.Fatalf("unset %s serialized: %s", absent, b)
 		}
 	}
 }

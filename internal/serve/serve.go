@@ -219,6 +219,9 @@ func (s *Server) options(st *searchState) swtnas.SearchOptions {
 		PopulationSize: st.req.Population,
 		SampleSize:     st.req.Sample,
 		RetainTopK:     st.req.RetainTopK,
+		ProxyFilter:    st.req.ProxyFilter,
+		ProxyAdmit:     st.req.ProxyAdmit,
+		MultiObjective: st.req.MultiObjective,
 		SpaceJSON:      string(st.req.Space),
 		JournalPath:    filepath.Join(s.dir, st.id+".swtj"),
 		Pool:           s.pool,
@@ -253,12 +256,15 @@ func (s *Server) watch(st *searchState) {
 	defer close(st.settled)
 	cands := obs.GetCounter(obs.Labeled("serve.candidates", "search", st.id, "tenant", st.req.Tenant))
 	faults := obs.GetCounter(obs.Labeled("serve.faults", "search", st.id, "tenant", st.req.Tenant))
+	filtered := obs.GetCounter(obs.Labeled("serve.filtered", "search", st.id, "tenant", st.req.Tenant))
 	for ev := range st.handle.Events() {
 		switch ev.Kind {
 		case swtnas.EventCandidate:
 			cands.Inc()
 		case swtnas.EventFault:
 			faults.Inc()
+		case swtnas.EventFiltered:
+			filtered.Inc()
 		}
 	}
 	_, err := st.handle.Wait()
@@ -348,7 +354,9 @@ var wireField = map[string]string{
 	"Seed": "seed", "DataSeed": "data_seed",
 	"TrainN": "train_n", "ValN": "val_n",
 	"PopulationSize": "population", "SampleSize": "sample",
-	"RetainTopK": "retain_top_k",
+	"RetainTopK":  "retain_top_k",
+	"ProxyFilter": "proxy_filter", "ProxyAdmit": "proxy_admit",
+	"MultiObjective": "multi_objective",
 }
 
 // fail writes the uniform JSON error body.
@@ -595,6 +603,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 					we.Kind, we.Candidate = EventKindCandidate, ev.Candidate
 				case swtnas.EventFault:
 					we.Kind, we.Fault = EventKindFault, ev.Fault
+				case swtnas.EventFiltered:
+					we.Kind, we.Candidate = EventKindFiltered, ev.Candidate
 				default:
 					continue
 				}
@@ -659,5 +669,6 @@ func candidateFromRecord(r trace.Record, best float64) swtnas.Candidate {
 		QueueWait:         r.QueueWait,
 		BestScore:         best,
 		Resumed:           true,
+		ProxyScore:        r.ProxyScore,
 	}
 }

@@ -385,6 +385,21 @@ func TestServerValidation(t *testing.T) {
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown-app submit status %d, want 400", resp2.StatusCode)
 	}
+
+	// An admit fraction without the filter flag maps back to its wire name.
+	resp3 := postJSON(t, ts, "/"+APIVersion+"/searches",
+		SubmitRequest{Tenant: "t", App: "nt3", Scheme: "LCS", Budget: 3, ProxyAdmit: 0.5})
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("proxy_admit-without-filter submit status %d, want 400", resp3.StatusCode)
+	}
+	var eresp3 ErrorResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&eresp3); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if eresp3.Field != "proxy_admit" {
+		t.Fatalf("error field %q, want proxy_admit", eresp3.Field)
+	}
 	list, err := http.Get(ts.URL + "/" + APIVersion + "/searches")
 	if err != nil {
 		t.Fatal(err)
@@ -434,5 +449,18 @@ func TestCandidateEventWireSchema(t *testing.T) {
 	}
 	if strings.Contains(string(sb), `"candidate"`) || !strings.Contains(string(sb), `"state":"done"`) {
 		t.Fatalf("status event schema: %s", sb)
+	}
+
+	// Filtered events reuse the candidate variant: the rejected proposal
+	// rides in the same shape, marked by kind and the filtered flag.
+	fc := swtnas.Candidate{ID: -1, Arch: []int{0, 1}, Params: 900, ParentID: 3, ProxyScore: -1.25, Filtered: true}
+	fb, err := json.Marshal(CandidateEvent{Kind: EventKindFiltered, SearchID: "s-000001", Seq: 6, Candidate: &fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fb), `"kind":"filtered"`) ||
+		!strings.Contains(string(fb), `"proxy_score":-1.25`) ||
+		!strings.Contains(string(fb), `"filtered":true`) {
+		t.Fatalf("filtered event schema: %s", fb)
 	}
 }

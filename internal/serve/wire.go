@@ -60,6 +60,14 @@ type SubmitRequest struct {
 	Sample     int `json:"sample,omitempty"`
 	// RetainTopK bounds checkpoint-store growth.
 	RetainTopK int `json:"retain_top_k,omitempty"`
+	// ProxyFilter turns on the zero-cost proxy pre-filter as the search's
+	// admission mode: only the best ProxyAdmit fraction of each proposal
+	// batch reaches real training; rejections stream as "filtered" events.
+	ProxyFilter bool `json:"proxy_filter,omitempty"`
+	// ProxyAdmit is the admitted fraction in (0, 1]; 0 means 0.5.
+	ProxyAdmit float64 `json:"proxy_admit,omitempty"`
+	// MultiObjective selects Pareto (score × params) parent selection.
+	MultiObjective bool `json:"multi_objective,omitempty"`
 	// Space is an inline custom search-space spec (internal/search.Spec).
 	Space json.RawMessage `json:"space,omitempty"`
 }
@@ -111,14 +119,15 @@ type ListResponse struct {
 // candidate marshals identically to the same candidate in a trace dump —
 // including the omitempty elision of zero eval_time/queue_wait/resumed.
 type CandidateEvent struct {
-	// Kind is "candidate", "fault" or "status".
+	// Kind is "candidate", "filtered", "fault" or "status".
 	Kind string `json:"kind"`
 	// SearchID is the search the event belongs to.
 	SearchID string `json:"search_id"`
 	// Seq numbers events per search from 0, replay included — a client that
 	// reconnects can discard duplicates by Seq.
 	Seq int `json:"seq"`
-	// Candidate is one completed evaluation (Kind "candidate").
+	// Candidate is one completed evaluation (Kind "candidate") or one
+	// proxy-rejected proposal (Kind "filtered", Filtered set).
 	Candidate *swtnas.Candidate `json:"candidate,omitempty"`
 	// Fault is one fault-tolerance decision (Kind "fault").
 	Fault *swtnas.FaultEvent `json:"fault,omitempty"`
@@ -131,6 +140,9 @@ const (
 	EventKindCandidate = "candidate"
 	EventKindFault     = "fault"
 	EventKindStatus    = "status"
+	// EventKindFiltered streams one proposal the proxy pre-filter rejected
+	// before training; the Candidate payload has Filtered set and ID -1.
+	EventKindFiltered = "filtered"
 )
 
 // TopKResponse is the GET /v1/searches/{id}/topk reply.

@@ -46,6 +46,27 @@ type Record struct {
 	Failed bool `json:"failed,omitempty"`
 	// FailReason carries the last evaluation error of a Failed candidate.
 	FailReason string `json:"fail_reason,omitempty"`
+	// ProxyScore is the admission score the proxy pre-filter gave this
+	// candidate before training (surrogate prediction or zero-cost score);
+	// zero in runs without the filter.
+	ProxyScore float64 `json:"proxy_score,omitempty"`
+}
+
+// FilteredRecord is one proposal the proxy pre-filter rejected before any
+// training was spent on it. Filtered proposals consume no candidate IDs and
+// are not journaled: a crash-resumed run regenerates them deterministically
+// from the seed.
+type FilteredRecord struct {
+	// Seq is the proposal's draw number within the search.
+	Seq int `json:"seq"`
+	// Arch is the rejected architecture sequence.
+	Arch []int `json:"arch"`
+	// ParentID is the proposal's transfer provider (-1 for scratch).
+	ParentID int `json:"parent_id"`
+	// ProxyScore is the admission score that ranked it below the cut.
+	ProxyScore float64 `json:"proxy_score"`
+	// Params is the rejected network's trainable-parameter count.
+	Params int `json:"params,omitempty"`
 }
 
 // Trace is the ordered record of one NAS run.
@@ -58,6 +79,10 @@ type Trace struct {
 	Seed int64 `json:"seed"`
 	// Records are in completion order.
 	Records []Record `json:"records"`
+	// Filtered lists the proposals the proxy pre-filter rejected before
+	// training, in draw order (empty in runs without the filter). They do
+	// not count against the budget and never rank in TopK.
+	Filtered []FilteredRecord `json:"filtered,omitempty"`
 }
 
 // Scores extracts the score column.

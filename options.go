@@ -79,6 +79,25 @@ type SearchOptions struct {
 	// options must match the original run's — the journal header is
 	// validated field by field.
 	Resume bool
+	// ProxyFilter turns on the zero-cost proxy pre-filter: each batch of
+	// mutation proposals is scored without training (gradient-norm and
+	// Jacobian-covariance proxies on one minibatch, later an online ridge
+	// surrogate refit from the live trace) and only the best ProxyAdmit
+	// fraction is admitted to real partial training. Rejected proposals are
+	// streamed as filtered events and listed in the trace; they consume no
+	// budget. Filter decisions are seeded and deterministic, so crash-resume
+	// regenerates them exactly.
+	ProxyFilter bool
+	// ProxyAdmit is the fraction of each proposal batch the pre-filter
+	// admits to training, in (0, 1]; 0 means the default 0.5. Only
+	// meaningful with ProxyFilter set.
+	ProxyAdmit float64
+	// MultiObjective switches parent selection from best-score regularized
+	// evolution to Pareto (accuracy maximized, parameters minimized)
+	// sampling: each proposal mutates a random member of the sample's
+	// Pareto front, keeping small accurate models in the breeding pool.
+	// Result.ParetoFront then reports the non-dominated candidates.
+	MultiObjective bool
 	// Pool, when non-nil, runs this search's evaluations on a shared
 	// evaluator pool instead of private worker goroutines — many concurrent
 	// searches then share one core budget under weighted-fair scheduling.
@@ -154,6 +173,12 @@ func (opt SearchOptions) Validate() error {
 	}
 	if opt.Resume && opt.JournalPath == "" {
 		return &InvalidOptionError{Field: "Resume", Reason: "requires JournalPath"}
+	}
+	if opt.ProxyAdmit < 0 || opt.ProxyAdmit > 1 {
+		return &InvalidOptionError{Field: "ProxyAdmit", Reason: fmt.Sprintf("must be in (0, 1], got %g", opt.ProxyAdmit)}
+	}
+	if opt.ProxyAdmit > 0 && !opt.ProxyFilter {
+		return &InvalidOptionError{Field: "ProxyAdmit", Reason: "set without ProxyFilter — the admit fraction only applies to the proxy pre-filter"}
 	}
 	if opt.Weight > 0 && opt.Pool == nil {
 		return &InvalidOptionError{Field: "Weight", Reason: "set without Pool — weights only apply to shared-pool searches"}

@@ -34,6 +34,9 @@ func TestValidateFieldErrors(t *testing.T) {
 		{"sample exceeds population", func(o *SearchOptions) { o.PopulationSize = 4; o.SampleSize = 8 }, "SampleSize"},
 		{"resume without journal", func(o *SearchOptions) { o.Resume = true }, "Resume"},
 		{"weight without pool", func(o *SearchOptions) { o.Weight = 2 }, "Weight"},
+		{"negative proxy admit", func(o *SearchOptions) { o.ProxyFilter = true; o.ProxyAdmit = -0.1 }, "ProxyAdmit"},
+		{"proxy admit above one", func(o *SearchOptions) { o.ProxyFilter = true; o.ProxyAdmit = 1.5 }, "ProxyAdmit"},
+		{"proxy admit without filter", func(o *SearchOptions) { o.ProxyAdmit = 0.5 }, "ProxyAdmit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -45,9 +45,11 @@ import (
 	"swtnas/internal/checkpoint"
 	"swtnas/internal/core"
 	"swtnas/internal/data"
+	"swtnas/internal/evo"
 	"swtnas/internal/nas"
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
+	"swtnas/internal/proxy"
 	"swtnas/internal/search"
 	"swtnas/internal/trace"
 )
@@ -93,6 +95,14 @@ type Candidate struct {
 	// Resumed marks a candidate replayed from a crash-resume journal rather
 	// than evaluated by this process.
 	Resumed bool `json:"resumed,omitempty"`
+	// ProxyScore is the admission score the proxy pre-filter gave this
+	// candidate before training (zero in runs without ProxyFilter).
+	ProxyScore float64 `json:"proxy_score,omitempty"`
+	// Filtered marks a proposal the proxy pre-filter rejected before
+	// training: it consumed no budget, has no checkpoint, and its ID is the
+	// sentinel -1 (rejected proposals never receive candidate numbers).
+	// Only filtered progress events carry it; Result.Candidates never does.
+	Filtered bool `json:"filtered,omitempty"`
 }
 
 // LatencyStats is the compact count/mean/p50/p95/max form SearchSummary
@@ -128,10 +138,33 @@ type SearchSummary struct {
 	// Gemm summarizes the per-call latency of the GEMM kernels under all
 	// of the run's training.
 	Gemm LatencyStats `json:"gemm"`
+	// Proxy reports the pre-filter's admission statistics; nil in runs
+	// without SearchOptions.ProxyFilter.
+	Proxy *ProxySummary `json:"proxy,omitempty"`
 	// Metrics is the full metrics delta of the run — every counter, gauge
 	// and histogram the process recorded between search start and end, in
 	// the same JSON document shape the /debug/metrics endpoint serves.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// ProxySummary aggregates the proxy pre-filter's run statistics: how many
+// proposals it scored, how the admission split fell, and how well the online
+// surrogate tracked real scores. Score latency needs SearchOptions.Metrics.
+type ProxySummary struct {
+	// Proposals is how many mutation proposals the filter scored.
+	Proposals int64 `json:"proposals"`
+	// Admitted and Filtered split Proposals by the admission decision.
+	Admitted int64 `json:"admitted"`
+	Filtered int64 `json:"filtered"`
+	// SurrogateRefits counts ridge-regression refits from the live trace.
+	SurrogateRefits int64 `json:"surrogate_refits"`
+	// SurrogateMAE is the mean absolute error of the surrogate's
+	// predictions against the real scores observed after each prediction
+	// (0 until the surrogate's first fit).
+	SurrogateMAE float64 `json:"surrogate_mae"`
+	// Score summarizes per-proposal zero-cost scoring latency (zero
+	// without SearchOptions.Metrics).
+	Score LatencyStats `json:"score"`
 }
 
 // Result is a finished candidate-estimation phase.
@@ -180,9 +213,20 @@ func SearchContext(ctx context.Context, opt SearchOptions) (*Result, error) {
 }
 
 // summarize builds the search summary from the trace, plus metric deltas
-// when a pre-run snapshot was taken.
-func summarize(tr *trace.Trace, wall time.Duration, before *obs.Snapshot) *SearchSummary {
+// when a pre-run snapshot was taken and proxy-filter statistics when the run
+// used a pre-filter.
+func summarize(tr *trace.Trace, wall time.Duration, before *obs.Snapshot, pf *proxy.Prefilter) *SearchSummary {
 	s := &SearchSummary{WallTime: wall, Candidates: len(tr.Records)}
+	if pf != nil {
+		st := pf.Stats()
+		s.Proxy = &ProxySummary{
+			Proposals:       st.Proposals,
+			Admitted:        st.Admitted,
+			Filtered:        st.Filtered,
+			SurrogateRefits: st.SurrogateRefits,
+			SurrogateMAE:    st.SurrogateMAE,
+		}
+	}
 	best := math.Inf(-1)
 	for _, r := range tr.Records {
 		if r.Score > best {
@@ -202,6 +246,9 @@ func summarize(tr *trace.Trace, wall time.Duration, before *obs.Snapshot) *Searc
 		s.Eval = LatencyStats(d.DurationStatsOf("nas.eval.seconds"))
 		s.QueueWait = LatencyStats(d.DurationStatsOf("nas.queue.wait.seconds"))
 		s.Gemm = LatencyStats(d.DurationStatsOf("tensor.gemm.seconds"))
+		if s.Proxy != nil {
+			s.Proxy.Score = LatencyStats(d.DurationStatsOf("proxy.score.seconds"))
+		}
 		var buf bytes.Buffer
 		if err := d.WriteJSON(&buf); err == nil {
 			s.Metrics = json.RawMessage(buf.Bytes())
@@ -217,6 +264,27 @@ func (r *Result) Best(k int) []Candidate {
 	out := make([]Candidate, len(idx))
 	for i, j := range idx {
 		out[i] = r.Candidates[j]
+	}
+	return out
+}
+
+// ParetoFront returns the candidates no other candidate dominates under the
+// two search objectives (score maximized, parameters minimized), in
+// completion order — the accuracy×complexity trade-off curve a
+// multi-objective run explores. It works on any Result, not only
+// MultiObjective ones. Failed candidates never appear.
+func (r *Result) ParetoFront() []Candidate {
+	inds := make([]evo.Individual, 0, len(r.Candidates))
+	for i, rec := range r.tr.Records {
+		if rec.Failed {
+			continue
+		}
+		inds = append(inds, evo.Individual{ID: i, Score: rec.Score, Params: rec.Params})
+	}
+	front := evo.ParetoFront(inds)
+	out := make([]Candidate, len(front))
+	for i, f := range front {
+		out[i] = r.Candidates[f.ID]
 	}
 	return out
 }
