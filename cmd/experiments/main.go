@@ -8,14 +8,16 @@
 //	experiments -apps nt3,uno -seeds 3 -budget 120 fig7
 //
 // Experiments: table1 fig2 fig3 fig4 fig5 fig7 fig8 table3 table4 fig9
-// fig10 fig11 proxy dist all. Searches are shared between experiments within
-// one invocation (fig7/fig8/fig9/fig10/fig11/proxy/table3/table4 reuse the
-// same campaign runs, as the paper does). proxy is the zero-cost-score
+// fig10 fig11 proxy dist sim all. Searches are shared between experiments
+// within one invocation (fig7/fig8/fig9/fig10/fig11/proxy/table3/table4 reuse
+// the same campaign runs, as the paper does). proxy is the zero-cost-score
 // rank-correlation study behind -proxy-filter: Kendall's tau of each
 // pre-training score against fully trained metrics, per app. dist reruns the
 // searches over real TCP workers via cluster.RunDistributed and reports
 // per-scheme summaries with kernel-level obs metric deltas; -workers sets
-// its evaluator count.
+// its evaluator count. sim is the calibrated fleet scale study: a cost model
+// fitted from a real run's metrics drives the discrete-event simulator from
+// 16 to 4096 evaluators, with and without speculative re-execution.
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 	"swtnas/internal/experiments"
 )
 
-var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "proxy", "dist"}
+var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "proxy", "dist", "sim"}
 
 func main() {
 	log.SetFlags(0)
@@ -118,6 +120,8 @@ func main() {
 			_, err = suite.Proxy(w)
 		case "dist":
 			_, err = suite.Dist(w)
+		case "sim":
+			_, err = suite.Sim(w)
 		default:
 			log.Fatalf("unknown experiment %q (valid: %s, all)", name, strings.Join(order, " "))
 		}

@@ -11,6 +11,7 @@
 //
 //	swtnas-server -addr :8080 -data-dir /var/lib/swtnas
 //	swtnas-server -addr :8080 -data-dir ./runs -pool-workers 8 -max-active 4
+//	swtnas-server -data-dir ./runs -tenant-proxy-defaults "teamA=0.5,teamB=off"
 package main
 
 import (
@@ -38,10 +39,15 @@ func main() {
 		workers   = flag.Int("pool-workers", 0, "evaluator pool slots shared by all searches (0 = all cores)")
 		maxActive = flag.Int("max-active", 0, "admission quota: concurrent searches across all tenants (0 = unlimited)")
 		maxTenant = flag.Int("max-tenant", 0, "admission quota: concurrent searches per tenant (0 = unlimited)")
+		tenantPxy = flag.String("tenant-proxy-defaults", "", `per-tenant default proxy-admission modes, e.g. "teamA=0.5,teamB=off"`)
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		log.Fatal("-data-dir is required")
+	}
+	tenantDefaults, err := serve.ParseTenantDefaults(*tenantPxy)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	s, err := serve.New(serve.Config{
@@ -51,6 +57,7 @@ func main() {
 			MaxActiveSearches:    *maxActive,
 			MaxSearchesPerTenant: *maxTenant,
 		},
+		TenantDefaults: tenantDefaults,
 	})
 	if err != nil {
 		log.Fatal(err)

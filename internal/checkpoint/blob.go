@@ -71,6 +71,8 @@ func (s *MemStore) SaveBlob(id string, blob []byte) (int64, error) {
 	s.blob[id] = append([]byte(nil), blob...)
 	s.mu.Unlock()
 	mStoreSaveBytes.Add(int64(len(blob)))
+	mStoreSaveSize.Observe(float64(len(blob)))
+	mStoreSaveSize.Observe(float64(len(blob)))
 	return int64(len(blob)), nil
 }
 
@@ -112,5 +114,6 @@ func (s *DiskStore) SaveBlob(id string, blob []byte) (int64, error) {
 		return 0, err
 	}
 	mStoreSaveBytes.Add(int64(len(blob)))
+	mStoreSaveSize.Observe(float64(len(blob)))
 	return int64(len(blob)), nil
 }

@@ -337,6 +337,7 @@ func (s *CASStore) Save(id string, m *Model) (int64, error) {
 		mCASManifests.Inc()
 		mCASBlobsLive.Set(int64(len(s.refs)))
 		mStoreSaveBytes.Add(written)
+		mStoreSaveSize.Observe(float64(raw))
 		// The per-tensor blob encode is this store's codec work; count it
 		// under the checkpoint codec series like Model.Encode would be.
 		mEncodeCalls.Inc()

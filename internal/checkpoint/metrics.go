@@ -23,8 +23,12 @@ var (
 	mStoreSaveSeconds = obs.GetHistogram("checkpoint.store.save.seconds", obs.DurationBuckets)
 	mStoreLoadSeconds = obs.GetHistogram("checkpoint.store.load.seconds", obs.DurationBuckets)
 	mStoreSaveBytes   = obs.GetCounter("checkpoint.store.save.bytes")
-	mStoreHits        = obs.GetCounter("checkpoint.store.load.hits")
-	mStoreMisses      = obs.GetCounter("checkpoint.store.load.misses")
+	// mStoreSaveSize records the per-save logical checkpoint size as a
+	// distribution (the counter above only aggregates); the calibrated
+	// simulator (internal/sim) fits its checkpoint-bytes sampler from it.
+	mStoreSaveSize = obs.GetHistogram("checkpoint.store.save.size", obs.SizeBuckets)
+	mStoreHits     = obs.GetCounter("checkpoint.store.load.hits")
+	mStoreMisses   = obs.GetCounter("checkpoint.store.load.misses")
 )
 
 // Content-addressed store telemetry: the dedup ledger. RawBytes is what

@@ -56,6 +56,7 @@ func (s *MemStore) Save(id string, m *Model) (int64, error) {
 	s.mu.Unlock()
 	t.Stop()
 	mStoreSaveBytes.Add(int64(buf.Len()))
+	mStoreSaveSize.Observe(float64(buf.Len()))
 	return int64(buf.Len()), nil
 }
 
@@ -184,6 +185,7 @@ func (s *DiskStore) Save(id string, m *Model) (int64, error) {
 	}
 	t.Stop()
 	mStoreSaveBytes.Add(info.Size())
+	mStoreSaveSize.Observe(float64(info.Size()))
 	return info.Size(), nil
 }
 

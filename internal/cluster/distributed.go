@@ -33,6 +33,17 @@ type DistConfig struct {
 	N, S int
 	// PartialEpochs overrides the app default when positive.
 	PartialEpochs int
+	// KernelWorkers, when positive, is shipped with every task as the
+	// workers' kernel-pool width. When zero and a node core budget is
+	// given (NodeCores with EvaluatorsPerNode), it is auto-set to
+	// max(1, NodeCores/EvaluatorsPerNode) — the same evaluator×kernel
+	// split the in-process scheduler applies to its own cores.
+	KernelWorkers int
+	// NodeCores and EvaluatorsPerNode describe the worker nodes' core
+	// budget for the auto-split above (both 0 -> tasks leave worker pools
+	// untouched).
+	NodeCores         int
+	EvaluatorsPerNode int
 	// TaskDeadline, when positive, bounds each candidate's worker-side
 	// evaluation (shipped as RPCTask.DeadlineMillis); pair it with the
 	// coordinator's FaultConfig.TaskDeadline for coordinator-side stall
@@ -67,6 +78,15 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 	}
 	strategy := evo.NewRegularizedEvolution(app.Space, cfg.N, cfg.S)
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	kernelWorkers := cfg.KernelWorkers
+	if kernelWorkers <= 0 && cfg.NodeCores > 0 && cfg.EvaluatorsPerNode > 0 {
+		// Mirror the in-process evaluator×kernel split on remote nodes:
+		// concurrent evaluators partition the node's cores evenly.
+		kernelWorkers = cfg.NodeCores / cfg.EvaluatorsPerNode
+		if kernelWorkers < 1 {
+			kernelWorkers = 1
+		}
+	}
 
 	ckpts := map[int][]byte{} // candidate id -> encoded checkpoint
 	archs := map[int][]int{}  // candidate id -> architecture
@@ -85,6 +105,7 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 			Matcher:        cfg.Matcher,
 			PartialEpochs:  cfg.PartialEpochs,
 			DeadlineMillis: int64(cfg.TaskDeadline / time.Millisecond),
+			KernelWorkers:  kernelWorkers,
 		}
 		parents[issued] = p.ParentID
 		if cfg.Matcher != "" && p.ParentID >= 0 {

@@ -18,6 +18,8 @@ import (
 	"swtnas/internal/nas"
 	"swtnas/internal/nn"
 	"swtnas/internal/obs"
+	"swtnas/internal/parallel"
+	"swtnas/internal/sim"
 )
 
 // Cluster telemetry (internal/obs, disabled by default): per-RPC round-trip
@@ -41,6 +43,8 @@ var (
 	mReadmitted       = obs.GetCounter("cluster.workers.readmitted")
 	mInflightGauge    = obs.GetGauge("cluster.tasks.inflight")
 	mHeartbeats       = obs.GetCounter("cluster.heartbeats")
+	mSpeculated       = obs.GetCounter("cluster.tasks.speculated")
+	mSpeculationWon   = obs.GetCounter("cluster.speculation.won")
 )
 
 // Worker.Run dial schedule; vars so tests can shrink the timing.
@@ -106,6 +110,11 @@ type RPCTask struct {
 	// error when it expires (the coordinator then retries or fails the
 	// candidate). Mirrors FaultConfig.TaskDeadline on the worker side.
 	DeadlineMillis int64
+	// KernelWorkers, when positive, sets the worker's kernel-pool width for
+	// this task (the per-evaluator share of a node's core budget, mirroring
+	// the in-process evaluator×kernel split). 0 leaves the worker's pool
+	// untouched; a Worker with its own KernelWorkers pin ignores it.
+	KernelWorkers int
 }
 
 // RPCResult returns a scored candidate to the coordinator.
@@ -148,6 +157,20 @@ type FaultConfig struct {
 	RetryBackoff time.Duration
 	// MonitorInterval is the failure-detector scan period. Default 250ms.
 	MonitorInterval time.Duration
+	// SpeculativeQuantile enables speculative re-execution: once enough
+	// results are in, a task whose elapsed runtime exceeds
+	// SpeculationFactor times this quantile of recently completed
+	// evaluation latencies gets a backup attempt on the next free worker —
+	// first result wins, the loser's submission is dropped by the existing
+	// duplicate scrubbing. 0 disables speculation (the default); the
+	// paper-style straggler mitigation uses 0.9.
+	SpeculativeQuantile float64
+	// SpeculationFactor scales the quantile into the straggler threshold.
+	// Default 1.5.
+	SpeculationFactor float64
+	// SpeculationMinSamples is how many completed evaluations the latency
+	// window needs before speculation engages. Default 8.
+	SpeculationMinSamples int
 	// OnEvent, when set, observes every fault-tolerance decision the
 	// coordinator takes — requeues, terminal failures, quarantines and
 	// re-admissions — as nas.FaultEvent values. Events are delivered outside
@@ -170,6 +193,12 @@ func (f FaultConfig) withDefaults() FaultConfig {
 	if f.MonitorInterval <= 0 {
 		f.MonitorInterval = 250 * time.Millisecond
 	}
+	if f.SpeculationFactor <= 0 {
+		f.SpeculationFactor = 1.5
+	}
+	if f.SpeculationMinSamples <= 0 {
+		f.SpeculationMinSamples = 8
+	}
 	return f
 }
 
@@ -182,9 +211,12 @@ type inflightTask struct {
 }
 
 // queuedTask is a task waiting for a worker (attempts already consumed).
+// speculative marks a backup copy racing a still-running original; it is
+// tracked outside the retry budget.
 type queuedTask struct {
-	task     RPCTask
-	attempts int
+	task        RPCTask
+	attempts    int
+	speculative bool
 }
 
 // delayedTask is a requeued task serving its retry backoff.
@@ -216,6 +248,14 @@ type Coordinator struct {
 	workers  map[string]*workerState
 	done     map[int]bool
 	shutdown bool
+
+	// Speculative re-execution state: a sliding window of completed
+	// evaluation latencies (the threshold base), backup attempts in flight
+	// (kept apart from inflight so the original's tracking survives), and
+	// the tasks that already consumed their one backup.
+	latencies    []time.Duration
+	specInflight map[int]*inflightTask
+	speculated   map[int]bool
 
 	monitorOnce sync.Once
 	stopMonitor chan struct{}
@@ -260,12 +300,14 @@ func NewCoordinator() *Coordinator { return NewCoordinatorWith(FaultConfig{}) }
 // NewCoordinatorWith creates a coordinator with an explicit fault policy.
 func NewCoordinatorWith(cfg FaultConfig) *Coordinator {
 	c := &Coordinator{
-		cfg:         cfg.withDefaults(),
-		inflight:    map[int]*inflightTask{},
-		workers:     map[string]*workerState{},
-		done:        map[int]bool{},
-		stopMonitor: make(chan struct{}),
-		results:     make(chan RPCResult, 64),
+		cfg:          cfg.withDefaults(),
+		inflight:     map[int]*inflightTask{},
+		workers:      map[string]*workerState{},
+		done:         map[int]bool{},
+		specInflight: map[int]*inflightTask{},
+		speculated:   map[int]bool{},
+		stopMonitor:  make(chan struct{}),
+		results:      make(chan RPCResult, 64),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -372,6 +414,13 @@ func (c *Coordinator) monitor() {
 					failed = append(failed, *res)
 				}
 			}
+			// A quarantined worker's backup attempts are simply dropped:
+			// the originals are still tracked, so nothing is lost.
+			for tid, spec := range c.specInflight {
+				if spec.worker == id {
+					delete(c.specInflight, tid)
+				}
+			}
 		}
 		// Per-task deadline: a task stuck on one worker is requeued even if
 		// the worker still heartbeats (stalled evaluation).
@@ -386,8 +435,34 @@ func (c *Coordinator) monitor() {
 				}
 			}
 		}
+		// Speculative re-execution: once the latency window is warm, any
+		// task running past the calibrated quantile threshold gets one
+		// backup attempt, queued ahead of regular work so the next free
+		// worker picks it up (first result wins via duplicate scrubbing).
+		speculated := false
+		if c.cfg.SpeculativeQuantile > 0 && len(c.latencies) >= c.cfg.SpeculationMinSamples {
+			threshold := time.Duration(float64(sim.DurationQuantile(c.latencies, c.cfg.SpeculativeQuantile)) * c.cfg.SpeculationFactor)
+			if threshold > 0 {
+				for tid, ift := range c.inflight {
+					if c.done[tid] || c.speculated[tid] || now.Sub(ift.started) <= threshold {
+						continue
+					}
+					c.speculated[tid] = true
+					mSpeculated.Inc()
+					c.queue = append([]queuedTask{{task: ift.task, attempts: ift.attempts, speculative: true}}, c.queue...)
+					c.emitLocked(nas.FaultEvent{
+						Kind:        nas.FaultSpeculate,
+						Worker:      ift.worker,
+						CandidateID: tid,
+						Reason:      fmt.Sprintf("runtime exceeded %s (q%.2f x %.1f of %d samples)", threshold.Round(time.Millisecond), c.cfg.SpeculativeQuantile, c.cfg.SpeculationFactor, len(c.latencies)),
+						Attempt:     ift.attempts,
+					})
+					speculated = true
+				}
+			}
+		}
 		// Release requeued tasks whose backoff elapsed.
-		released := false
+		released := speculated
 		keep := c.delayed[:0]
 		for _, d := range c.delayed {
 			if !d.readyAt.After(now) {
@@ -435,11 +510,18 @@ func (s *Service) NextTask(workerID string, reply *RPCTask) error {
 	}
 	qt := c.queue[0]
 	c.queue = c.queue[1:]
-	c.inflight[qt.task.ID] = &inflightTask{
+	ift := &inflightTask{
 		task:     qt.task,
 		worker:   workerID,
 		started:  time.Now(),
 		attempts: qt.attempts + 1,
+	}
+	if qt.speculative {
+		// A backup attempt races the original, which stays tracked in
+		// inflight; the backup lives outside the retry budget.
+		c.specInflight[qt.task.ID] = ift
+	} else {
+		c.inflight[qt.task.ID] = ift
 	}
 	c.beatLocked(workerID) // cond.Wait may have parked past the timeout
 	mInflightGauge.Set(int64(len(c.inflight)))
@@ -475,21 +557,43 @@ func (s *Service) Submit(res RPCResult, ack *bool) error {
 	obs.GetCounter(obs.Labeled("cluster.coord.results", "worker", res.WorkerID)).Inc()
 	switch {
 	case c.done[res.ID]:
+		// The race's loser arriving (a requeued task's original worker, or
+		// the slower side of a speculation pair): drop the result, clear
+		// its in-flight entry.
 		mResultsDuplicate.Inc()
+		if spec := c.specInflight[res.ID]; spec != nil && spec.worker == res.WorkerID {
+			delete(c.specInflight, res.ID)
+		} else if ift := c.inflight[res.ID]; ift != nil && ift.worker == res.WorkerID {
+			delete(c.inflight, res.ID)
+		}
 	case res.Err != "":
-		ift := c.inflight[res.ID]
-		if ift != nil && ift.worker == res.WorkerID {
+		if spec := c.specInflight[res.ID]; spec != nil && spec.worker == res.WorkerID {
+			// A failed backup is dropped, not retried: the original still
+			// runs and owns the retry budget.
+			delete(c.specInflight, res.ID)
+		} else if ift := c.inflight[res.ID]; ift != nil && ift.worker == res.WorkerID {
 			delete(c.inflight, res.ID)
 			terminal = c.requeueLocked(ift.task, ift.attempts, res.Err)
 		}
 		// Otherwise another attempt is already queued or running; drop.
 	default:
-		if ift := c.inflight[res.ID]; ift != nil {
+		backupWon := false
+		if spec := c.specInflight[res.ID]; spec != nil && spec.worker == res.WorkerID {
+			backupWon = true
+			res.Attempts = spec.attempts
+			delete(c.specInflight, res.ID)
+			c.recordLatencyLocked(time.Since(spec.started))
+		} else if ift := c.inflight[res.ID]; ift != nil {
 			res.Attempts = ift.attempts
 			delete(c.inflight, res.ID)
+			c.recordLatencyLocked(time.Since(ift.started))
 		}
 		c.scrubLocked(res.ID)
 		c.done[res.ID] = true
+		if backupWon {
+			mSpeculationWon.Inc()
+			c.emitLocked(nas.FaultEvent{Kind: nas.FaultSpeculationWon, Worker: res.WorkerID, CandidateID: res.ID, Attempt: res.Attempts})
+		}
 		r := res
 		terminal = &r
 	}
@@ -502,8 +606,25 @@ func (s *Service) Submit(res RPCResult, ack *bool) error {
 	return nil
 }
 
+// latencyWindow bounds the sliding sample of completed evaluation latencies
+// that feeds the speculation threshold.
+const latencyWindow = 128
+
+// recordLatencyLocked appends a completed attempt's dispatch-to-result
+// latency to the sliding window. Callers hold c.mu.
+func (c *Coordinator) recordLatencyLocked(d time.Duration) {
+	if c.cfg.SpeculativeQuantile <= 0 {
+		return
+	}
+	c.latencies = append(c.latencies, d)
+	if len(c.latencies) > latencyWindow {
+		c.latencies = c.latencies[1:]
+	}
+}
+
 // scrubLocked removes any queued or delayed copy of a resolved task (a
-// requeued task whose original worker finished after all). Callers hold c.mu.
+// requeued task whose original worker finished after all, or a speculative
+// backup that never dispatched). Callers hold c.mu.
 func (c *Coordinator) scrubLocked(id int) {
 	keepQ := c.queue[:0]
 	for _, qt := range c.queue {
@@ -555,6 +676,11 @@ type Worker struct {
 	// ID labels the worker in results.
 	ID string
 
+	// KernelWorkers, when positive, pins this worker's kernel-pool width
+	// for every task, overriding any RPCTask.KernelWorkers the coordinator
+	// ships (an operator-set SWTNAS_WORKERS equivalent).
+	KernelWorkers int
+
 	// HeartbeatEvery is the liveness-ping period Run uses while connected.
 	// 0 selects the 2s default; negative disables heartbeats entirely
 	// (tests simulating a silent stall).
@@ -572,6 +698,16 @@ type Worker struct {
 	appMu  sync.Mutex
 	appKey string
 	app    *apps.App
+}
+
+// kernelWorkersFor resolves the kernel-pool width for one task: the
+// worker's own pin wins, then the task's coordinator-assigned share, then 0
+// (leave the pool as-is).
+func (w *Worker) kernelWorkersFor(t RPCTask) int {
+	if w.KernelWorkers > 0 {
+		return w.KernelWorkers
+	}
+	return t.KernelWorkers
 }
 
 // appFor returns (building if needed) the application a task needs.
@@ -594,6 +730,12 @@ func (w *Worker) appFor(t RPCTask) (*apps.App, error) {
 // worker in-process).
 func (w *Worker) Execute(t RPCTask) RPCResult {
 	defer mExecSeconds.Start().Stop()
+	if k := w.kernelWorkersFor(t); k > 0 {
+		// Scoped like the in-process auto-split: set for this evaluation,
+		// restore after, so an operator's process-wide setting survives.
+		prev := parallel.SetWorkers(k)
+		defer parallel.SetWorkers(prev)
+	}
 	res := RPCResult{ID: t.ID, WorkerID: w.ID}
 	fail := func(err error) RPCResult {
 		res.Err = err.Error()

@@ -173,18 +173,6 @@ func TestSimulateParallelFSNoContention(t *testing.T) {
 	}
 }
 
-func TestFSOpTime(t *testing.T) {
-	fs := FSModel{WriteBandwidth: 1e6, ReadBandwidth: 1e6, PerOpLatency: 10 * time.Millisecond}
-	got := fs.opTime(1e6, fs.WriteBandwidth)
-	if got != 10*time.Millisecond+time.Second {
-		t.Fatalf("opTime = %v", got)
-	}
-	zero := FSModel{PerOpLatency: 5 * time.Millisecond}
-	if zero.opTime(100, 0) != 5*time.Millisecond {
-		t.Fatal("zero bandwidth must cost only latency")
-	}
-}
-
 func TestNodeTypesMatchTableII(t *testing.T) {
 	if NodeTypeA.GPUs != 8 || NodeTypeA.GPUMemGB != 40 {
 		t.Fatalf("node A = %+v", NodeTypeA)

@@ -18,6 +18,12 @@ const (
 	// FaultFailed: a candidate exhausted its retry budget; the search
 	// continues without it.
 	FaultFailed FaultKind = "failed"
+	// FaultSpeculate: a task overran the calibrated latency quantile and a
+	// backup attempt was launched on another worker (first result wins).
+	FaultSpeculate FaultKind = "speculated"
+	// FaultSpeculationWon: a speculative backup finished before the
+	// straggling original; the original's late result will be scrubbed.
+	FaultSpeculationWon FaultKind = "speculation_won"
 )
 
 // FaultEvent is one fault-tolerance decision, emitted alongside candidate

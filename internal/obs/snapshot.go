@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -45,12 +46,21 @@ func (h HistogramSnapshot) Mean() float64 {
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
-// interpolating linearly within the containing bucket. The overflow bucket
-// reports Max, and every estimate is clamped to the observed [Min, Max] so
-// a sparse bucket cannot put p95 above the true maximum.
+// interpolating linearly within the containing bucket. Each bucket's
+// interpolation range is intersected with the observed [Min, Max] — no
+// observation lies outside it, so a histogram whose mass sits in one bucket
+// interpolates across the occupied sliver instead of the whole bucket width
+// (the bucket-boundary bias the calibrated simulator's cost models care
+// about). The overflow bucket reports Max.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
 	}
 	rank := q * float64(h.Count)
 	cum := int64(0)
@@ -59,34 +69,59 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 			continue
 		}
 		if float64(cum+c) >= rank {
-			if i >= len(h.Bounds) {
-				return h.Max
-			}
-			lo := h.Min
-			if i > 0 {
-				lo = h.Bounds[i-1]
-			}
-			hi := h.Bounds[i]
+			lo, hi := h.bucketRange(i)
 			frac := (rank - float64(cum)) / float64(c)
 			if frac < 0 {
 				frac = 0
 			}
-			return h.clamp(lo + (hi-lo)*frac)
+			return lo + (hi-lo)*frac
 		}
 		cum += c
 	}
 	return h.Max
 }
 
-// clamp bounds a quantile estimate to the observed value range.
-func (h HistogramSnapshot) clamp(v float64) float64 {
-	if v > h.Max {
-		return h.Max
+// bucketRange returns the value range observations in bucket i can occupy:
+// the bucket's bound interval intersected with the observed [Min, Max]. The
+// overflow bucket (i == len(Bounds)) spans from the last bound to Max.
+func (h HistogramSnapshot) bucketRange(i int) (lo, hi float64) {
+	lo, hi = h.Min, h.Max
+	if i > 0 && h.Bounds[i-1] > lo {
+		lo = h.Bounds[i-1]
 	}
-	if v < h.Min {
-		return h.Min
+	if i < len(h.Bounds) && h.Bounds[i] < hi {
+		hi = h.Bounds[i]
 	}
-	return v
+	if lo > hi {
+		// A bucket cannot extend past the observed extremes (e.g. every
+		// observation equals Max in the overflow bucket).
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Sample draws one value from the histogram's empirical distribution: a
+// bucket chosen proportionally to its count, then a uniform draw across the
+// bucket's observed range (bucketRange). Deterministic for a seeded rng —
+// the calibrated simulator's cost models are built on it — and 0 for an
+// empty histogram.
+func (h HistogramSnapshot) Sample(rng *rand.Rand) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := rng.Int63n(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+c {
+			lo, hi := h.bucketRange(i)
+			return lo + (hi-lo)*rng.Float64()
+		}
+		cum += c
+	}
+	return h.Max
 }
 
 // Take snapshots every metric of the registry.

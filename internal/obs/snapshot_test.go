@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// histFrom builds a snapshot by observing vs into a fresh histogram with the
+// given bounds — the same path a real run takes.
+func histFrom(bounds []float64, vs ...float64) HistogramSnapshot {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.GetHistogram("h", bounds)
+	for _, v := range vs {
+		h.Observe(v)
+	}
+	return r.Take().Histograms["h"]
+}
+
+func TestQuantileEmptyAndExtremes(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	h := histFrom([]float64{1, 10}, 0.5, 5, 50)
+	if got := h.Quantile(0); got != 0.5 {
+		t.Errorf("Quantile(0) = %v, want Min 0.5", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want Max 50", got)
+	}
+	if got := h.Quantile(-1); got != 0.5 {
+		t.Errorf("Quantile(-1) = %v, want Min", got)
+	}
+	if got := h.Quantile(2); got != 50 {
+		t.Errorf("Quantile(2) = %v, want Max", got)
+	}
+}
+
+// A histogram whose mass sits in one bucket must interpolate across the
+// observed [Min, Max] sliver, not the full bucket width — the boundary bias
+// the calibration samplers care about.
+func TestQuantileSingleBucketUsesObservedRange(t *testing.T) {
+	h := histFrom([]float64{1, 100}, 40, 42, 44, 46)
+	for _, tc := range []struct{ q, lo, hi float64 }{
+		{0.25, 40, 42},
+		{0.50, 40, 44},
+		{0.75, 42, 46},
+		{0.95, 44, 46},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	// All observations identical: every quantile is that value exactly.
+	one := histFrom([]float64{1, 100}, 7, 7, 7)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("constant histogram Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestQuantileMonotoneAndBounded(t *testing.T) {
+	h := histFrom(DurationBuckets,
+		0.01, 0.02, 0.02, 0.3, 0.35, 0.4, 1.2, 2.5, 9, 30)
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, v, prev)
+		}
+		if v < h.Min || v > h.Max {
+			t.Fatalf("Quantile(%v) = %v outside [Min=%v, Max=%v]", q, v, h.Min, h.Max)
+		}
+		prev = v
+	}
+}
+
+// The overflow bucket has no upper bound; interpolation must cap at Max.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := histFrom([]float64{1, 2}, 10, 20, 30)
+	if got := h.Quantile(0.99); got > 30 {
+		t.Errorf("overflow Quantile(0.99) = %v, want <= Max 30", got)
+	}
+	if got := h.Quantile(0.5); got < 10 || got > 30 {
+		t.Errorf("overflow Quantile(0.5) = %v, want within [10, 30]", got)
+	}
+}
+
+func TestSampleEmptyIsZero(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Sample(rand.New(rand.NewSource(1))); got != 0 {
+		t.Errorf("empty Sample = %v, want 0", got)
+	}
+}
+
+func TestSampleSeededDeterminism(t *testing.T) {
+	h := histFrom(DurationBuckets, 0.1, 0.2, 0.2, 1.5, 1.5, 1.7, 12, 48)
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		va, vb := h.Sample(a), h.Sample(b)
+		if va != vb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, va, vb)
+		}
+		if va < h.Min || va > h.Max {
+			t.Fatalf("Sample = %v outside observed [%v, %v]", va, h.Min, h.Max)
+		}
+	}
+}
+
+// Samples must land in buckets proportionally to their counts: with 90% of
+// the mass below 1s, most draws stay there.
+func TestSampleFollowsBucketMass(t *testing.T) {
+	vs := make([]float64, 0, 100)
+	for i := 0; i < 90; i++ {
+		vs = append(vs, 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		vs = append(vs, 50)
+	}
+	h := histFrom([]float64{1, 10}, vs...)
+	rng := rand.New(rand.NewSource(7))
+	low := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if h.Sample(rng) <= 1 {
+			low++
+		}
+	}
+	frac := float64(low) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("low-bucket fraction = %v, want ~0.90", frac)
+	}
+}

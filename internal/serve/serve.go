@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"swtnas"
@@ -38,6 +39,48 @@ type Config struct {
 	DataDir string
 	// Pool sizes the shared evaluator pool every search runs on.
 	Pool swtnas.PoolOptions
+	// TenantDefaults maps tenant names to the proxy-admission mode applied
+	// to their submissions that leave ProxyFilter unset. Defaults are
+	// materialized into the request at admission and persisted with it, so a
+	// search resumes identically even if the server restarts with different
+	// defaults.
+	TenantDefaults map[string]TenantDefault
+}
+
+// TenantDefault is one tenant's default proxy-admission mode.
+type TenantDefault struct {
+	// ProxyFilter enables the zero-cost proxy pre-filter by default.
+	ProxyFilter bool
+	// ProxyAdmit is the default admitted fraction in (0, 1] when
+	// ProxyFilter is on; 0 keeps the search-level default (0.5).
+	ProxyAdmit float64
+}
+
+// ParseTenantDefaults parses the -tenant-proxy-defaults flag syntax: a
+// comma-separated list of tenant=mode pairs where mode is either "off" (the
+// proxy pre-filter stays disabled by default) or an admitted fraction in
+// (0, 1] that enables it, e.g. "teamA=0.5,teamB=off".
+func ParseTenantDefaults(s string) (map[string]TenantDefault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]TenantDefault{}
+	for _, pair := range strings.Split(s, ",") {
+		tenant, mode, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("serve: tenant default %q is not tenant=mode", pair)
+		}
+		if mode == "off" {
+			out[tenant] = TenantDefault{}
+			continue
+		}
+		admit, err := strconv.ParseFloat(mode, 64)
+		if err != nil || admit <= 0 || admit > 1 {
+			return nil, fmt.Errorf("serve: tenant %s mode %q must be \"off\" or a fraction in (0, 1]", tenant, mode)
+		}
+		out[tenant] = TenantDefault{ProxyFilter: true, ProxyAdmit: admit}
+	}
+	return out, nil
 }
 
 // searchState is the server's record of one search. Live searches carry the
@@ -78,9 +121,10 @@ type metaFile struct {
 // restart every search that never reached a terminal state resumes from its
 // journal. It implements http.Handler.
 type Server struct {
-	dir  string
-	pool *swtnas.EvaluatorPool
-	mux  *http.ServeMux
+	dir      string
+	pool     *swtnas.EvaluatorPool
+	mux      *http.ServeMux
+	defaults map[string]TenantDefault
 
 	mu       sync.Mutex
 	searches map[string]*searchState
@@ -102,6 +146,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		dir:      cfg.DataDir,
 		pool:     swtnas.NewPool(cfg.Pool),
+		defaults: cfg.TenantDefaults,
 		searches: map[string]*searchState{},
 	}
 	s.routes()
@@ -219,7 +264,7 @@ func (s *Server) options(st *searchState) swtnas.SearchOptions {
 		PopulationSize: st.req.Population,
 		SampleSize:     st.req.Sample,
 		RetainTopK:     st.req.RetainTopK,
-		ProxyFilter:    st.req.ProxyFilter,
+		ProxyFilter:    st.req.ProxyFilter != nil && *st.req.ProxyFilter,
 		ProxyAdmit:     st.req.ProxyAdmit,
 		MultiObjective: st.req.MultiObjective,
 		SpaceJSON:      string(st.req.Space),
@@ -380,6 +425,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "", "decoding request: "+err.Error())
 		return
 	}
+	s.applyTenantDefaults(&req)
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
@@ -418,6 +464,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	mSubmitted.Inc()
 	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Status: status})
+}
+
+// applyTenantDefaults materializes the tenant's default proxy-admission mode
+// into a submission that left ProxyFilter unset (an explicit true or false
+// always wins). The materialized request is what gets persisted, so resumes
+// replay the admission-time decision regardless of later flag changes.
+func (s *Server) applyTenantDefaults(req *SubmitRequest) {
+	if req.ProxyFilter != nil {
+		return
+	}
+	d, ok := s.defaults[req.Tenant]
+	if !ok {
+		return
+	}
+	on := d.ProxyFilter
+	req.ProxyFilter = &on
+	if on && req.ProxyAdmit == 0 {
+		req.ProxyAdmit = d.ProxyAdmit
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

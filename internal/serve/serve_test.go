@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -462,5 +464,101 @@ func TestCandidateEventWireSchema(t *testing.T) {
 		!strings.Contains(string(fb), `"proxy_score":-1.25`) ||
 		!strings.Contains(string(fb), `"filtered":true`) {
 		t.Fatalf("filtered event schema: %s", fb)
+	}
+}
+
+// TestTenantProxyDefaults: a tenant's configured default proxy-admission
+// mode is materialized into submissions that leave proxy_filter unset — and
+// persisted that way, so resumes replay the admission-time decision — while
+// explicit values always win.
+func TestTenantProxyDefaults(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{
+		DataDir: dir,
+		Pool:    swtnas.PoolOptions{Workers: 2},
+		TenantDefaults: map[string]TenantDefault{
+			"teamA": {ProxyFilter: true, ProxyAdmit: 0.5},
+			"teamB": {}, // "off": default stays disabled
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	defer s.Close()
+
+	materialized := func(id string) (filter *bool, admit float64) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st := s.searches[id]
+		if st == nil {
+			t.Fatalf("no search %s", id)
+		}
+		return st.req.ProxyFilter, st.req.ProxyAdmit
+	}
+
+	// teamA inherits filter on at 0.5.
+	a := submit(t, ts, testSubmit("teamA", 1, 6))
+	if f, admit := materialized(a.ID); f == nil || !*f || admit != 0.5 {
+		t.Fatalf("teamA materialized filter %v admit %v, want true 0.5", f, admit)
+	}
+
+	// An explicit opt-out beats the tenant default.
+	off := false
+	reqOff := testSubmit("teamA", 2, 4)
+	reqOff.ProxyFilter = &off
+	b := submit(t, ts, reqOff)
+	if f, admit := materialized(b.ID); f == nil || *f || admit != 0 {
+		t.Fatalf("opted-out materialized filter %v admit %v, want false 0", f, admit)
+	}
+
+	// teamB's "off" default and an unconfigured tenant both stay disabled —
+	// but "off" is materialized while the unconfigured one stays unset.
+	c := submit(t, ts, testSubmit("teamB", 3, 4))
+	if f, _ := materialized(c.ID); f == nil || *f {
+		t.Fatalf("teamB materialized filter %v, want explicit false", f)
+	}
+	d := submit(t, ts, testSubmit("teamC", 4, 4))
+	if f, _ := materialized(d.ID); f != nil {
+		t.Fatalf("teamC materialized filter %v, want unset", f)
+	}
+
+	// The defaulted search really runs in proxy-filter mode: it streams
+	// filtered proposals, and its persisted metadata carries the
+	// materialized mode for resume.
+	waitState(t, ts, a.ID, func(st SearchStatus) bool { return st.State == StateDone })
+	resp, err := http.Get(ts.URL + "/" + APIVersion + "/searches/" + a.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev CandidateEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EventKindFiltered {
+			filtered++
+		}
+		if ev.Kind == EventKindStatus {
+			break
+		}
+	}
+	resp.Body.Close()
+	if filtered == 0 {
+		t.Fatal("defaulted proxy-filter search streamed no filtered proposals")
+	}
+	meta, err := os.ReadFile(filepath.Join(dir, a.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(meta), `"proxy_filter": true`) {
+		t.Fatalf("metadata does not persist the materialized mode:\n%s", meta)
 	}
 }

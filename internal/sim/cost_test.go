@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"swtnas/internal/obs"
+	"swtnas/internal/trace"
+)
+
+// snapshotWith builds an obs snapshot containing the calibration histograms.
+func snapshotWith(t *testing.T, evalSecs []float64, ckptBytes []float64) *obs.Snapshot {
+	t.Helper()
+	r := obs.NewRegistry()
+	r.SetEnabled(true)
+	eh := r.GetHistogram("nas.eval.seconds", obs.DurationBuckets)
+	for _, v := range evalSecs {
+		eh.Observe(v)
+	}
+	sh := r.GetHistogram("checkpoint.store.save.size", obs.SizeBuckets)
+	wh := r.GetHistogram("checkpoint.store.save.seconds", obs.DurationBuckets)
+	for _, v := range ckptBytes {
+		sh.Observe(v)
+		wh.Observe(v / 100e6) // 100 MB/s effective write path
+	}
+	rh := r.GetHistogram("cluster.rpc.seconds", obs.DurationBuckets)
+	for i := 0; i < 50; i++ {
+		rh.Observe(0.004)
+	}
+	return r.Take()
+}
+
+func TestCalibrateFallsBackToDefaults(t *testing.T) {
+	cm := Calibrate(nil)
+	if cm.Eval == nil || cm.CheckpointBytes == nil {
+		t.Fatal("nil snapshot must produce a usable default model")
+	}
+	if len(cm.Defaulted) == 0 {
+		t.Fatal("default model must report defaulted fields")
+	}
+	empty := obs.NewRegistry().Take()
+	cm = Calibrate(empty)
+	if len(cm.Calibrated) != 0 {
+		t.Fatalf("empty snapshot calibrated %v", cm.Calibrated)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := cm.Eval.Sample(rng); got != 6.0 {
+		t.Fatalf("default eval sample = %v, want 6.0", got)
+	}
+}
+
+func TestCalibrateUsesSnapshotHistograms(t *testing.T) {
+	evals := []float64{2, 2.5, 3, 3.5, 4}
+	bytes := []float64{30e6, 35e6, 40e6, 45e6}
+	cm := Calibrate(snapshotWith(t, evals, bytes))
+	want := map[string]bool{"eval": true, "checkpoint-bytes": true, "dispatch": true, "fs": true}
+	for _, name := range cm.Calibrated {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("not calibrated: %v (got %v)", want, cm.Calibrated)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if v := cm.Eval.Sample(rng); v < 2 || v > 4 {
+			t.Fatalf("eval sample %v outside observed [2, 4]", v)
+		}
+		if b := cm.CheckpointBytes.Sample(rng); b < 30e6 || b > 45e6 {
+			t.Fatalf("bytes sample %v outside observed range", b)
+		}
+	}
+	if cm.Dispatch <= 0 || cm.Dispatch > 100*time.Millisecond {
+		t.Fatalf("dispatch = %v, want the ~4ms RPC median", cm.Dispatch)
+	}
+	// ~100 MB/s effective write bandwidth from the size/latency means.
+	if cm.FS.WriteBandwidth < 50e6 || cm.FS.WriteBandwidth > 200e6 {
+		t.Fatalf("write bandwidth = %v, want ~100e6", cm.FS.WriteBandwidth)
+	}
+	if cm.FS.Serialized {
+		t.Fatal("calibrated FS must be non-serialized (contention already measured)")
+	}
+}
+
+func TestCostModelTasksDeterministic(t *testing.T) {
+	cm := Calibrate(snapshotWith(t, []float64{1, 2, 3}, []float64{10e6, 20e6}))
+	a := cm.Tasks(32, 0.5, rand.New(rand.NewSource(9)))
+	b := cm.Tasks(32, 0.5, rand.New(rand.NewSource(9)))
+	if len(a) != 32 {
+		t.Fatalf("len = %d", len(a))
+	}
+	transfers := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].TrainTime <= 0 || a[i].CheckpointBytes <= 0 {
+			t.Fatalf("task %d has empty costs: %+v", i, a[i])
+		}
+		if a[i].LoadParent {
+			transfers++
+		}
+	}
+	if transfers == 0 || transfers == len(a) {
+		t.Fatalf("transfer fraction 0.5 produced %d/%d transfers", transfers, len(a))
+	}
+}
+
+func traceFor(n, workers int, evalTime time.Duration) *trace.Trace {
+	tr := &trace.Trace{App: "t", Scheme: "LCS", Seed: 1}
+	// Ideal FCFS completion offsets on the given worker count.
+	for i := 0; i < n; i++ {
+		wave := i/workers + 1
+		tr.Records = append(tr.Records, trace.Record{
+			ID:              i,
+			Score:           0.5,
+			TrainTime:       evalTime,
+			EvalTime:        evalTime,
+			CheckpointBytes: 1e6,
+			CompletedAt:     time.Duration(wave) * evalTime,
+		})
+	}
+	return tr
+}
+
+func TestReplayPredictsIdealTrace(t *testing.T) {
+	tr := traceFor(40, 4, 2*time.Second)
+	cm := DefaultCostModel()
+	cm.Dispatch = 0
+	rep, err := Replay(tr, 4, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measured != 20*time.Second {
+		t.Fatalf("measured = %v, want 20s", rep.Measured)
+	}
+	if rep.Predicted != rep.Measured {
+		t.Fatalf("ideal trace must replay exactly: predicted %v measured %v", rep.Predicted, rep.Measured)
+	}
+	if rep.Error != 0 {
+		t.Fatalf("error = %v, want 0", rep.Error)
+	}
+}
+
+func TestReplayInfersWorkers(t *testing.T) {
+	tr := traceFor(40, 8, time.Second)
+	cm := DefaultCostModel()
+	cm.Dispatch = 0
+	rep, err := Replay(tr, 0, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WorkersInferred || rep.Workers != 8 {
+		t.Fatalf("inferred workers = %d (inferred=%v), want 8", rep.Workers, rep.WorkersInferred)
+	}
+	if rep.Error > 0.01 {
+		t.Fatalf("inferred replay error = %v", rep.Error)
+	}
+}
+
+func TestReplaySkipsFailedAndFilteredRecords(t *testing.T) {
+	tr := traceFor(20, 4, time.Second)
+	tr.Records = append(tr.Records, trace.Record{ID: 20, Failed: true, FailReason: "retries exhausted"})
+	tr.Filtered = append(tr.Filtered,
+		trace.FilteredRecord{Seq: 1, ProxyScore: 0.1},
+		trace.FilteredRecord{Seq: 2, ProxyScore: 0.2},
+	)
+	cm := DefaultCostModel()
+	cm.Dispatch = 0
+	rep, err := Replay(tr, 4, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 20 || rep.SkippedFailed != 1 || rep.SkippedFiltered != 2 {
+		t.Fatalf("tasks/skipped = %d/%d/%d, want 20/1/2", rep.Tasks, rep.SkippedFailed, rep.SkippedFiltered)
+	}
+	if rep.Predicted != rep.Measured {
+		t.Fatalf("failed/filtered records perturbed the replay: %v vs %v", rep.Predicted, rep.Measured)
+	}
+	// A trace of only failures cannot be replayed.
+	bad := &trace.Trace{Records: []trace.Record{{Failed: true}}}
+	if _, err := Replay(bad, 1, cm); err == nil {
+		t.Fatal("all-failed trace must error")
+	}
+}
+
+func TestReplayFallsBackToTrainTime(t *testing.T) {
+	// Traces from before EvalTime was recorded replay on TrainTime.
+	tr := traceFor(10, 2, time.Second)
+	for i := range tr.Records {
+		tr.Records[i].EvalTime = 0
+	}
+	cm := DefaultCostModel()
+	cm.Dispatch = 0
+	rep, err := Replay(tr, 2, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted != rep.Measured {
+		t.Fatalf("TrainTime fallback replay: predicted %v measured %v", rep.Predicted, rep.Measured)
+	}
+}

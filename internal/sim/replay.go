@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"swtnas/internal/trace"
+)
+
+// ReplayReport is the outcome of feeding a recorded search trace back
+// through the simulator: the predicted makespan next to the measured one,
+// and the relative error between them — the calibration-quality check the
+// sim-smoke CI job pins at 25%.
+type ReplayReport struct {
+	// Workers is the evaluator count used (inferred from the trace's
+	// concurrency when not given).
+	Workers int
+	// WorkersInferred says Workers came from the trace, not the caller.
+	WorkersInferred bool
+	// Tasks is the number of replayed records; SkippedFailed counts
+	// records dropped because they failed (no valid timing), and
+	// SkippedFiltered counts proxy-rejected proposals (never evaluated, so
+	// never replayed).
+	Tasks           int
+	SkippedFailed   int
+	SkippedFiltered int
+	// Measured is the recorded makespan (latest completion offset);
+	// Predicted is the simulated one; Error is |Predicted-Measured| /
+	// Measured.
+	Measured  time.Duration
+	Predicted time.Duration
+	Error     float64
+	// Fleet is the full simulation result behind Predicted.
+	Fleet FleetResult
+	// Calibrated and Defaulted echo the cost model's provenance.
+	Calibrated []string
+	Defaulted  []string
+}
+
+// TasksFromTrace converts a recorded trace into simulator tasks, in
+// completion order. Each record's end-to-end evaluation latency (EvalTime,
+// falling back to TrainTime for traces from before it was recorded) becomes
+// the task duration; Failed records are skipped — they carry no valid
+// timing — and returned as the skipped count. When EvalTime is used it
+// already contains the record's transfer and checkpoint time, so the tasks
+// carry no extra I/O for the engine to re-add.
+func TasksFromTrace(tr *trace.Trace) (tasks []Task, skippedFailed int) {
+	for _, r := range tr.Records {
+		if r.Failed {
+			skippedFailed++
+			continue
+		}
+		d := r.EvalTime
+		if d <= 0 {
+			d = r.TrainTime
+		}
+		tasks = append(tasks, Task{
+			TrainTime:       d,
+			CheckpointBytes: r.CheckpointBytes,
+		})
+	}
+	return tasks, skippedFailed
+}
+
+// Replay simulates the trace's workload on workers evaluators using the
+// cost model's dispatch latency, and compares the predicted makespan with
+// the measured one. workers <= 0 infers the evaluator count from the
+// trace's own concurrency: total evaluation time over measured makespan,
+// rounded, clamped to [1, tasks].
+func Replay(tr *trace.Trace, workers int, cm CostModel) (*ReplayReport, error) {
+	tasks, skippedFailed := TasksFromTrace(tr)
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("sim: trace has no completed records to replay")
+	}
+	var measured, total time.Duration
+	for _, r := range tr.Records {
+		if !r.Failed && r.CompletedAt > measured {
+			measured = r.CompletedAt
+		}
+	}
+	for _, t := range tasks {
+		total += t.TrainTime
+	}
+	if measured <= 0 {
+		return nil, fmt.Errorf("sim: trace records have no completion offsets")
+	}
+	rep := &ReplayReport{
+		Workers:         workers,
+		Tasks:           len(tasks),
+		SkippedFailed:   skippedFailed,
+		SkippedFiltered: len(tr.Filtered),
+		Measured:        measured,
+		Calibrated:      cm.Calibrated,
+		Defaulted:       cm.Defaulted,
+	}
+	if workers <= 0 {
+		w := int(float64(total)/float64(measured) + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		if w > len(tasks) {
+			w = len(tasks)
+		}
+		rep.Workers = w
+		rep.WorkersInferred = true
+	}
+	res, err := SimulateFleet(FleetConfig{
+		Evaluators:       rep.Workers,
+		Tasks:            tasks,
+		SchedulerLatency: cm.Dispatch,
+		FS:               cm.FS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Fleet = res
+	rep.Predicted = res.Makespan
+	rep.Error = relErr(rep.Predicted, rep.Measured)
+	return rep, nil
+}
+
+func relErr(predicted, measured time.Duration) float64 {
+	if measured == 0 {
+		return 0
+	}
+	d := float64(predicted - measured)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(measured)
+}
