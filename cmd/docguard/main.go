@@ -10,6 +10,11 @@
 //     constants like bnBlockRows — must appear in the Go sources. Renaming
 //     a kernel or deleting a pinned test without updating the docs fails
 //     the build instead of leaving the kernel chapter pointing at nothing.
+//  3. Section references point the other way too: every "DESIGN.md §N"
+//     (or §N.M) citation in a Go doc comment must resolve to a matching
+//     numbered heading in DESIGN.md. Renumbering the design doc — or
+//     citing a chapter (such as §14, the dtype architecture) before it is
+//     written — fails the build instead of stranding the reader.
 //
 // Usage (from the repository root, as CI runs it):
 //
@@ -47,6 +52,7 @@ func main() {
 	for _, md := range []string{"DESIGN.md", "README.md"} {
 		violations = append(violations, checkDocDrift(filepath.Join(root, md), source)...)
 	}
+	violations = append(violations, checkSectionRefs(filepath.Join(root, "DESIGN.md"), source)...)
 
 	if len(violations) > 0 {
 		for _, v := range violations {
@@ -55,7 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docguard: %d violation(s)\n", len(violations))
 		os.Exit(1)
 	}
-	fmt.Printf("docguard: %d packages documented, doc identifiers resolve\n", len(pkgDirs))
+	fmt.Printf("docguard: %d packages documented, doc identifiers and section refs resolve\n", len(pkgDirs))
 }
 
 // collectGo walks the tree for .go files and the directories holding them
@@ -227,4 +233,43 @@ func wordIn(source, seg string) bool {
 
 func isWordByte(b byte) bool {
 	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+var (
+	// sectionRef matches DESIGN.md section citations in Go sources
+	// ("DESIGN.md §14", "DESIGN.md §9.3").
+	sectionRef = regexp.MustCompile(`DESIGN\.md §([0-9]+(?:\.[0-9]+)?)`)
+	// sectionHeading matches the numbered markdown headings those
+	// citations must resolve to ("## 14. Dtype architecture",
+	// "### 9.3 The bit-identical contract").
+	sectionHeading = regexp.MustCompile(`^#{2,4} ([0-9]+(?:\.[0-9]+)?)[. ]`)
+)
+
+// checkSectionRefs requires every "DESIGN.md §N" citation in the Go
+// sources to resolve to a numbered heading in DESIGN.md, so renumbering
+// the design doc cannot silently strand code comments.
+func checkSectionRefs(mdPath, source string) []string {
+	data, err := os.ReadFile(mdPath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", mdPath, err)}
+	}
+	headings := map[string]bool{}
+	for _, lineText := range strings.Split(string(data), "\n") {
+		if m := sectionHeading.FindStringSubmatch(lineText); m != nil {
+			headings[m[1]] = true
+		}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range sectionRef.FindAllStringSubmatch(source, -1) {
+		sec := m[1]
+		if seen[sec] {
+			continue
+		}
+		seen[sec] = true
+		if !headings[sec] {
+			out = append(out, fmt.Sprintf("go sources cite DESIGN.md §%s, but %s has no heading numbered %s", sec, mdPath, sec))
+		}
+	}
+	return out
 }

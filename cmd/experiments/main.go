@@ -8,11 +8,14 @@
 //	experiments -apps nt3,uno -seeds 3 -budget 120 fig7
 //
 // Experiments: table1 fig2 fig3 fig4 fig5 fig7 fig8 table3 table4 fig9
-// fig10 fig11 proxy dist sim all. Searches are shared between experiments
-// within one invocation (fig7/fig8/fig9/fig10/fig11/proxy/table3/table4 reuse
-// the same campaign runs, as the paper does). proxy is the zero-cost-score
-// rank-correlation study behind -proxy-filter: Kendall's tau of each
-// pre-training score against fully trained metrics, per app. dist reruns the
+// fig10 fig11 proxy dist sim dtype all. Searches are shared between
+// experiments within one invocation (fig7/fig8/fig9/fig10/fig11/proxy/
+// table3/table4/dtype reuse the same campaign runs, as the paper does).
+// proxy is the zero-cost-score rank-correlation study behind
+// -proxy-filter: Kendall's tau of each pre-training score against fully
+// trained metrics, per app. dtype is the float32 rank-fidelity study
+// behind -dtype f32: the same search per dtype, Kendall's tau between the
+// paired f32/f64 candidate scores plus the final-best delta. dist reruns the
 // searches over real TCP workers via cluster.RunDistributed and reports
 // per-scheme summaries with kernel-level obs metric deltas; -workers sets
 // its evaluator count. sim is the calibrated fleet scale study: a cost model
@@ -30,7 +33,7 @@ import (
 	"swtnas/internal/experiments"
 )
 
-var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "proxy", "dist", "sim"}
+var order = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "fig11", "proxy", "dtype", "dist", "sim"}
 
 func main() {
 	log.SetFlags(0)
@@ -118,6 +121,8 @@ func main() {
 			_, err = suite.Fig11(w)
 		case "proxy":
 			_, err = suite.Proxy(w)
+		case "dtype":
+			_, err = suite.Dtype(w)
 		case "dist":
 			_, err = suite.Dist(w)
 		case "sim":

@@ -40,6 +40,7 @@ func main() {
 		maxActive = flag.Int("max-active", 0, "admission quota: concurrent searches across all tenants (0 = unlimited)")
 		maxTenant = flag.Int("max-tenant", 0, "admission quota: concurrent searches per tenant (0 = unlimited)")
 		tenantPxy = flag.String("tenant-proxy-defaults", "", `per-tenant default proxy-admission modes, e.g. "teamA=0.5,teamB=off"`)
+		dtype     = flag.String("dtype", "", "default training element type for submissions that omit dtype: f64 (default) or f32")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -58,6 +59,7 @@ func main() {
 			MaxSearchesPerTenant: *maxTenant,
 		},
 		TenantDefaults: tenantDefaults,
+		DefaultDType:   *dtype,
 	})
 	if err != nil {
 		log.Fatal(err)

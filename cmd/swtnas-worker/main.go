@@ -29,6 +29,7 @@ func main() {
 		kworkers = flag.Int("kernel-workers", 0, "compute-kernel pool size: cores this worker may use (0 = $"+parallel.EnvWorkers+" or all cores)")
 		mAddr    = flag.String("metrics-addr", "", "serve live metrics JSON on this address at "+obs.MetricsPath+" (Prometheus text at "+obs.PromPath+")")
 		beat     = flag.Duration("heartbeat", 2*time.Second, "liveness-ping period; the coordinator requeues this worker's tasks if pings stop")
+		dtype    = flag.String("dtype", "", "training element type for tasks that ship none: f64 (default) or f32")
 	)
 	flag.Parse()
 	if *kworkers > 0 {
@@ -48,7 +49,7 @@ func main() {
 		host, _ := os.Hostname()
 		workerID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	w := &cluster.Worker{ID: workerID, HeartbeatEvery: *beat}
+	w := &cluster.Worker{ID: workerID, HeartbeatEvery: *beat, DType: *dtype}
 	log.Printf("worker %s connecting to %s", workerID, *addr)
 	if err := w.Run(*addr); err != nil {
 		log.Fatal(err)

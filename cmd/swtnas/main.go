@@ -55,6 +55,7 @@ func main() {
 		proxyF   = flag.Bool("proxy-filter", false, "pre-screen proposals with zero-cost proxies + an online surrogate; only the best -proxy-admit fraction trains")
 		proxyA   = flag.Float64("proxy-admit", 0, "fraction of each proposal batch admitted to training, in (0,1] (0 = default 0.5; needs -proxy-filter)")
 		multiObj = flag.Bool("multi-objective", false, "Pareto (score x params) parent selection instead of best-score evolution")
+		dtype    = flag.String("dtype", "", "training element type: f64 (default) or f32 (native float32 training, f32 checkpoints)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		ProxyFilter:    *proxyF,
 		ProxyAdmit:     *proxyA,
 		MultiObjective: *multiObj,
+		DType:          *dtype,
 	}
 	if *retain > 0 && *retain < *topK {
 		log.Fatalf("-retain-topk %d would collect checkpoints the -topk %d report needs", *retain, *topK)

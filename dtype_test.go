@@ -1,0 +1,61 @@
+package swtnas
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSearchF32EndToEnd runs the same tiny search in both dtypes and pins
+// the DESIGN.md §14 contracts at the library surface: the proposal stream is
+// dtype-independent (candidates are built and mutated in f64 either way, so
+// the architectures match position for position), f32 scores land close to
+// their f64 twins, and phase 2 (FullyTrain) restores an f32-tagged
+// checkpoint through the f64 path.
+func TestSearchF32EndToEnd(t *testing.T) {
+	run := func(dtype string) *Result {
+		res, err := Search(SearchOptions{
+			App: "nt3", Scheme: "LCS", Budget: 8, Seed: 5, DType: dtype,
+			TrainN: 24, ValN: 12, PopulationSize: 4, SampleSize: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r64, r32 := run("f64"), run("f32")
+	if len(r32.Candidates) != 8 {
+		t.Fatalf("f32 search completed %d candidates, want 8", len(r32.Candidates))
+	}
+	for i, c := range r32.Candidates {
+		d := r64.Candidates[i]
+		if c.ID != d.ID {
+			t.Fatalf("candidate order diverged at %d: f32 id %d, f64 id %d", i, c.ID, d.ID)
+		}
+		for j, a := range c.Arch {
+			if d.Arch[j] != a {
+				t.Fatalf("candidate %d arch diverged: f32 %v, f64 %v", c.ID, c.Arch, d.Arch)
+			}
+		}
+		if diff := c.Score - d.Score; diff > 0.15 || diff < -0.15 {
+			t.Errorf("candidate %d: f32 score %.4f vs f64 %.4f", c.ID, c.Score, d.Score)
+		}
+	}
+	if _, err := r32.FullyTrain(r32.Best(1)[0]); err != nil {
+		t.Fatalf("FullyTrain from an f32 checkpoint: %v", err)
+	}
+}
+
+func TestSearchDTypeValidation(t *testing.T) {
+	for _, bad := range []string{"f16", "double", "F32"} {
+		err := SearchOptions{App: "nt3", Budget: 1, DType: bad}.Validate()
+		var ie *InvalidOptionError
+		if !errors.As(err, &ie) || ie.Field != "DType" {
+			t.Fatalf("DType %q: err = %v, want InvalidOptionError{Field: DType}", bad, err)
+		}
+	}
+	for _, ok := range []string{"", "f32", "f64", "float32", "float64"} {
+		if err := (SearchOptions{App: "nt3", Budget: 1, DType: ok}).Validate(); err != nil {
+			t.Fatalf("DType %q rejected: %v", ok, err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"swtnas/internal/obs"
 	"swtnas/internal/proxy"
 	"swtnas/internal/resilience"
+	"swtnas/internal/tensor"
 )
 
 // ErrQuotaExceeded is returned by Search.Start when the shared evaluator
@@ -358,6 +359,7 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 	}
 	opt := s.opt
 	matcher, _ := core.MatcherByName(opt.Scheme) // Validate checked it
+	dtype, _ := tensor.ParseDType(opt.DType)     // Validate checked it
 	dataSeed := opt.DataSeed
 	if dataSeed == 0 {
 		dataSeed = opt.Seed
@@ -416,6 +418,7 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 		App:           app,
 		Strategy:      strategy,
 		Matcher:       matcher,
+		DType:         dtype,
 		Store:         store,
 		Workers:       opt.Workers,
 		KernelWorkers: opt.KernelWorkers,
@@ -475,6 +478,11 @@ func (s *SearchHandle) run(ctx context.Context, client *nas.PoolClient) {
 			ProxyFilter:    opt.ProxyFilter,
 			ProxyAdmit:     opt.ProxyAdmit,
 			MultiObjective: opt.MultiObjective,
+		}
+		if dtype != tensor.F64 {
+			// Canonical spelling; F64 stays "" so pre-dtype journals keep
+			// validating against default runs.
+			header.DType = dtype.String()
 		}
 		if opt.Resume {
 			j, rec, err := resilience.Open(opt.JournalPath)

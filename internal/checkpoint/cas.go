@@ -35,9 +35,19 @@ func HashBlob(b []byte) Hash {
 // String renders the hash as lowercase hex (the blob's file stem on disk).
 func (h Hash) String() string { return hex.EncodeToString(h[:]) }
 
-// encodeTensorBlob serializes tensor data as raw little-endian float64
-// bytes — the canonical content the Hash addresses.
-func encodeTensorBlob(data []float64) []byte {
+// encodeTensorBlob serializes tensor data at the dtype's native width as
+// raw little-endian bytes — the canonical content the Hash addresses. An
+// F32 blob stores exactly the float32 bits of each value (lossless for
+// f32-trained tensors), so bit-identical f32 tensors dedup just like f64
+// ones; the two widths hash into disjoint blob spaces by construction.
+func encodeTensorBlob(data []float64, dt tensor.DType) []byte {
+	if dt == tensor.F32 {
+		b := make([]byte, 4*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(float32(v)))
+		}
+		return b
+	}
 	b := make([]byte, 8*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
@@ -46,11 +56,18 @@ func encodeTensorBlob(data []float64) []byte {
 }
 
 // decodeTensorBlob is the inverse of encodeTensorBlob.
-func decodeTensorBlob(b []byte) ([]float64, error) {
-	if len(b)%8 != 0 {
-		return nil, fmt.Errorf("checkpoint: blob length %d is not a multiple of 8", len(b))
+func decodeTensorBlob(b []byte, dt tensor.DType) ([]float64, error) {
+	w := dt.Size()
+	if len(b)%w != 0 {
+		return nil, fmt.Errorf("checkpoint: blob length %d is not a multiple of %d", len(b), w)
 	}
-	data := make([]float64, len(b)/8)
+	data := make([]float64, len(b)/w)
+	if dt == tensor.F32 {
+		for i := range data {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+		}
+		return data, nil
+	}
 	for i := range data {
 		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
@@ -64,8 +81,11 @@ type ManifestTensor struct {
 	Hash  Hash
 }
 
-// rawBytes is the tensor's uncompressed blob size.
-func (t ManifestTensor) rawBytes() int64 { return int64(8 * tensor.Numel(t.Shape)) }
+// rawBytes is the tensor's uncompressed blob size under the manifest's
+// dtype.
+func (t ManifestTensor) rawBytes(dt tensor.DType) int64 {
+	return int64(dt.Size() * tensor.Numel(t.Shape))
+}
 
 // ManifestGroup mirrors Group with hashes in place of tensor data.
 type ManifestGroup struct {
@@ -76,10 +96,13 @@ type ManifestGroup struct {
 
 // Manifest is the content-addressed form of a candidate checkpoint: the
 // model's identity plus a layer→hash table. Resolving every hash against a
-// blob store reconstructs the Model bit for bit.
+// blob store reconstructs the Model bit for bit. DType fixes the width of
+// every referenced blob (tensor.F32 manifests reference 4-byte-per-element
+// blobs); the zero value is tensor.F64, matching pre-dtype manifests.
 type Manifest struct {
 	Arch   []int
 	Score  float64
+	DType  tensor.DType
 	Groups []ManifestGroup
 }
 
@@ -101,7 +124,7 @@ func (mf *Manifest) RawBytes() int64 {
 	var n int64
 	for _, g := range mf.Groups {
 		for _, t := range g.Tensors {
-			n += t.rawBytes()
+			n += t.rawBytes(mf.DType)
 		}
 	}
 	return n
@@ -110,12 +133,12 @@ func (mf *Manifest) RawBytes() int64 {
 // ManifestOf splits a model into its manifest and the referenced blobs
 // (keyed by hash; bit-identical tensors collapse into one entry).
 func ManifestOf(m *Model) (*Manifest, map[Hash][]byte) {
-	mf := &Manifest{Arch: append([]int(nil), m.Arch...), Score: m.Score}
+	mf := &Manifest{Arch: append([]int(nil), m.Arch...), Score: m.Score, DType: m.DType}
 	blobs := map[Hash][]byte{}
 	for _, g := range m.Groups {
 		mg := ManifestGroup{Layer: g.Layer, Signature: append([]int(nil), g.Signature...)}
 		for _, t := range g.Tensors {
-			blob := encodeTensorBlob(t.Data)
+			blob := encodeTensorBlob(t.Data, m.DType)
 			h := HashBlob(blob)
 			if _, ok := blobs[h]; !ok {
 				blobs[h] = blob
@@ -136,7 +159,7 @@ func ManifestOf(m *Model) (*Manifest, map[Hash][]byte) {
 // validated against blob lengths so a wrong or truncated blob cannot build a
 // silently corrupt model.
 func (mf *Manifest) Resolve(fetch func(Hash) ([]byte, error)) (*Model, error) {
-	m := &Model{Arch: append([]int(nil), mf.Arch...), Score: mf.Score}
+	m := &Model{Arch: append([]int(nil), mf.Arch...), Score: mf.Score, DType: mf.DType}
 	for _, g := range mf.Groups {
 		mg := Group{Layer: g.Layer, Signature: append([]int(nil), g.Signature...)}
 		for _, t := range g.Tensors {
@@ -144,7 +167,7 @@ func (mf *Manifest) Resolve(fetch func(Hash) ([]byte, error)) (*Model, error) {
 			if err != nil {
 				return nil, fmt.Errorf("checkpoint: resolving tensor %q (%s): %w", t.Name, t.Hash, err)
 			}
-			data, err := decodeTensorBlob(blob)
+			data, err := decodeTensorBlob(blob, mf.DType)
 			if err != nil {
 				return nil, fmt.Errorf("checkpoint: tensor %q: %w", t.Name, err)
 			}
@@ -164,21 +187,37 @@ func (mf *Manifest) Resolve(fetch func(Hash) ([]byte, error)) (*Model, error) {
 }
 
 const (
-	manifestMagic   = "SWTM"
-	manifestVersion = uint32(1)
+	manifestMagic    = "SWTM"
+	manifestVersion  = uint32(1)
+	manifestVersion2 = uint32(2)
 )
 
 // EncodeManifest serializes the manifest ("SWTM" binary format). Manifests
 // are a few hundred bytes — the journal's delta records carry them in place
-// of full checkpoints.
+// of full checkpoints. Float64 manifests write the version-1 layout
+// byte-for-byte as before; a non-default DType writes version 2, which adds
+// the dtype after the version field so journal replay resolves blobs at the
+// right width.
 func EncodeManifest(mf *Manifest) ([]byte, error) {
+	if !mf.DType.Valid() {
+		return nil, fmt.Errorf("checkpoint: invalid manifest dtype %d", uint8(mf.DType))
+	}
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
 	if _, err := w.WriteString(manifestMagic); err != nil {
 		return nil, err
 	}
-	if err := writeU32(w, manifestVersion); err != nil {
+	ver := manifestVersion
+	if mf.DType != tensor.F64 {
+		ver = manifestVersion2
+	}
+	if err := writeU32(w, ver); err != nil {
 		return nil, err
+	}
+	if ver == manifestVersion2 {
+		if err := writeU32(w, uint32(mf.DType)); err != nil {
+			return nil, err
+		}
 	}
 	if err := writeIntSlice(w, mf.Arch); err != nil {
 		return nil, err
@@ -231,10 +270,21 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != manifestVersion {
+	if ver != manifestVersion && ver != manifestVersion2 {
 		return nil, fmt.Errorf("checkpoint: unsupported manifest version %d", ver)
 	}
 	mf := &Manifest{}
+	if ver == manifestVersion2 {
+		dtU, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		dt := tensor.DType(uint8(dtU))
+		if dtU > 0xff || !dt.Valid() {
+			return nil, fmt.Errorf("checkpoint: invalid manifest dtype %d", dtU)
+		}
+		mf.DType = dt
+	}
 	if mf.Arch, err = readIntSlice(r); err != nil {
 		return nil, err
 	}

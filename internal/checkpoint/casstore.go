@@ -160,7 +160,7 @@ func (s *CASStore) retain(mf *Manifest) {
 		for _, t := range g.Tensors {
 			ref := s.refs[t.Hash]
 			if ref == nil {
-				ref = &blobRef{raw: t.rawBytes()}
+				ref = &blobRef{raw: t.rawBytes(mf.DType)}
 				s.refs[t.Hash] = ref
 			}
 			ref.count++
@@ -198,44 +198,45 @@ func (s *CASStore) release(mf *Manifest) error {
 	return firstErr
 }
 
-// shuffleF64Bytes transposes a blob of little-endian float64s into
-// byte-plane order: byte k of every value becomes contiguous. Raw float64
+// shuffleBytes transposes a blob of width-byte little-endian values into
+// byte-plane order: byte k of every value becomes contiguous. Raw float
 // tensor bytes barely compress (the mantissa bytes are effectively random),
 // but network weights share sign and a narrow exponent range, so once the
 // high-order byte planes are grouped they collapse into long runs — the
 // standard shuffle filter of scientific checkpoint compressors (Blosc,
-// HDF5). A trailing remainder (the blob is always 8-aligned in practice)
-// passes through unshuffled.
-func shuffleF64Bytes(b []byte) []byte {
-	n := len(b) / 8
+// HDF5). The width is the manifest dtype's element size (8 for F64, 4 for
+// F32 blobs). A trailing remainder (blobs are always width-aligned in
+// practice) passes through unshuffled.
+func shuffleBytes(b []byte, width int) []byte {
+	n := len(b) / width
 	out := make([]byte, len(b))
-	for k := 0; k < 8; k++ {
+	for k := 0; k < width; k++ {
 		plane := out[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			plane[i] = b[8*i+k]
+			plane[i] = b[width*i+k]
 		}
 	}
-	copy(out[8*n:], b[8*n:])
+	copy(out[width*n:], b[width*n:])
 	return out
 }
 
-// unshuffleF64Bytes is the inverse of shuffleF64Bytes.
-func unshuffleF64Bytes(b []byte) []byte {
-	n := len(b) / 8
+// unshuffleBytes is the inverse of shuffleBytes.
+func unshuffleBytes(b []byte, width int) []byte {
+	n := len(b) / width
 	out := make([]byte, len(b))
-	for k := 0; k < 8; k++ {
+	for k := 0; k < width; k++ {
 		plane := b[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			out[8*i+k] = plane[i]
+			out[width*i+k] = plane[i]
 		}
 	}
-	copy(out[8*n:], b[8*n:])
+	copy(out[width*n:], b[width*n:])
 	return out
 }
 
 // encodeBlob applies the store's at-rest encoding for disk stores:
-// byte-plane shuffle + gzip.
-func (s *CASStore) encodeBlob(raw []byte) ([]byte, error) {
+// byte-plane shuffle (at the dtype's element width) + gzip.
+func (s *CASStore) encodeBlob(raw []byte, width int) ([]byte, error) {
 	if !s.compress {
 		return raw, nil
 	}
@@ -244,7 +245,7 @@ func (s *CASStore) encodeBlob(raw []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := zw.Write(shuffleF64Bytes(raw)); err != nil {
+	if _, err := zw.Write(shuffleBytes(raw, width)); err != nil {
 		return nil, err
 	}
 	if err := zw.Close(); err != nil {
@@ -254,7 +255,7 @@ func (s *CASStore) encodeBlob(raw []byte) ([]byte, error) {
 }
 
 // decodeBlob undoes encodeBlob.
-func (s *CASStore) decodeBlob(stored []byte) ([]byte, error) {
+func (s *CASStore) decodeBlob(stored []byte, width int) ([]byte, error) {
 	if !s.compress {
 		return stored, nil
 	}
@@ -269,7 +270,7 @@ func (s *CASStore) decodeBlob(stored []byte) ([]byte, error) {
 	if err := zr.Close(); err != nil {
 		return nil, err
 	}
-	return unshuffleF64Bytes(raw), nil
+	return unshuffleBytes(raw, width), nil
 }
 
 // Save implements Store: the model is split into manifest + blobs, new blobs
@@ -298,7 +299,7 @@ func (s *CASStore) Save(id string, m *Model) (int64, error) {
 			deduped++
 			continue
 		}
-		encBlob, err := s.encodeBlob(blob)
+		encBlob, err := s.encodeBlob(blob, mf.DType.Size())
 		if err != nil {
 			return 0, err
 		}
@@ -362,7 +363,7 @@ func (s *CASStore) Load(id string) (*Model, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.decodeBlob(stored)
+		return s.decodeBlob(stored, mf.DType.Size())
 	})
 	s.mu.Unlock()
 	if err != nil {
@@ -458,7 +459,7 @@ func (s *CASStore) AdoptManifest(id string, manifest []byte) error {
 			if err != nil {
 				return fmt.Errorf("%w: id %q tensor %q (%s)", ErrMissingBlob, id, t.Name, t.Hash)
 			}
-			raw, err := s.decodeBlob(stored)
+			raw, err := s.decodeBlob(stored, mf.DType.Size())
 			if err != nil {
 				return fmt.Errorf("checkpoint: adopting %q, blob %s: %w", id, t.Hash, err)
 			}

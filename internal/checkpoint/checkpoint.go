@@ -45,21 +45,41 @@ type Model struct {
 	Arch []int
 	// Score is the estimated objective metric at checkpoint time.
 	Score float64
+	// DType records the element type the candidate was trained in. The
+	// in-memory representation stays float64 either way (float32 → float64 is
+	// exact, so an f32-trained model round-trips losslessly through the f64
+	// transfer path), but the tag routes encoding: tensor.F32 models are
+	// stored natively at 4 bytes per element (SWTC v3, SWTM v2) instead of
+	// being cast. The zero value is tensor.F64, so pre-dtype checkpoints keep
+	// their meaning. See DESIGN.md §14.
+	DType tensor.DType
 	// Groups hold the weights in shape-sequence order.
 	Groups []Group
 }
 
-// FromNetwork snapshots a trained network into an isolated checkpoint
-// (tensor data is copied).
+// FromNetwork snapshots a trained float64 network into an isolated
+// checkpoint (tensor data is copied).
 func FromNetwork(arch []int, score float64, net *nn.Network) *Model {
-	m := &Model{Arch: append([]int(nil), arch...), Score: score}
+	return FromNetworkOf(arch, score, net)
+}
+
+// FromNetworkOf snapshots a trained network of any element type into an
+// isolated checkpoint. Data is widened to float64 (exact for float32
+// inputs) and the model is tagged with the network's dtype so stores encode
+// it at the native width.
+func FromNetworkOf[T tensor.Float](arch []int, score float64, net *nn.NetworkOf[T]) *Model {
+	m := &Model{Arch: append([]int(nil), arch...), Score: score, DType: tensor.DTypeFor[T]()}
 	for _, g := range net.ParamGroups() {
 		cg := Group{Layer: g.Layer, Signature: append([]int(nil), g.Signature...)}
 		for _, p := range g.Params {
+			data := make([]float64, len(p.W.Data))
+			for i, v := range p.W.Data {
+				data[i] = float64(v)
+			}
 			cg.Tensors = append(cg.Tensors, Tensor{
 				Name:  p.Name,
 				Shape: append([]int(nil), p.W.Shape...),
-				Data:  append([]float64(nil), p.W.Data...),
+				Data:  data,
 			})
 		}
 		m.Groups = append(m.Groups, cg)
@@ -90,10 +110,19 @@ func (m *Model) ShapeSeq() core.ShapeSeq {
 }
 
 // RestoreInto copies every checkpointed tensor back into a freshly built
-// network of the *same* architecture, resuming from the checkpoint exactly.
-// It fails if any group or tensor disagrees — use core.Transfer for
+// float64 network of the *same* architecture, resuming from the checkpoint
+// exactly. It fails if any group or tensor disagrees — use core.Transfer for
 // cross-architecture initialization.
 func (m *Model) RestoreInto(net *nn.Network) error {
+	return RestoreIntoOf(m, net)
+}
+
+// RestoreIntoOf restores a checkpoint into a network of any element type.
+// Values are converted with a plain cast: exact when the destination is
+// float64, and exact when the destination is float32 and the checkpoint was
+// trained in float32 (m.DType == tensor.F32), since those values are
+// f32-representable by construction.
+func RestoreIntoOf[T tensor.Float](m *Model, net *nn.NetworkOf[T]) error {
 	groups := net.ParamGroups()
 	if len(groups) != len(m.Groups) {
 		return fmt.Errorf("checkpoint: network has %d groups, checkpoint %d", len(groups), len(m.Groups))
@@ -108,7 +137,9 @@ func (m *Model) RestoreInto(net *nn.Network) error {
 				return fmt.Errorf("checkpoint: tensor %q shape %s != checkpoint %s",
 					p.Name, tensor.ShapeString(p.W.Shape), tensor.ShapeString(cg.Tensors[j].Shape))
 			}
-			copy(p.W.Data, cg.Tensors[j].Data)
+			for i, v := range cg.Tensors[j].Data {
+				p.W.Data[i] = T(v)
+			}
 		}
 	}
 	return nil
@@ -177,8 +208,10 @@ func (m *Model) encodeRaw(w io.Writer) error {
 // checkpoint from allocating unbounded memory.
 const maxElems = 1 << 28
 
-// Decode reads a model in SWTC binary format, accepting both the version-1
-// float64 stream and the version-2 encoded streams (see Encoding).
+// Decode reads a model in SWTC binary format, accepting the version-1
+// float64 stream, the version-2 encoded streams (see Encoding) and the
+// version-3 dtype-tagged streams. Versions 1 and 2 carry no dtype and decode
+// with DType == tensor.F64, preserving their pre-dtype meaning.
 func Decode(r io.Reader) (*Model, error) {
 	if !obs.Enabled() {
 		return decode(r)
@@ -212,6 +245,8 @@ func decode(r io.Reader) (*Model, error) {
 		return readBody(br, false)
 	case version2:
 		return decodeV2(br)
+	case version3:
+		return decodeV3(br)
 	}
 	return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
 }

@@ -50,14 +50,22 @@ func (e Encoding) float32Data() bool { return e == EncodingF32 || e == EncodingF
 func (e Encoding) compressed() bool  { return e == EncodingGzip || e == EncodingF32Gzip }
 func (e Encoding) valid() bool       { return e >= EncodingRaw && e <= EncodingF32Gzip }
 
-const version2 = uint32(2)
+const (
+	version2 = uint32(2)
+	version3 = uint32(3)
+)
 
-// EncodeWith writes the model using the selected encoding. EncodingRaw
-// produces the version-1 stream (readable by any Decode); the others write
-// a version-2 stream with an encoding header.
+// EncodeWith writes the model using the selected encoding. For float64
+// models, EncodingRaw produces the version-1 stream (readable by any Decode)
+// and the other encodings write a version-2 stream with an encoding header.
+// A model tagged with a non-default DType always writes a version-3 stream,
+// which carries the dtype so it survives the round trip.
 func (m *Model) EncodeWith(w io.Writer, enc Encoding) error {
 	if !enc.valid() {
 		return fmt.Errorf("checkpoint: invalid encoding %d", enc)
+	}
+	if !m.DType.Valid() {
+		return fmt.Errorf("checkpoint: invalid model dtype %d", uint8(m.DType))
 	}
 	if !obs.Enabled() {
 		return m.encodeWith(w, enc)
@@ -73,8 +81,11 @@ func (m *Model) EncodeWith(w io.Writer, enc Encoding) error {
 	return err
 }
 
-// encodeWith dispatches to the version-1 or version-2 writer.
+// encodeWith dispatches to the version-1, version-2 or version-3 writer.
 func (m *Model) encodeWith(w io.Writer, enc Encoding) error {
+	if m.DType != tensor.F64 {
+		return m.encodeV3(w, enc)
+	}
 	if enc == EncodingRaw {
 		return m.encodeRaw(w)
 	}
@@ -95,6 +106,42 @@ func (m *Model) encodeWith(w io.Writer, enc Encoding) error {
 		payload = gz
 	}
 	if err := m.writeBody(payload, enc.float32Data()); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// encodeV3 writes the version-3 stream: magic, version, dtype, encoding,
+// then the body at the dtype's native width. A tensor.F32 model stores
+// 4 bytes per element without loss — an f32-trained network's weights are
+// f32-representable by construction — so the former "EncodingF32 cast" is
+// promoted to a first-class stored dtype with an exact round trip.
+func (m *Model) encodeV3(w io.Writer, enc Encoding) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, version3); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(m.DType)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(enc)); err != nil {
+		return err
+	}
+	var payload io.Writer = bw
+	var gz *gzip.Writer
+	if enc.compressed() {
+		gz = gzip.NewWriter(bw)
+		payload = gz
+	}
+	if err := m.writeBody(payload, m.DType == tensor.F32 || enc.float32Data()); err != nil {
 		return err
 	}
 	if gz != nil {
@@ -182,6 +229,51 @@ func decodeV2(br io.Reader) (*Model, error) {
 	if gz != nil {
 		// Drain to EOF so the gzip checksum is verified; a truncated or
 		// corrupted stream must not decode silently.
+		var tail [1]byte
+		if _, err := gz.Read(tail[:]); err != io.EOF {
+			return nil, fmt.Errorf("checkpoint: gzip payload not cleanly terminated: %v", err)
+		}
+	}
+	return m, nil
+}
+
+// decodeV3 parses the version-3 body: dtype, encoding, then the payload at
+// the width the header implies. EncodingRaw is legal here (unlike v2) —
+// it is the canonical uncompressed form of an F32 model.
+func decodeV3(br io.Reader) (*Model, error) {
+	dtU, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	dt := tensor.DType(uint8(dtU))
+	if dtU > 0xff || !dt.Valid() {
+		return nil, fmt.Errorf("checkpoint: invalid v3 dtype %d", dtU)
+	}
+	encU, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	enc := Encoding(encU)
+	if !enc.valid() {
+		return nil, fmt.Errorf("checkpoint: invalid v3 encoding %d", encU)
+	}
+	var payload io.Reader = br
+	var gz *gzip.Reader
+	if enc.compressed() {
+		var err error
+		gz, err = gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: opening gzip payload: %w", err)
+		}
+		defer gz.Close()
+		payload = gz
+	}
+	m, err := readBody(payload, dt == tensor.F32 || enc.float32Data())
+	if err != nil {
+		return nil, err
+	}
+	m.DType = dt
+	if gz != nil {
 		var tail [1]byte
 		if _, err := gz.Read(tail[:]); err != io.EOF {
 			return nil, fmt.Errorf("checkpoint: gzip payload not cleanly terminated: %v", err)

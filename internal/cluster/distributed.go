@@ -8,6 +8,7 @@ import (
 	"swtnas/internal/apps"
 	"swtnas/internal/data"
 	"swtnas/internal/evo"
+	"swtnas/internal/tensor"
 	"swtnas/internal/trace"
 )
 
@@ -21,6 +22,9 @@ type DistConfig struct {
 	TrainN, ValN int
 	// Matcher is "", "LP" or "LCS".
 	Matcher string
+	// DType is the worker-side training element type ("", "f64" or "f32");
+	// shipped with every task as RPCTask.DType.
+	DType string
 	// Budget is the number of candidates to evaluate.
 	Budget int
 	// Outstanding caps in-flight tasks; set it to at least the number of
@@ -65,6 +69,9 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 	if cfg.Budget <= 0 {
 		return nil, fmt.Errorf("cluster: budget %d must be positive", cfg.Budget)
 	}
+	if _, err := tensor.ParseDType(cfg.DType); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	app, err := apps.New(cfg.App, cfg.DataSeed, apps.Config{Data: data.Config{TrainN: cfg.TrainN, ValN: cfg.ValN}})
 	if err != nil {
 		return nil, err
@@ -103,6 +110,7 @@ func RunDistributed(c *Coordinator, cfg DistConfig) (*trace.Trace, error) {
 			Arch:           p.Arch,
 			Seed:           cfg.Seed*1_000_003 + int64(issued),
 			Matcher:        cfg.Matcher,
+			DType:          cfg.DType,
 			PartialEpochs:  cfg.PartialEpochs,
 			DeadlineMillis: int64(cfg.TaskDeadline / time.Millisecond),
 			KernelWorkers:  kernelWorkers,

@@ -20,6 +20,7 @@ import (
 	"swtnas/internal/obs"
 	"swtnas/internal/parallel"
 	"swtnas/internal/sim"
+	"swtnas/internal/tensor"
 )
 
 // Cluster telemetry (internal/obs, disabled by default): per-RPC round-trip
@@ -105,6 +106,12 @@ type RPCTask struct {
 	Parent        []byte // encoded provider checkpoint, nil for scratch
 	PartialEpochs int
 	BatchSizeHint int // 0 -> space default
+	// DType selects the worker-side training element type ("", "f64" or
+	// "f32", the tensor.ParseDType spellings). Candidates build and
+	// weight-transfer in float64 on the worker exactly like the in-process
+	// evaluator, then train natively in the requested dtype; the returned
+	// checkpoint is dtype-tagged (SWTC v3 for f32).
+	DType string
 	// DeadlineMillis, when positive, bounds the worker-side evaluation: the
 	// worker trains under a context with this timeout and reports a task
 	// error when it expires (the coordinator then retries or fails the
@@ -681,6 +688,12 @@ type Worker struct {
 	// ships (an operator-set SWTNAS_WORKERS equivalent).
 	KernelWorkers int
 
+	// DType, when non-empty, is the training element type applied to tasks
+	// that ship no RPCTask.DType (a coordinator predating the dtype field).
+	// Tasks that do name a dtype always win, keeping mixed fleets
+	// consistent. See DESIGN.md §14.
+	DType string
+
 	// HeartbeatEvery is the liveness-ping period Run uses while connected.
 	// 0 selects the 2s default; negative disables heartbeats entirely
 	// (tests simulating a silent stall).
@@ -698,6 +711,10 @@ type Worker struct {
 	appMu  sync.Mutex
 	appKey string
 	app    *apps.App
+	// f32Train/f32Val cache the float32 copy of the current app's dataset
+	// (converted once per app, reused across f32 tasks; reset with the app).
+	f32Train *nn.DataOf[float32]
+	f32Val   *nn.DataOf[float32]
 }
 
 // kernelWorkersFor resolves the kernel-pool width for one task: the
@@ -723,7 +740,20 @@ func (w *Worker) appFor(t RPCTask) (*apps.App, error) {
 		return nil, err
 	}
 	w.appKey, w.app = key, app
+	w.f32Train, w.f32Val = nil, nil
 	return app, nil
+}
+
+// f32Dataset returns (converting and caching on first use) the float32 copy
+// of the worker's current app dataset.
+func (w *Worker) f32Dataset(app *apps.App) (*nn.DataOf[float32], *nn.DataOf[float32]) {
+	w.appMu.Lock()
+	defer w.appMu.Unlock()
+	if w.f32Train == nil {
+		w.f32Train = nn.ConvertData[float32](app.Dataset.Train)
+		w.f32Val = nn.ConvertData[float32](app.Dataset.Val)
+	}
+	return w.f32Train, w.f32Val
 }
 
 // Execute runs one task locally (exported for tests and for embedding the
@@ -740,6 +770,14 @@ func (w *Worker) Execute(t RPCTask) RPCResult {
 	fail := func(err error) RPCResult {
 		res.Err = err.Error()
 		return res
+	}
+	dtSpec := t.DType
+	if dtSpec == "" {
+		dtSpec = w.DType
+	}
+	dt, err := tensor.ParseDType(dtSpec)
+	if err != nil {
+		return fail(err)
 	}
 	app, err := w.appFor(t)
 	if err != nil {
@@ -780,17 +818,44 @@ func (w *Worker) Execute(t RPCTask) RPCResult {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(t.DeadlineMillis)*time.Millisecond)
 		defer cancel()
 	}
+	fitCfg := nn.FitConfig{Context: ctx, Epochs: epochs, BatchSize: batch, RNG: rng}
+	var model *checkpoint.Model
 	start := time.Now()
-	h, err := nn.Fit(net, app.Space.Loss, app.Space.Metric, nn.NewAdam(),
-		app.Dataset.Train, app.Dataset.Val,
-		nn.FitConfig{Context: ctx, Epochs: epochs, BatchSize: batch, RNG: rng})
-	res.TrainMillis = float64(time.Since(start)) / float64(time.Millisecond)
-	if err != nil {
-		return fail(err)
+	if dt == tensor.F32 {
+		// Same dtype boundary as the in-process evaluator: built and
+		// warm-started in f64 above, converted once, trained natively in f32.
+		net32, err := nn.ConvertNetwork[float32](net)
+		if err != nil {
+			return fail(err)
+		}
+		loss32, err := nn.ConvertLoss[float32](app.Space.Loss)
+		if err != nil {
+			return fail(err)
+		}
+		metric32, err := nn.ConvertMetric[float32](app.Space.Metric)
+		if err != nil {
+			return fail(err)
+		}
+		train32, val32 := w.f32Dataset(app)
+		h, err := nn.Fit(net32, loss32, metric32, nn.NewAdamOf[float32](), train32, val32, fitCfg)
+		res.TrainMillis = float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			return fail(err)
+		}
+		res.Score = h.FinalScore()
+		model = checkpoint.FromNetworkOf(t.Arch, res.Score, net32)
+	} else {
+		h, err := nn.Fit(net, app.Space.Loss, app.Space.Metric, nn.NewAdam(),
+			app.Dataset.Train, app.Dataset.Val, fitCfg)
+		res.TrainMillis = float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			return fail(err)
+		}
+		res.Score = h.FinalScore()
+		model = checkpoint.FromNetwork(t.Arch, res.Score, net)
 	}
-	res.Score = h.FinalScore()
 	var buf bytes.Buffer
-	if err := checkpoint.FromNetwork(t.Arch, res.Score, net).Encode(&buf); err != nil {
+	if err := model.Encode(&buf); err != nil {
 		return fail(err)
 	}
 	res.Checkpoint = buf.Bytes()

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"swtnas/internal/apps"
@@ -26,6 +27,7 @@ import (
 	"swtnas/internal/proxy"
 	"swtnas/internal/resilience"
 	"swtnas/internal/search"
+	"swtnas/internal/tensor"
 	"swtnas/internal/trace"
 )
 
@@ -99,8 +101,9 @@ type Result struct {
 }
 
 // Evaluator scores candidates for one application. An Evaluator is
-// stateless between calls except for the shared checkpoint store, so any
-// number of Evaluate calls may run concurrently.
+// stateless between calls except for the shared checkpoint store and the
+// lazily converted float32 dataset, so any number of Evaluate calls may run
+// concurrently.
 type Evaluator struct {
 	// App supplies the space, dataset and training budget.
 	App *apps.App
@@ -111,6 +114,19 @@ type Evaluator struct {
 	Store checkpoint.Store
 	// Epochs overrides App.PartialEpochs when positive.
 	Epochs int
+	// DType selects the training element type. Candidates are always built
+	// and weight-transferred in float64 (the search operators, init RNG
+	// streams and transfer engine are dtype-invariant that way); with
+	// tensor.F32 the finished network is converted once before Fit and the
+	// checkpoint is stored natively in float32. The zero value trains in
+	// float64 as always. See DESIGN.md §14.
+	DType tensor.DType
+
+	// f32Data lazily caches the float32 copy of the app's dataset so the
+	// conversion happens once per evaluator, not once per candidate.
+	f32Once  sync.Once
+	f32Train *nn.DataOf[float32]
+	f32Val   *nn.DataOf[float32]
 }
 
 // Evaluate runs one candidate end to end. Transfer failures are not fatal:
@@ -180,18 +196,28 @@ func (e *Evaluator) evaluate(ctx context.Context, task Task) Result {
 	if epochs <= 0 {
 		epochs = e.App.PartialEpochs
 	}
+	fitCfg := nn.FitConfig{Context: ctx, Epochs: epochs, BatchSize: e.App.Space.BatchSize, RNG: rng}
+	var ckpt *checkpoint.Model
 	start := time.Now()
-	h, err := nn.Fit(net, e.App.Space.Loss, e.App.Space.Metric, nn.NewAdam(),
-		e.App.Dataset.Train, e.App.Dataset.Val,
-		nn.FitConfig{Context: ctx, Epochs: epochs, BatchSize: e.App.Space.BatchSize, RNG: rng})
-	res.TrainTime = time.Since(start)
-	if err != nil {
-		res.Err = fmt.Errorf("nas: training candidate %d: %w", task.ID, err)
-		return res
+	if e.DType == tensor.F32 {
+		score, c, err := e.fitF32(task.Arch, net, fitCfg)
+		res.TrainTime = time.Since(start)
+		if err != nil {
+			res.Err = fmt.Errorf("nas: training candidate %d (f32): %w", task.ID, err)
+			return res
+		}
+		res.Score, ckpt = score, c
+	} else {
+		h, err := nn.Fit(net, e.App.Space.Loss, e.App.Space.Metric, nn.NewAdam(),
+			e.App.Dataset.Train, e.App.Dataset.Val, fitCfg)
+		res.TrainTime = time.Since(start)
+		if err != nil {
+			res.Err = fmt.Errorf("nas: training candidate %d: %w", task.ID, err)
+			return res
+		}
+		res.Score = h.FinalScore()
+		ckpt = checkpoint.FromNetwork(task.Arch, res.Score, net)
 	}
-	res.Score = h.FinalScore()
-
-	ckpt := checkpoint.FromNetwork(task.Arch, res.Score, net)
 	n, err := e.Store.Save(CandidateID(task.ID), ckpt)
 	if err != nil {
 		res.Err = fmt.Errorf("nas: checkpointing candidate %d: %w", task.ID, err)
@@ -199,6 +225,42 @@ func (e *Evaluator) evaluate(ctx context.Context, task Task) Result {
 	}
 	res.CheckpointBytes = n
 	return res
+}
+
+// fitF32 is the float32 leg of evaluate: the candidate built (and possibly
+// warm-started) in float64 is converted exactly once, trained natively in
+// float32, and snapshotted into a tensor.F32-tagged checkpoint that stores
+// at 4 bytes per element. The dataset conversion is cached on the evaluator.
+func (e *Evaluator) fitF32(arch search.Arch, net *nn.Network, cfg nn.FitConfig) (float64, *checkpoint.Model, error) {
+	net32, err := nn.ConvertNetwork[float32](net)
+	if err != nil {
+		return 0, nil, err
+	}
+	loss32, err := nn.ConvertLoss[float32](e.App.Space.Loss)
+	if err != nil {
+		return 0, nil, err
+	}
+	metric32, err := nn.ConvertMetric[float32](e.App.Space.Metric)
+	if err != nil {
+		return 0, nil, err
+	}
+	train32, val32 := e.f32Dataset()
+	h, err := nn.Fit(net32, loss32, metric32, nn.NewAdamOf[float32](), train32, val32, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	score := h.FinalScore()
+	return score, checkpoint.FromNetworkOf(arch, score, net32), nil
+}
+
+// f32Dataset converts the app's dataset to float32 once and reuses it for
+// every candidate this evaluator trains.
+func (e *Evaluator) f32Dataset() (*nn.DataOf[float32], *nn.DataOf[float32]) {
+	e.f32Once.Do(func() {
+		e.f32Train = nn.ConvertData[float32](e.App.Dataset.Train)
+		e.f32Val = nn.ConvertData[float32](e.App.Dataset.Val)
+	})
+	return e.f32Train, e.f32Val
 }
 
 // Config parameterizes a search run.
@@ -211,6 +273,10 @@ type Config struct {
 	// Matcher selects the estimation scheme: nil baseline, core.LP{},
 	// core.LCS{}.
 	Matcher core.Matcher
+	// DType selects the training element type for every evaluation
+	// (tensor.F64 default, tensor.F32 for native float32 training — see
+	// Evaluator.DType). Run rejects invalid values.
+	DType tensor.DType
 	// Store defaults to an in-memory store.
 	Store checkpoint.Store
 	// Workers is the evaluator-pool size (the per-node GPU count of the
@@ -313,6 +379,9 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 	if cfg.Budget <= 0 {
 		return nil, fmt.Errorf("nas: budget %d must be positive", cfg.Budget)
 	}
+	if !cfg.DType.Valid() {
+		return nil, fmt.Errorf("nas: invalid dtype %d", uint8(cfg.DType))
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -393,7 +462,7 @@ func Run(ctx context.Context, cfg Config) (*trace.Trace, error) {
 		}
 	}
 
-	eval := &Evaluator{App: cfg.App, Matcher: cfg.Matcher, Store: store}
+	eval := &Evaluator{App: cfg.App, Matcher: cfg.Matcher, Store: store, DType: cfg.DType}
 	results := make(chan Result, workers)
 	exec := cfg.Executor
 	if exec == nil {

@@ -1,5 +1,7 @@
 package nn
 
+import "swtnas/internal/tensor"
+
 // convArena is the shared im2col/col2im scratch for every convolution layer
 // of one network. Before the arena, each Conv1D/Conv2D kept private
 // cols/dcols buffers, so peak scratch memory grew with network depth — the
@@ -26,20 +28,20 @@ package nn
 //
 // The arena is NOT safe for concurrent use, matching the layer contract
 // (one goroutine per network; parallelism lives inside the kernels).
-type convArena struct {
+type convArenaOf[T tensor.Float] struct {
 	// perSample is the largest per-sample patch-matrix size (output
 	// positions × kdim) over all attached layers.
 	perSample int
-	cols      []float64
-	dcols     []float64
+	cols      []T
+	dcols     []T
 	// owner is the layer whose forward im2col patches currently fill cols,
 	// or nil when the buffer holds no live patches.
-	owner Layer
+	owner LayerOf[T]
 }
 
 // attach registers a conv layer's per-sample patch-matrix size. Called from
 // Network.Add after shape inference, and by standalone layers on first use.
-func (a *convArena) attach(perSample int) {
+func (a *convArenaOf[T]) attach(perSample int) {
 	if perSample > a.perSample {
 		a.perSample = perSample
 	}
@@ -47,13 +49,13 @@ func (a *convArena) attach(perSample int) {
 
 // grow returns a length-n view of buf, reallocating with depth-independent
 // capacity batch·perSample when buf is too small.
-func (a *convArena) grow(buf []float64, batch, n int) []float64 {
+func (a *convArenaOf[T]) grow(buf []T, batch, n int) []T {
 	if cap(buf) < n {
 		want := batch * a.perSample
 		if want < n {
 			want = n
 		}
-		return make([]float64, want)[:n]
+		return make([]T, want)[:n]
 	}
 	return buf[:n]
 }
@@ -61,27 +63,27 @@ func (a *convArena) grow(buf []float64, batch, n int) []float64 {
 // colsFor returns the shared forward-patch buffer sized to n elements for a
 // batch of the given size. The caller must fill it (im2col) and then claim
 // it via setOwner; the previous owner's patches are gone after that.
-func (a *convArena) colsFor(batch, n int) []float64 {
+func (a *convArenaOf[T]) colsFor(batch, n int) []T {
 	a.cols = a.grow(a.cols, batch, n)
 	return a.cols
 }
 
 // dcolsFor returns the shared backward patch-gradient buffer sized to n
 // elements. Contents are unspecified; GemmBT overwrites every element.
-func (a *convArena) dcolsFor(batch, n int) []float64 {
+func (a *convArenaOf[T]) dcolsFor(batch, n int) []T {
 	a.dcols = a.grow(a.dcols, batch, n)
 	return a.dcols
 }
 
 // holds reports whether cols currently contains l's forward patches.
-func (a *convArena) holds(l Layer) bool { return a.owner == l }
+func (a *convArenaOf[T]) holds(l LayerOf[T]) bool { return a.owner == l }
 
 // setOwner records l as the layer whose patches fill cols.
-func (a *convArena) setOwner(l Layer) { a.owner = l }
+func (a *convArenaOf[T]) setOwner(l LayerOf[T]) { a.owner = l }
 
 // arenaUser is implemented by layers that take scratch from a shared
 // per-network arena. Network.Add injects its arena into every layer that
 // implements it, immediately after shape inference succeeds.
-type arenaUser interface {
-	setArena(a *convArena)
+type arenaUserOf[T tensor.Float] interface {
+	setArena(a *convArenaOf[T])
 }

@@ -123,7 +123,7 @@ func TestConvArenaMatchesPrivateBuffers(t *testing.T) {
 	}
 
 	// The private nets really did use separate arenas (one per conv).
-	seen := map[*convArena]bool{}
+	seen := map[*convArenaOf[float64]]bool{}
 	for _, c := range privConvs {
 		if c.arena == nil {
 			t.Fatalf("conv %q never created its private arena", c.Name())
@@ -141,7 +141,7 @@ func TestConvArenaMatchesPrivateBuffers(t *testing.T) {
 // than computing weight gradients from another layer's patch rows.
 func TestConvArenaRecomputeAfterInterleavedForward(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	a := &convArena{}
+	a := &convArenaOf[float64]{}
 	c1 := NewConv1D("c1", 3, 2, 4, Same, 0, rng)
 	c2 := NewConv1D("c2", 3, 4, 4, Same, 0, rng)
 	if _, err := c1.OutShape([][]int{{16, 2}}); err != nil {

@@ -9,7 +9,7 @@ import (
 
 // AvgPool2D is average pooling over [B, H, W, C] inputs with a square
 // window, with the same degenerate-window identity fallback as MaxPool2D.
-type AvgPool2D struct {
+type AvgPool2DOf[T tensor.Float] struct {
 	name         string
 	Size, Stride int
 	identity     bool
@@ -26,13 +26,13 @@ func NewAvgPool2D(name string, size, stride int) *AvgPool2D {
 	return &AvgPool2D{name: name, Size: size, Stride: stride}
 }
 
-func (p *AvgPool2D) Name() string     { return p.name }
-func (p *AvgPool2D) Params() []*Param { return nil }
+func (p *AvgPool2DOf[T]) Name() string          { return p.name }
+func (p *AvgPool2DOf[T]) Params() []*ParamOf[T] { return nil }
 
 // IsIdentity reports whether the pool degraded to a pass-through.
-func (p *AvgPool2D) IsIdentity() bool { return p.identity }
+func (p *AvgPool2DOf[T]) IsIdentity() bool { return p.identity }
 
-func (p *AvgPool2D) OutShape(in [][]int) ([]int, error) {
+func (p *AvgPool2DOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("avgpool2d wants 1 input, got %d", len(in))
 	}
@@ -52,16 +52,16 @@ func (p *AvgPool2D) OutShape(in [][]int) ([]int, error) {
 	return []int{p.outH, p.outW, p.ch}, nil
 }
 
-func (p *AvgPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (p *AvgPool2DOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	if p.identity {
 		return x
 	}
 	b := x.Shape[0]
-	out := tensor.New(b, p.outH, p.outW, p.ch)
+	out := tensor.NewOf[T](b, p.outH, p.outW, p.ch)
 	inRow := p.inW * p.ch
 	orow := p.outW * p.ch
-	inv := 1.0 / float64(p.Size*p.Size)
+	inv := T(1.0 / float64(p.Size*p.Size))
 	// Output rows across the batch shard independently; each window sum runs
 	// (ky, kx)-ascending exactly like the serial loop, so results are
 	// bit-identical for any worker count (see pool.go).
@@ -72,7 +72,7 @@ func (p *AvgPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 			oi := r * orow
 			for ox := 0; ox < p.outW; ox++ {
 				for c := 0; c < p.ch; c++ {
-					sum := 0.0
+					var sum T
 					for ky := 0; ky < p.Size; ky++ {
 						y := oy*p.Stride + ky
 						for kx := 0; kx < p.Size; kx++ {
@@ -88,15 +88,15 @@ func (p *AvgPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (p *AvgPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (p *AvgPool2DOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	if p.identity {
-		return []*tensor.Tensor{dOut}
+		return []*tensor.TensorOf[T]{dOut}
 	}
 	b := dOut.Shape[0]
-	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	dIn := tensor.NewOf[T](append([]int{b}, p.inShape...)...)
 	inRow := p.inW * p.ch
 	orow := p.outW * p.ch
-	inv := 1.0 / float64(p.Size*p.Size)
+	inv := T(1.0 / float64(p.Size*p.Size))
 	// scatterRows spreads the output rows [lo, hi) back over their windows
 	// in the serial (ox, c, ky, kx) order.
 	scatterRows := func(lo, hi int) {
@@ -121,19 +121,19 @@ func (p *AvgPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	if p.Stride >= p.Size {
 		// Disjoint windows: output rows write disjoint input regions.
 		parallel.For(b*p.outH, poolMinRows(orow*p.Size*p.Size), scatterRows)
-		return []*tensor.Tensor{dIn}
+		return []*tensor.TensorOf[T]{dIn}
 	}
 	// Overlapping windows: only samples are independent; within one sample
 	// the scatter keeps the serial ascending output order (see pool.go).
 	parallel.For(b, 1, func(lo, hi int) {
 		scatterRows(lo*p.outH, hi*p.outH)
 	})
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // GlobalAvgPool averages each channel over all spatial positions, turning
 // [B, ..., C] into [B, C].
-type GlobalAvgPool struct {
+type GlobalAvgPoolOf[T tensor.Float] struct {
 	name    string
 	inShape []int
 	spatial int
@@ -142,10 +142,10 @@ type GlobalAvgPool struct {
 // NewGlobalAvgPool creates a global average pooling layer.
 func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
 
-func (p *GlobalAvgPool) Name() string     { return p.name }
-func (p *GlobalAvgPool) Params() []*Param { return nil }
+func (p *GlobalAvgPoolOf[T]) Name() string          { return p.name }
+func (p *GlobalAvgPoolOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (p *GlobalAvgPool) OutShape(in [][]int) ([]int, error) {
+func (p *GlobalAvgPoolOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("globalavgpool wants 1 input, got %d", len(in))
 	}
@@ -159,12 +159,12 @@ func (p *GlobalAvgPool) OutShape(in [][]int) ([]int, error) {
 	return []int{c}, nil
 }
 
-func (p *GlobalAvgPool) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (p *GlobalAvgPoolOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	b := x.Shape[0]
 	c := p.inShape[len(p.inShape)-1]
-	out := tensor.New(b, c)
-	inv := 1.0 / float64(p.spatial)
+	out := tensor.NewOf[T](b, c)
+	inv := T(1.0 / float64(p.spatial))
 	// Samples reduce independently; each per-channel sum runs in ascending
 	// spatial order exactly like the serial loop, so results are
 	// bit-identical for any worker count.
@@ -186,11 +186,11 @@ func (p *GlobalAvgPool) Forward(in []*tensor.Tensor, training bool) *tensor.Tens
 	return out
 }
 
-func (p *GlobalAvgPool) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (p *GlobalAvgPoolOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	b := dOut.Shape[0]
 	c := p.inShape[len(p.inShape)-1]
-	dIn := tensor.New(append([]int{b}, p.inShape...)...)
-	inv := 1.0 / float64(p.spatial)
+	dIn := tensor.NewOf[T](append([]int{b}, p.inShape...)...)
+	inv := T(1.0 / float64(p.spatial))
 	parallel.For(b, poolMinRows(p.spatial*c), func(lo, hi int) {
 		for bi := lo; bi < hi; bi++ {
 			base := bi * p.spatial * c
@@ -203,22 +203,22 @@ func (p *GlobalAvgPool) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 	})
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // Add sums two equally shaped activations element-wise — the residual
 // (skip) connection primitive.
-type Add struct {
+type AddOf[T tensor.Float] struct {
 	name string
 }
 
 // NewAdd creates an element-wise addition layer.
 func NewAdd(name string) *Add { return &Add{name: name} }
 
-func (a *Add) Name() string     { return a.name }
-func (a *Add) Params() []*Param { return nil }
+func (a *AddOf[T]) Name() string          { return a.name }
+func (a *AddOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (a *Add) OutShape(in [][]int) ([]int, error) {
+func (a *AddOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 2 {
 		return nil, fmt.Errorf("add wants 2 inputs, got %d", len(in))
 	}
@@ -229,7 +229,7 @@ func (a *Add) OutShape(in [][]int) ([]int, error) {
 	return append([]int(nil), in[0]...), nil
 }
 
-func (a *Add) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (a *AddOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	out := in[0].Clone()
 	parallel.For(len(out.Data), actMinChunk, func(lo, hi int) {
 		od := out.Data[lo:hi]
@@ -240,6 +240,6 @@ func (a *Add) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (a *Add) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{dOut, dOut}
+func (a *AddOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
+	return []*tensor.TensorOf[T]{dOut, dOut}
 }

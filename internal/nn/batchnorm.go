@@ -24,7 +24,7 @@ import (
 // summation tree therefore never depends on how many workers ran, which is
 // what TestParallelBatchNormMatchesSerial pins (workers=1 runs the same
 // blocked path inline).
-type BatchNorm struct {
+type BatchNormOf[T tensor.Float] struct {
 	name string
 	C    int
 	// Momentum is the exponential-moving-average factor of the running
@@ -33,10 +33,10 @@ type BatchNorm struct {
 	// Eps stabilizes the inverse standard deviation.
 	Eps float64
 
-	Gamma, Beta          *Param
-	RunMean, RunVar      *Param // non-trainable (nil Grad)
-	lastXHat             []float64
-	lastInvStd, lastMean []float64
+	Gamma, Beta          *ParamOf[T]
+	RunMean, RunVar      *ParamOf[T] // non-trainable (nil Grad)
+	lastXHat             []T
+	lastInvStd, lastMean []T
 	inShape              []int
 	seen                 bool // running stats initialized from a batch yet?
 }
@@ -64,15 +64,15 @@ func NewBatchNorm(name string, c int) *BatchNorm {
 	}
 }
 
-func (b *BatchNorm) Name() string { return b.name }
+func (b *BatchNormOf[T]) Name() string { return b.name }
 
 // Params lists gamma first (the transfer signature), then beta and the
 // running statistics, so weight transfer moves the whole normalization state.
-func (b *BatchNorm) Params() []*Param {
-	return []*Param{b.Gamma, b.Beta, b.RunMean, b.RunVar}
+func (b *BatchNormOf[T]) Params() []*ParamOf[T] {
+	return []*ParamOf[T]{b.Gamma, b.Beta, b.RunMean, b.RunVar}
 }
 
-func (b *BatchNorm) OutShape(in [][]int) ([]int, error) {
+func (b *BatchNormOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("batchnorm wants 1 input, got %d", len(in))
 	}
@@ -88,9 +88,9 @@ func (b *BatchNorm) OutShape(in [][]int) ([]int, error) {
 // [r0, r1) into its partial-sum slice, once per fixed bnBlockRows block in
 // parallel; the block partials are then combined serially in ascending block
 // order. The result is independent of the worker count by construction.
-func bnReduce(n, width int, acc func(ps []float64, r0, r1 int)) []float64 {
+func bnReduce[T tensor.Float](n, width int, acc func(ps []T, r0, r1 int)) []T {
 	nb := (n + bnBlockRows - 1) / bnBlockRows
-	partials := make([]float64, nb*width)
+	partials := make([]T, nb*width)
 	parallel.For(nb, 1+actMinChunk/(bnBlockRows*width), func(lo, hi int) {
 		for blk := lo; blk < hi; blk++ {
 			r0 := blk * bnBlockRows
@@ -101,7 +101,7 @@ func bnReduce(n, width int, acc func(ps []float64, r0, r1 int)) []float64 {
 			acc(partials[blk*width:(blk+1)*width], r0, r1)
 		}
 	})
-	out := make([]float64, width)
+	out := make([]T, width)
 	for blk := 0; blk < nb; blk++ {
 		for c, v := range partials[blk*width : (blk+1)*width] {
 			out[c] += v
@@ -110,10 +110,10 @@ func bnReduce(n, width int, acc func(ps []float64, r0, r1 int)) []float64 {
 	return out
 }
 
-func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (b *BatchNormOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	n := x.Numel() / b.C // samples per channel (batch × spatial)
-	out := tensor.New(x.Shape...)
+	out := tensor.NewOf[T](x.Shape...)
 	gamma, beta := b.Gamma.W.Data, b.Beta.W.Data
 
 	if !training {
@@ -121,35 +121,35 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 		parallel.For(n, 1+actMinChunk/b.C, func(lo, hi int) {
 			for i := lo * b.C; i < hi*b.C; i++ {
 				c := i % b.C
-				out.Data[i] = gamma[c]*(x.Data[i]-rm[c])/math.Sqrt(rv[c]+b.Eps) + beta[c]
+				out.Data[i] = gamma[c]*(x.Data[i]-rm[c])/T(math.Sqrt(float64(rv[c])+b.Eps)) + beta[c]
 			}
 		})
 		b.lastXHat = nil
 		return out
 	}
 
-	mean := bnReduce(n, b.C, func(ps []float64, r0, r1 int) {
+	mean := bnReduce(n, b.C, func(ps []T, r0, r1 int) {
 		for i := r0 * b.C; i < r1*b.C; i++ {
 			ps[i%b.C] += x.Data[i]
 		}
 	})
 	for c := range mean {
-		mean[c] /= float64(n)
+		mean[c] /= T(n)
 	}
-	variance := bnReduce(n, b.C, func(ps []float64, r0, r1 int) {
+	variance := bnReduce(n, b.C, func(ps []T, r0, r1 int) {
 		for i := r0 * b.C; i < r1*b.C; i++ {
 			d := x.Data[i] - mean[i%b.C]
 			ps[i%b.C] += d * d
 		}
 	})
-	invStd := make([]float64, b.C)
+	invStd := make([]T, b.C)
 	for c := range variance {
-		variance[c] /= float64(n)
-		invStd[c] = 1 / math.Sqrt(variance[c]+b.Eps)
+		variance[c] /= T(n)
+		invStd[c] = T(1 / math.Sqrt(float64(variance[c])+b.Eps))
 	}
 
 	if cap(b.lastXHat) < x.Numel() {
-		b.lastXHat = make([]float64, x.Numel())
+		b.lastXHat = make([]T, x.Numel())
 	}
 	b.lastXHat = b.lastXHat[:x.Numel()]
 	parallel.For(n, 1+actMinChunk/b.C, func(lo, hi int) {
@@ -168,15 +168,16 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 		copy(rv, variance)
 		b.seen = true
 	} else {
+		mom, om := T(b.Momentum), T(1-b.Momentum)
 		for c := 0; c < b.C; c++ {
-			rm[c] = b.Momentum*rm[c] + (1-b.Momentum)*mean[c]
-			rv[c] = b.Momentum*rv[c] + (1-b.Momentum)*variance[c]
+			rm[c] = mom*rm[c] + om*mean[c]
+			rv[c] = mom*rv[c] + om*variance[c]
 		}
 	}
 	return out
 }
 
-func (b *BatchNorm) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (b *BatchNormOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	if b.lastXHat == nil {
 		panic("nn: BatchNorm.Backward without a training Forward pass")
 	}
@@ -186,7 +187,7 @@ func (b *BatchNorm) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 
 	// One blocked pass produces both per-channel sums: partial layout is
 	// [sumDy | sumDyXHat] per block.
-	sums := bnReduce(n, 2*b.C, func(ps []float64, r0, r1 int) {
+	sums := bnReduce(n, 2*b.C, func(ps []T, r0, r1 int) {
 		for i := r0 * b.C; i < r1*b.C; i++ {
 			c := i % b.C
 			g := dOut.Data[i]
@@ -199,8 +200,8 @@ func (b *BatchNorm) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 		dGamma[c] += sumDyXHat[c]
 		dBeta[c] += sumDy[c]
 	}
-	dIn := tensor.New(dOut.Shape...)
-	nf := float64(n)
+	dIn := tensor.NewOf[T](dOut.Shape...)
+	nf := T(n)
 	parallel.For(n, 1+actMinChunk/b.C, func(lo, hi int) {
 		for i := lo * b.C; i < hi*b.C; i++ {
 			c := i % b.C
@@ -208,5 +209,5 @@ func (b *BatchNorm) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 				(nf*dOut.Data[i] - sumDy[c] - b.lastXHat[i]*sumDyXHat[c])
 		}
 	})
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }

@@ -28,7 +28,7 @@ import (
 // The cols/dcols patch buffers come from a convArena (arena.go) shared by
 // every conv layer of a network, so scratch memory is depth-independent.
 
-func zero(p []float64) {
+func zero[T tensor.Float](p []T) {
 	for i := range p {
 		p[i] = 0
 	}
@@ -59,21 +59,21 @@ func (p Padding) String() string {
 // pooling), the layer degrades to "same" padding instead of failing; the
 // chosen mode is visible via EffectivePadding. This mirrors the guard rails
 // NAS frameworks put around degenerate candidates.
-type Conv2D struct {
+type Conv2DOf[T tensor.Float] struct {
 	name       string
 	KH, KW     int
 	InC, OutC  int
 	Pad        Padding
 	effPad     Padding
-	W, B       *Param
-	lastIn     *tensor.Tensor
+	W, B       *ParamOf[T]
+	lastIn     *tensor.TensorOf[T]
 	inH, inW   int
 	outH, outW int
 	// arena provides the im2col patch buffer ([B*outH*outW, KH*KW*InC])
 	// and the col2im patch-gradient buffer, shared with every other conv
 	// layer of the owning Network (injected by Network.Add); a standalone
 	// layer lazily creates a private arena on first Forward.
-	arena *convArena
+	arena *convArenaOf[T]
 }
 
 // NewConv2D creates a conv layer with He-normal weights (ReLU-friendly).
@@ -87,14 +87,14 @@ func NewConv2D(name string, kh, kw, inC, outC int, pad Padding, l2 float64, rng 
 	}
 }
 
-func (c *Conv2D) Name() string     { return c.name }
-func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+func (c *Conv2DOf[T]) Name() string          { return c.name }
+func (c *Conv2DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{c.W, c.B} }
 
 // EffectivePadding returns the padding actually applied after shape
 // inference (it differs from Pad only for the degenerate-valid fallback).
-func (c *Conv2D) EffectivePadding() Padding { return c.effPad }
+func (c *Conv2DOf[T]) EffectivePadding() Padding { return c.effPad }
 
-func (c *Conv2D) OutShape(in [][]int) ([]int, error) {
+func (c *Conv2DOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("conv2d wants 1 input, got %d", len(in))
 	}
@@ -115,7 +115,7 @@ func (c *Conv2D) OutShape(in [][]int) ([]int, error) {
 	return []int{c.outH, c.outW, c.OutC}, nil
 }
 
-func (c *Conv2D) padOffsets() (int, int) {
+func (c *Conv2DOf[T]) padOffsets() (int, int) {
 	if c.effPad == Same {
 		return (c.KH - 1) / 2, (c.KW - 1) / 2
 	}
@@ -124,31 +124,31 @@ func (c *Conv2D) padOffsets() (int, int) {
 
 // kdim is the patch width of the im2col buffer: one row per output position
 // holds every (ky, kx, ci) tap.
-func (c *Conv2D) kdim() int { return c.KH * c.KW * c.InC }
+func (c *Conv2DOf[T]) kdim() int { return c.KH * c.KW * c.InC }
 
 // setArena adopts the network-shared scratch arena (Network.Add calls this
 // after shape inference, so the layer's patch-matrix size is known).
-func (c *Conv2D) setArena(a *convArena) {
+func (c *Conv2DOf[T]) setArena(a *convArenaOf[T]) {
 	c.arena = a
 	a.attach(c.outH * c.outW * c.kdim())
 }
 
 // ensureArena gives a standalone layer (used outside a Network) a private
 // arena, which behaves exactly like the old per-layer buffers.
-func (c *Conv2D) ensureArena() {
+func (c *Conv2DOf[T]) ensureArena() {
 	if c.arena == nil {
-		c.setArena(&convArena{})
+		c.setArena(&convArenaOf[T]{})
 	}
 }
 
 // Forward lowers the input to im2col patches and runs one blocked GEMM
 // against the weight matrix. Patch rows — not samples — are the unit of
 // parallelism, so a batch of 1 still shards across the worker pool.
-func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (c *Conv2DOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	c.lastIn = x
 	b := x.Shape[0]
-	out := tensor.New(b, c.outH, c.outW, c.OutC)
+	out := tensor.NewOf[T](b, c.outH, c.outW, c.OutC)
 	rows := b * c.outH * c.outW
 	c.ensureArena()
 	cols := c.arena.colsFor(b, rows*c.kdim())
@@ -162,7 +162,7 @@ func (c *Conv2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 // cols, taps in (ky, kx, ci) order with zeros outside the border. Work is
 // sharded over (sample, oy) strips; each strip is written by exactly one
 // shard.
-func (c *Conv2D) im2col(x *tensor.Tensor, cols []float64) {
+func (c *Conv2DOf[T]) im2col(x *tensor.TensorOf[T], cols []T) {
 	padH, padW := c.padOffsets()
 	inRow := c.inW * c.InC
 	strip := c.outW * c.kdim()
@@ -211,12 +211,12 @@ func (c *Conv2D) im2col(x *tensor.Tensor, cols []float64) {
 // conv layer has overwritten the shared patch buffer since this layer's
 // Forward, the patches are re-gathered from the cached input first; the
 // deepest conv runs backward first and always hits.
-func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (c *Conv2DOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	x := c.lastIn
 	b := x.Shape[0]
 	rows := b * c.outH * c.outW
 	kdim := c.kdim()
-	dIn := tensor.New(x.Shape...)
+	dIn := tensor.NewOf[T](x.Shape...)
 	db := c.B.Grad.Data
 	for i := 0; i < rows; i++ {
 		for f, g := range dOut.Data[i*c.OutC : (i+1)*c.OutC] {
@@ -232,7 +232,7 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	dcols := c.arena.dcolsFor(b, rows*kdim)
 	tensor.GemmBT(dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
 	c.col2im(dcols, dIn)
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // col2im accumulates the patch gradients back onto the input positions they
@@ -243,7 +243,7 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 // ox-ascending, accumulates every input element's contributions in exactly
 // the order the serial (oy, ox, ky, kx, ci) scatter did, keeping input
 // gradients bit-identical for any worker count.
-func (c *Conv2D) col2im(dcols []float64, dIn *tensor.Tensor) {
+func (c *Conv2DOf[T]) col2im(dcols []T, dIn *tensor.TensorOf[T]) {
 	padH, padW := c.padOffsets()
 	inRow := c.inW * c.InC
 	kdim := c.kdim()
@@ -287,18 +287,18 @@ func (c *Conv2D) col2im(dcols []float64, dIn *tensor.Tensor) {
 // Conv1D is a stride-1 1-D convolution over [B, L, C] inputs with weights
 // [K, C, F]. It powers the NT3-like gene-sequence search space. The same
 // degenerate-valid fallback as Conv2D applies.
-type Conv1D struct {
+type Conv1DOf[T tensor.Float] struct {
 	name      string
 	K         int
 	InC, OutC int
 	Pad       Padding
 	effPad    Padding
-	W, B      *Param
-	lastIn    *tensor.Tensor
+	W, B      *ParamOf[T]
+	lastIn    *tensor.TensorOf[T]
 	inL, outL int
 	// arena supplies the im2col/col2im scratch buffers, shared across the
 	// owning network's conv layers exactly as on Conv2D.
-	arena *convArena
+	arena *convArenaOf[T]
 }
 
 // NewConv1D creates a 1-D conv layer with He-normal weights.
@@ -312,13 +312,13 @@ func NewConv1D(name string, k, inC, outC int, pad Padding, l2 float64, rng *rand
 	}
 }
 
-func (c *Conv1D) Name() string     { return c.name }
-func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+func (c *Conv1DOf[T]) Name() string          { return c.name }
+func (c *Conv1DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{c.W, c.B} }
 
 // EffectivePadding returns the padding applied after shape inference.
-func (c *Conv1D) EffectivePadding() Padding { return c.effPad }
+func (c *Conv1DOf[T]) EffectivePadding() Padding { return c.effPad }
 
-func (c *Conv1D) OutShape(in [][]int) ([]int, error) {
+func (c *Conv1DOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("conv1d wants 1 input, got %d", len(in))
 	}
@@ -339,35 +339,35 @@ func (c *Conv1D) OutShape(in [][]int) ([]int, error) {
 	return []int{c.outL, c.OutC}, nil
 }
 
-func (c *Conv1D) padOffset() int {
+func (c *Conv1DOf[T]) padOffset() int {
 	if c.effPad == Same {
 		return (c.K - 1) / 2
 	}
 	return 0
 }
 
-func (c *Conv1D) kdim() int { return c.K * c.InC }
+func (c *Conv1DOf[T]) kdim() int { return c.K * c.InC }
 
 // setArena adopts the network-shared scratch arena.
-func (c *Conv1D) setArena(a *convArena) {
+func (c *Conv1DOf[T]) setArena(a *convArenaOf[T]) {
 	c.arena = a
 	a.attach(c.outL * c.kdim())
 }
 
 // ensureArena gives a standalone layer a private arena.
-func (c *Conv1D) ensureArena() {
+func (c *Conv1DOf[T]) ensureArena() {
 	if c.arena == nil {
-		c.setArena(&convArena{})
+		c.setArena(&convArenaOf[T]{})
 	}
 }
 
 // Forward lowers to im2col patches and one blocked GEMM, parallel over
 // patch rows (intra-sample, like Conv2D.Forward).
-func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (c *Conv1DOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	c.lastIn = x
 	b := x.Shape[0]
-	out := tensor.New(b, c.outL, c.OutC)
+	out := tensor.NewOf[T](b, c.outL, c.OutC)
 	rows := b * c.outL
 	c.ensureArena()
 	cols := c.arena.colsFor(b, rows*c.kdim())
@@ -379,7 +379,7 @@ func (c *Conv1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 
 // im2col writes one patch row per (sample, ol) position, taps in (k, ci)
 // order; the in-range tap span is a single contiguous copy.
-func (c *Conv1D) im2col(x *tensor.Tensor, cols []float64) {
+func (c *Conv1DOf[T]) im2col(x *tensor.TensorOf[T], cols []T) {
 	pad := c.padOffset()
 	kdim := c.kdim()
 	tensor.ForRows(x.Shape[0]*c.outL, kdim, func(lo, hi int) {
@@ -409,12 +409,12 @@ func (c *Conv1D) im2col(x *tensor.Tensor, cols []float64) {
 // Backward mirrors Conv2D.Backward: serial bias sum, patchesᵀ·dOut weight
 // gradient (re-gathering patches if another conv overwrote the shared
 // buffer), dOut·Wᵀ patch gradients scattered through col2im.
-func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (c *Conv1DOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	x := c.lastIn
 	b := x.Shape[0]
 	rows := b * c.outL
 	kdim := c.kdim()
-	dIn := tensor.New(x.Shape...)
+	dIn := tensor.NewOf[T](x.Shape...)
 	db := c.B.Grad.Data
 	for i := 0; i < rows; i++ {
 		for f, g := range dOut.Data[i*c.OutC : (i+1)*c.OutC] {
@@ -430,7 +430,7 @@ func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 	dcols := c.arena.dcolsFor(b, rows*kdim)
 	tensor.GemmBT(dcols, dOut.Data, c.W.W.Data, rows, c.OutC, kdim)
 	c.col2im(dcols, dIn)
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // col2im scatters patch gradients back onto the input. Work shards over
@@ -440,7 +440,7 @@ func (c *Conv1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 // k = p + pad - ol ∈ [0, K); walking them ol-ascending accumulates the
 // contributions in exactly the order of the serial (ol, k, ci) scatter,
 // keeping gradients bit-identical for any worker count.
-func (c *Conv1D) col2im(dcols []float64, dIn *tensor.Tensor) {
+func (c *Conv1DOf[T]) col2im(dcols []T, dIn *tensor.TensorOf[T]) {
 	pad := c.padOffset()
 	kdim := c.kdim()
 	tensor.ForRows(dIn.Shape[0]*c.inL, c.K*c.InC, func(lo, hi int) {

@@ -10,11 +10,11 @@ import (
 )
 
 // Dense is a fully connected layer: out = in·W + b with in [B, In].
-type Dense struct {
+type DenseOf[T tensor.Float] struct {
 	name    string
 	In, Out int
-	W, B    *Param
-	lastIn  *tensor.Tensor
+	W, B    *ParamOf[T]
+	lastIn  *tensor.TensorOf[T]
 }
 
 // NewDense creates a dense layer with Glorot-uniform weights.
@@ -28,10 +28,10 @@ func NewDense(name string, in, out int, l2 float64, rng *rand.Rand) *Dense {
 	}
 }
 
-func (d *Dense) Name() string     { return d.name }
-func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+func (d *DenseOf[T]) Name() string          { return d.name }
+func (d *DenseOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{d.W, d.B} }
 
-func (d *Dense) OutShape(in [][]int) ([]int, error) {
+func (d *DenseOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("dense wants 1 input, got %d", len(in))
 	}
@@ -44,11 +44,11 @@ func (d *Dense) OutShape(in [][]int) ([]int, error) {
 // Forward computes out = in·W + b via the row-parallel matmul primitive in
 // internal/tensor. Each output row is produced by exactly one batch shard
 // with serial arithmetic, so results are identical for any worker count.
-func (d *Dense) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (d *DenseOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	b := x.Shape[0]
 	d.lastIn = x
-	out := tensor.New(b, d.Out)
+	out := tensor.NewOf[T](b, d.Out)
 	if err := tensor.MatMulInto(out, x, d.W.W, d.B.W.Data); err != nil {
 		panic(err) // shapes were validated by OutShape
 	}
@@ -60,10 +60,10 @@ func (d *Dense) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 // primitive the im2col convolutions use — and dB += Σ dOut serially. Each
 // dW row is produced by exactly one shard summing samples in ascending
 // order, so weight gradients are bit-identical for any worker count.
-func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (d *DenseOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	x := d.lastIn
 	b := x.Shape[0]
-	dIn := tensor.New(b, d.In)
+	dIn := tensor.NewOf[T](b, d.In)
 	if err := tensor.MatMulTInto(dIn, dOut, d.W.W); err != nil {
 		panic(err)
 	}
@@ -74,36 +74,36 @@ func (d *Dense) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 		}
 	}
 	tensor.GemmAT(d.W.Grad.Data, x.Data, dOut.Data, b, d.In, d.Out)
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // Identity passes its input through unchanged. It is the "skip" choice many
 // variable nodes offer.
-type Identity struct{ name string }
+type IdentityOf[T tensor.Float] struct{ name string }
 
 // NewIdentity creates an identity layer.
 func NewIdentity(name string) *Identity { return &Identity{name: name} }
 
-func (l *Identity) Name() string     { return l.name }
-func (l *Identity) Params() []*Param { return nil }
+func (l *IdentityOf[T]) Name() string          { return l.name }
+func (l *IdentityOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (l *Identity) OutShape(in [][]int) ([]int, error) {
+func (l *IdentityOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("identity wants 1 input, got %d", len(in))
 	}
 	return append([]int(nil), in[0]...), nil
 }
 
-func (l *Identity) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (l *IdentityOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	return in[0]
 }
 
-func (l *Identity) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{dOut}
+func (l *IdentityOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
+	return []*tensor.TensorOf[T]{dOut}
 }
 
 // Flatten reshapes [B, d1, ..., dk] to [B, d1*...*dk].
-type Flatten struct {
+type FlattenOf[T tensor.Float] struct {
 	name    string
 	inShape []int
 }
@@ -111,10 +111,10 @@ type Flatten struct {
 // NewFlatten creates a flatten layer.
 func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
 
-func (l *Flatten) Name() string     { return l.name }
-func (l *Flatten) Params() []*Param { return nil }
+func (l *FlattenOf[T]) Name() string          { return l.name }
+func (l *FlattenOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (l *Flatten) OutShape(in [][]int) ([]int, error) {
+func (l *FlattenOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("flatten wants 1 input, got %d", len(in))
 	}
@@ -122,7 +122,7 @@ func (l *Flatten) OutShape(in [][]int) ([]int, error) {
 	return []int{tensor.Numel(in[0])}, nil
 }
 
-func (l *Flatten) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (l *FlattenOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	b := in[0].Shape[0]
 	out, err := in[0].Reshape(b, in[0].Numel()/b)
 	if err != nil {
@@ -131,20 +131,20 @@ func (l *Flatten) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (l *Flatten) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (l *FlattenOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	b := dOut.Shape[0]
 	shape := append([]int{b}, l.inShape...)
 	dIn, err := dOut.Reshape(shape...)
 	if err != nil {
 		panic(err)
 	}
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // Concat concatenates flat feature vectors along the feature axis:
 // k inputs of shape [B, Di] become [B, ΣDi]. It is the merge operator of the
 // Uno-like multi-input search space.
-type Concat struct {
+type ConcatOf[T tensor.Float] struct {
 	name string
 	dims []int
 }
@@ -152,10 +152,10 @@ type Concat struct {
 // NewConcat creates a concat layer.
 func NewConcat(name string) *Concat { return &Concat{name: name} }
 
-func (l *Concat) Name() string     { return l.name }
-func (l *Concat) Params() []*Param { return nil }
+func (l *ConcatOf[T]) Name() string          { return l.name }
+func (l *ConcatOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (l *Concat) OutShape(in [][]int) ([]int, error) {
+func (l *ConcatOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) == 0 {
 		return nil, fmt.Errorf("concat wants at least 1 input")
 	}
@@ -171,13 +171,13 @@ func (l *Concat) OutShape(in [][]int) ([]int, error) {
 	return []int{total}, nil
 }
 
-func (l *Concat) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (l *ConcatOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	b := in[0].Shape[0]
 	total := 0
 	for _, d := range l.dims {
 		total += d
 	}
-	out := tensor.New(b, total)
+	out := tensor.NewOf[T](b, total)
 	for i := 0; i < b; i++ {
 		off := i * total
 		for k, t := range in {
@@ -189,12 +189,12 @@ func (l *Concat) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (l *Concat) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (l *ConcatOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	b := dOut.Shape[0]
 	total := dOut.Shape[1]
-	dIns := make([]*tensor.Tensor, len(l.dims))
+	dIns := make([]*tensor.TensorOf[T], len(l.dims))
 	for k, d := range l.dims {
-		dIns[k] = tensor.New(b, d)
+		dIns[k] = tensor.NewOf[T](b, d)
 	}
 	for i := 0; i < b; i++ {
 		off := i * total
@@ -241,11 +241,11 @@ func (k ActKind) String() string {
 const leakySlope = 0.01
 
 // Activation applies an element-wise nonlinearity.
-type Activation struct {
+type ActivationOf[T tensor.Float] struct {
 	name    string
 	Kind    ActKind
-	lastOut *tensor.Tensor
-	lastIn  *tensor.Tensor
+	lastOut *tensor.TensorOf[T]
+	lastIn  *tensor.TensorOf[T]
 }
 
 // NewActivation creates an activation layer.
@@ -253,10 +253,10 @@ func NewActivation(name string, kind ActKind) *Activation {
 	return &Activation{name: name, Kind: kind}
 }
 
-func (l *Activation) Name() string     { return l.name }
-func (l *Activation) Params() []*Param { return nil }
+func (l *ActivationOf[T]) Name() string          { return l.name }
+func (l *ActivationOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (l *Activation) OutShape(in [][]int) ([]int, error) {
+func (l *ActivationOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("activation wants 1 input, got %d", len(in))
 	}
@@ -270,9 +270,9 @@ func (l *Activation) OutShape(in [][]int) ([]int, error) {
 // outputs are bit-identical for any worker count.
 const actMinChunk = 2048
 
-func (l *Activation) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (l *ActivationOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
-	out := tensor.New(x.Shape...)
+	out := tensor.NewOf[T](x.Shape...)
 	parallel.For(len(x.Data), actMinChunk, func(lo, hi int) {
 		xd, od := x.Data[lo:hi], out.Data[lo:hi]
 		switch l.Kind {
@@ -284,11 +284,11 @@ func (l *Activation) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor 
 			}
 		case Tanh:
 			for i, v := range xd {
-				od[i] = math.Tanh(v)
+				od[i] = T(math.Tanh(float64(v)))
 			}
 		case Sigmoid:
 			for i, v := range xd {
-				od[i] = 1 / (1 + math.Exp(-v))
+				od[i] = T(1 / (1 + math.Exp(float64(-v))))
 			}
 		case LeakyReLU:
 			for i, v := range xd {
@@ -303,7 +303,7 @@ func (l *Activation) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor 
 				if v > 0 {
 					od[i] = v
 				} else {
-					od[i] = math.Exp(v) - 1
+					od[i] = T(math.Exp(float64(v))) - 1
 				}
 			}
 		}
@@ -312,8 +312,8 @@ func (l *Activation) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor 
 	return out
 }
 
-func (l *Activation) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
-	dIn := tensor.New(dOut.Shape...)
+func (l *ActivationOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
+	dIn := tensor.NewOf[T](dOut.Shape...)
 	parallel.For(len(dOut.Data), actMinChunk, func(lo, hi int) {
 		gd, dd := dOut.Data[lo:hi], dIn.Data[lo:hi]
 		switch l.Kind {
@@ -351,17 +351,17 @@ func (l *Activation) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 	})
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // Dropout zeroes each activation with probability Rate during training and
 // scales the survivors by 1/(1-Rate) (inverted dropout). At inference it is
 // the identity.
-type Dropout struct {
+type DropoutOf[T tensor.Float] struct {
 	name string
 	Rate float64
 	rng  *rand.Rand
-	mask []float64
+	mask []T
 }
 
 // NewDropout creates a dropout layer drawing masks from rng.
@@ -372,28 +372,28 @@ func NewDropout(name string, rate float64, rng *rand.Rand) *Dropout {
 	return &Dropout{name: name, Rate: rate, rng: rng}
 }
 
-func (l *Dropout) Name() string     { return l.name }
-func (l *Dropout) Params() []*Param { return nil }
+func (l *DropoutOf[T]) Name() string          { return l.name }
+func (l *DropoutOf[T]) Params() []*ParamOf[T] { return nil }
 
-func (l *Dropout) OutShape(in [][]int) ([]int, error) {
+func (l *DropoutOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("dropout wants 1 input, got %d", len(in))
 	}
 	return append([]int(nil), in[0]...), nil
 }
 
-func (l *Dropout) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (l *DropoutOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	if !training || l.Rate == 0 {
 		l.mask = nil
 		return x
 	}
-	out := tensor.New(x.Shape...)
+	out := tensor.NewOf[T](x.Shape...)
 	if cap(l.mask) < len(x.Data) {
-		l.mask = make([]float64, len(x.Data))
+		l.mask = make([]T, len(x.Data))
 	}
 	l.mask = l.mask[:len(x.Data)]
-	keep := 1 / (1 - l.Rate)
+	keep := T(1 / (1 - l.Rate))
 	for i, v := range x.Data {
 		if l.rng.Float64() < l.Rate {
 			l.mask[i] = 0
@@ -405,13 +405,13 @@ func (l *Dropout) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (l *Dropout) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (l *DropoutOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	if l.mask == nil {
-		return []*tensor.Tensor{dOut}
+		return []*tensor.TensorOf[T]{dOut}
 	}
-	dIn := tensor.New(dOut.Shape...)
+	dIn := tensor.NewOf[T](dOut.Shape...)
 	for i, g := range dOut.Data {
 		dIn.Data[i] = g * l.mask[i]
 	}
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }

@@ -33,25 +33,25 @@ import (
 )
 
 // Param is one parameter tensor of a layer.
-type Param struct {
+type ParamOf[T tensor.Float] struct {
 	// Name identifies the tensor inside a checkpoint, e.g. "dense1/W".
 	Name string
 	// W holds the values; Grad the accumulated gradient of the current
 	// backward pass. Grad is nil for non-trainable tensors (e.g. the
 	// running statistics of a batch-normalization layer).
-	W, Grad *tensor.Tensor
+	W, Grad *tensor.TensorOf[T]
 	// L2 is the L2 regularization coefficient applied to this tensor
 	// (0 disables it). The paper's CIFAR-10 space uses 0.0005.
 	L2 float64
 }
 
 // Trainable reports whether the optimizer should update this parameter.
-func (p *Param) Trainable() bool { return p.Grad != nil }
+func (p *ParamOf[T]) Trainable() bool { return p.Grad != nil }
 
 // Layer is one operator in a computation graph. Forward must be called
 // before Backward within the same pass: layers cache whatever intermediate
 // state their gradient needs.
-type Layer interface {
+type LayerOf[T tensor.Float] interface {
 	// Name returns the unique layer name within its network.
 	Name() string
 	// OutShape returns the per-sample output shape for the given
@@ -60,21 +60,21 @@ type Layer interface {
 	// Forward computes the batched output. training toggles
 	// behaviour that differs between fitting and inference
 	// (dropout masks, batch-norm statistics).
-	Forward(in []*tensor.Tensor, training bool) *tensor.Tensor
+	Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T]
 	// Backward consumes the gradient w.r.t. the output and returns the
 	// gradients w.r.t. each input, in the same order as Forward's inputs.
 	// Parameter gradients are accumulated into the layer's Params.
-	Backward(dOut *tensor.Tensor) []*tensor.Tensor
+	Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T]
 	// Params returns the layer's parameter tensors (possibly empty).
 	// The first returned parameter is the layer's matching signature for
 	// weight transfer (see internal/core).
-	Params() []*Param
+	Params() []*ParamOf[T]
 }
 
 // ParamGroup couples all parameter tensors of one layer with the shape the
 // weight-transfer matchers use as the layer's signature. Transferring a
 // group copies every tensor in it (weights, biases, batch-norm statistics).
-type ParamGroup struct {
+type ParamGroupOf[T tensor.Float] struct {
 	// Layer is the owning layer's name.
 	Layer string
 	// Signature is the shape of the layer's primary weight tensor; two
@@ -82,12 +82,12 @@ type ParamGroup struct {
 	// (paper Section IV-A).
 	Signature []int
 	// Params lists every tensor of the layer, primary weight first.
-	Params []*Param
+	Params []*ParamOf[T]
 }
 
 // Compatible reports whether weights can be transferred from src into g:
 // identical signatures and identical shapes for every coupled tensor.
-func (g *ParamGroup) Compatible(src *ParamGroup) bool {
+func (g *ParamGroupOf[T]) Compatible(src *ParamGroupOf[T]) bool {
 	if !tensor.SameShape(g.Signature, src.Signature) || len(g.Params) != len(src.Params) {
 		return false
 	}
@@ -101,7 +101,7 @@ func (g *ParamGroup) Compatible(src *ParamGroup) bool {
 
 // CopyFrom copies every tensor of src into g. It returns an error if the
 // groups are not Compatible.
-func (g *ParamGroup) CopyFrom(src *ParamGroup) error {
+func (g *ParamGroupOf[T]) CopyFrom(src *ParamGroupOf[T]) error {
 	if !g.Compatible(src) {
 		return fmt.Errorf("nn: param group %q%s not compatible with %q%s",
 			g.Layer, tensor.ShapeString(g.Signature), src.Layer, tensor.ShapeString(src.Signature))

@@ -11,37 +11,38 @@ import (
 // Loss computes a scalar training loss and its gradient with respect to the
 // network predictions. Targets are encoded as float64: class indices for
 // classification, raw values for regression.
-type Loss interface {
+type LossOf[T tensor.Float] interface {
 	Name() string
 	// Forward returns the mean loss over the batch and d(loss)/d(pred).
-	Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor)
+	// The scalar loss is always float64 regardless of the element type.
+	Forward(pred *tensor.TensorOf[T], targets []float64) (float64, *tensor.TensorOf[T])
 }
 
 // Metric scores predictions against targets (higher is better for every
 // metric in this package, matching the paper's "objective metrics").
-type Metric interface {
+type MetricOf[T tensor.Float] interface {
 	Name() string
-	Eval(pred *tensor.Tensor, targets []float64) float64
+	Eval(pred *tensor.TensorOf[T], targets []float64) float64
 }
 
 // SoftmaxCrossEntropy is categorical cross-entropy on logits [B, K]; the
 // softmax is fused into the loss for numerical stability.
-type SoftmaxCrossEntropy struct{}
+type SoftmaxCrossEntropyOf[T tensor.Float] struct{}
 
 // Name returns "CE", the paper's Table I abbreviation.
-func (SoftmaxCrossEntropy) Name() string { return "CE" }
+func (SoftmaxCrossEntropyOf[T]) Name() string { return "CE" }
 
 // Forward computes the mean cross-entropy and the fused softmax gradient
 // (softmax(pred) - onehot(target)) / B. Rows are processed in parallel
 // batch shards through the same row-parallel primitive as the dense matmul
 // path; gradients are per-row (worker-count invariant) and the scalar loss
 // is reduced from per-shard partials in shard order.
-func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor) {
+func (SoftmaxCrossEntropyOf[T]) Forward(pred *tensor.TensorOf[T], targets []float64) (float64, *tensor.TensorOf[T]) {
 	b, k := pred.Shape[0], pred.Shape[1]
 	if len(targets) != b {
 		panic(fmt.Sprintf("nn: %d targets for batch of %d", len(targets), b))
 	}
-	grad := tensor.New(b, k)
+	grad := tensor.NewOf[T](b, k)
 	shards := parallel.Shards(b, lossMinRows(k))
 	partial := make([]float64, shards)
 	parallel.ForShardN(b, shards, func(shard, lo, hi int) {
@@ -54,10 +55,10 @@ func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (floa
 					maxv = v
 				}
 			}
-			sum := 0.0
+			var sum T
 			g := grad.Data[i*k : (i+1)*k]
 			for j, v := range row {
-				e := math.Exp(v - maxv)
+				e := T(math.Exp(float64(v - maxv)))
 				g[j] = e
 				sum += e
 			}
@@ -65,7 +66,7 @@ func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (floa
 			if label < 0 || label >= k {
 				panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
 			}
-			lossPart += -(row[label] - maxv - math.Log(sum))
+			lossPart += -(float64(row[label]-maxv) - math.Log(float64(sum)))
 			inv := 1 / sum
 			for j := range g {
 				g[j] *= inv
@@ -78,7 +79,7 @@ func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, targets []float64) (floa
 	for _, p := range partial {
 		loss += p
 	}
-	grad.Scale(1 / float64(b))
+	grad.Scale(T(1 / float64(b)))
 	return loss / float64(b), grad
 }
 
@@ -97,21 +98,21 @@ func lossMinRows(k int) int {
 
 // MAE is the mean absolute error on [B, 1] (or [B]) predictions, the loss
 // the paper uses for the Uno regression application.
-type MAE struct{}
+type MAEOf[T tensor.Float] struct{}
 
 // Name returns "MAE".
-func (MAE) Name() string { return "MAE" }
+func (MAEOf[T]) Name() string { return "MAE" }
 
 // Forward computes mean |pred-target| and its subgradient sign(pred-target)/B.
-func (MAE) Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Tensor) {
+func (MAEOf[T]) Forward(pred *tensor.TensorOf[T], targets []float64) (float64, *tensor.TensorOf[T]) {
 	b := pred.Shape[0]
 	if pred.Numel() != b {
 		panic(fmt.Sprintf("nn: MAE wants one output per sample, got shape %s", tensor.ShapeString(pred.Shape)))
 	}
-	grad := tensor.New(pred.Shape...)
+	grad := tensor.NewOf[T](pred.Shape...)
 	loss := 0.0
 	for i := 0; i < b; i++ {
-		d := pred.Data[i] - targets[i]
+		d := float64(pred.Data[i]) - targets[i]
 		loss += math.Abs(d)
 		switch {
 		case d > 0:
@@ -120,18 +121,18 @@ func (MAE) Forward(pred *tensor.Tensor, targets []float64) (float64, *tensor.Ten
 			grad.Data[i] = -1
 		}
 	}
-	grad.Scale(1 / float64(b))
+	grad.Scale(T(1 / float64(b)))
 	return loss / float64(b), grad
 }
 
 // Accuracy is the fraction of argmax predictions equal to the class label.
-type Accuracy struct{}
+type AccuracyOf[T tensor.Float] struct{}
 
 // Name returns "ACC".
-func (Accuracy) Name() string { return "ACC" }
+func (AccuracyOf[T]) Name() string { return "ACC" }
 
 // Eval scores logits [B, K] against class labels.
-func (Accuracy) Eval(pred *tensor.Tensor, targets []float64) float64 {
+func (AccuracyOf[T]) Eval(pred *tensor.TensorOf[T], targets []float64) float64 {
 	b, k := pred.Shape[0], pred.Shape[1]
 	correct := 0
 	for i := 0; i < b; i++ {
@@ -151,14 +152,14 @@ func (Accuracy) Eval(pred *tensor.Tensor, targets []float64) float64 {
 
 // R2 is the coefficient of determination 1 - SS_res/SS_tot, the objective
 // metric of the Uno application.
-type R2 struct{}
+type R2Of[T tensor.Float] struct{}
 
 // Name returns "R2".
-func (R2) Name() string { return "R2" }
+func (R2Of[T]) Name() string { return "R2" }
 
 // Eval scores [B, 1] (or [B]) predictions against regression targets.
 // A constant target vector yields 0 (no variance to explain).
-func (R2) Eval(pred *tensor.Tensor, targets []float64) float64 {
+func (R2Of[T]) Eval(pred *tensor.TensorOf[T], targets []float64) float64 {
 	b := pred.Shape[0]
 	mean := 0.0
 	for _, t := range targets {
@@ -167,7 +168,7 @@ func (R2) Eval(pred *tensor.Tensor, targets []float64) float64 {
 	mean /= float64(b)
 	ssRes, ssTot := 0.0, 0.0
 	for i := 0; i < b; i++ {
-		d := targets[i] - pred.Data[i]
+		d := targets[i] - float64(pred.Data[i])
 		ssRes += d * d
 		m := targets[i] - mean
 		ssTot += m * m

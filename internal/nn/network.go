@@ -18,18 +18,18 @@ func (r InputRef) graphInputIndex() int {
 	return int(-r) - 1
 }
 
-type node struct {
-	layer  Layer
+type node[T tensor.Float] struct {
+	layer  LayerOf[T]
 	inputs []InputRef
-	out    *tensor.Tensor // forward cache for the current pass
-	grad   *tensor.Tensor // accumulated dOut for the current backward pass
-	users  int            // number of consumers (incl. being the output)
+	out    *tensor.TensorOf[T] // forward cache for the current pass
+	grad   *tensor.TensorOf[T] // accumulated dOut for the current backward pass
+	users  int                 // number of consumers (incl. being the output)
 }
 
 // Network is a DAG of layers evaluated in insertion (topological) order.
 // The last added node is the network output unless SetOutput overrides it.
-type Network struct {
-	nodes       []*node
+type NetworkOf[T tensor.Float] struct {
+	nodes       []*node[T]
 	numInputs   int
 	inputShapes [][]int // per-sample shapes of the graph inputs
 	nodeShapes  [][]int // per-sample output shape of each node
@@ -37,27 +37,32 @@ type Network struct {
 	// arena is the im2col scratch shared by every conv layer added to this
 	// network (created on the first one), keeping peak patch-buffer memory
 	// independent of depth. See arena.go.
-	arena *convArena
+	arena *convArenaOf[T]
 }
 
 // NewNetwork creates a network with the given per-sample input shapes
 // (one per graph input, batch dimension excluded).
-func NewNetwork(inputShapes ...[]int) *Network {
+func NewNetwork(inputShapes ...[]int) *Network { return NewNetworkOf[float64](inputShapes...) }
+
+// NewNetworkOf creates a network of the given element type; see NewNetwork.
+// Search builders always construct in float64 and cast once via
+// ConvertNetwork before f32 training (DESIGN.md §14).
+func NewNetworkOf[T tensor.Float](inputShapes ...[]int) *NetworkOf[T] {
 	shapes := make([][]int, len(inputShapes))
 	for i, s := range inputShapes {
 		shapes[i] = append([]int(nil), s...)
 	}
-	return &Network{numInputs: len(inputShapes), inputShapes: shapes, output: -1}
+	return &NetworkOf[T]{numInputs: len(inputShapes), inputShapes: shapes, output: -1}
 }
 
 // NumInputs returns the number of graph inputs.
-func (n *Network) NumInputs() int { return n.numInputs }
+func (n *NetworkOf[T]) NumInputs() int { return n.numInputs }
 
 // Add appends a layer consuming the given inputs and returns its node index.
 // Inputs must reference graph inputs or previously added nodes; shape
 // inference runs eagerly and errors are returned to the caller (NAS builders
 // rely on this to validate candidate architectures).
-func (n *Network) Add(l Layer, inputs ...InputRef) (InputRef, error) {
+func (n *NetworkOf[T]) Add(l LayerOf[T], inputs ...InputRef) (InputRef, error) {
 	inShapes := make([][]int, len(inputs))
 	for i, ref := range inputs {
 		switch {
@@ -77,22 +82,22 @@ func (n *Network) Add(l Layer, inputs ...InputRef) (InputRef, error) {
 	if err != nil {
 		return 0, fmt.Errorf("nn: layer %q: %w", l.Name(), err)
 	}
-	if au, ok := l.(arenaUser); ok {
+	if au, ok := l.(arenaUserOf[T]); ok {
 		// Shape inference succeeded, so the layer knows its patch-matrix
 		// size; hand it the network-wide scratch arena.
 		if n.arena == nil {
-			n.arena = &convArena{}
+			n.arena = &convArenaOf[T]{}
 		}
 		au.setArena(n.arena)
 	}
-	n.nodes = append(n.nodes, &node{layer: l, inputs: append([]InputRef(nil), inputs...)})
+	n.nodes = append(n.nodes, &node[T]{layer: l, inputs: append([]InputRef(nil), inputs...)})
 	n.nodeShapes = append(n.nodeShapes, out)
 	n.output = len(n.nodes) - 1
 	return InputRef(n.output), nil
 }
 
 // MustAdd is Add for statically known-valid graphs; it panics on error.
-func (n *Network) MustAdd(l Layer, inputs ...InputRef) InputRef {
+func (n *NetworkOf[T]) MustAdd(l LayerOf[T], inputs ...InputRef) InputRef {
 	ref, err := n.Add(l, inputs...)
 	if err != nil {
 		panic(err)
@@ -101,7 +106,7 @@ func (n *Network) MustAdd(l Layer, inputs ...InputRef) InputRef {
 }
 
 // SetOutput designates the node whose value Forward returns.
-func (n *Network) SetOutput(ref InputRef) error {
+func (n *NetworkOf[T]) SetOutput(ref InputRef) error {
 	if ref.isGraphInput() || int(ref) >= len(n.nodes) {
 		return fmt.Errorf("nn: invalid output ref %d", ref)
 	}
@@ -110,7 +115,7 @@ func (n *Network) SetOutput(ref InputRef) error {
 }
 
 // OutputShape returns the per-sample shape of the network output.
-func (n *Network) OutputShape() []int {
+func (n *NetworkOf[T]) OutputShape() []int {
 	if n.output < 0 {
 		return nil
 	}
@@ -119,7 +124,7 @@ func (n *Network) OutputShape() []int {
 
 // Forward evaluates the graph on a batch. Each input tensor's first
 // dimension is the batch size; all batch sizes must agree.
-func (n *Network) Forward(inputs []*tensor.Tensor, training bool) (*tensor.Tensor, error) {
+func (n *NetworkOf[T]) Forward(inputs []*tensor.TensorOf[T], training bool) (*tensor.TensorOf[T], error) {
 	if len(inputs) != n.numInputs {
 		return nil, fmt.Errorf("nn: forward got %d inputs, want %d", len(inputs), n.numInputs)
 	}
@@ -139,7 +144,7 @@ func (n *Network) Forward(inputs []*tensor.Tensor, training bool) (*tensor.Tenso
 	}
 	n.nodes[n.output].users++
 	for _, nd := range n.nodes {
-		ins := make([]*tensor.Tensor, len(nd.inputs))
+		ins := make([]*tensor.TensorOf[T], len(nd.inputs))
 		for i, ref := range nd.inputs {
 			if ref.isGraphInput() {
 				ins[i] = inputs[ref.graphInputIndex()]
@@ -154,7 +159,7 @@ func (n *Network) Forward(inputs []*tensor.Tensor, training bool) (*tensor.Tenso
 
 // Backward propagates dOut (gradient w.r.t. the network output of the most
 // recent Forward pass) through the graph, accumulating parameter gradients.
-func (n *Network) Backward(dOut *tensor.Tensor) error {
+func (n *NetworkOf[T]) Backward(dOut *tensor.TensorOf[T]) error {
 	if n.output < 0 {
 		return fmt.Errorf("nn: network has no nodes")
 	}
@@ -188,7 +193,7 @@ func (n *Network) Backward(dOut *tensor.Tensor) error {
 }
 
 // ZeroGrads clears every trainable parameter gradient.
-func (n *Network) ZeroGrads() {
+func (n *NetworkOf[T]) ZeroGrads() {
 	for _, p := range n.Params() {
 		if p.Grad != nil {
 			p.Grad.Zero()
@@ -197,8 +202,8 @@ func (n *Network) ZeroGrads() {
 }
 
 // Params returns every parameter tensor in topological layer order.
-func (n *Network) Params() []*Param {
-	var ps []*Param
+func (n *NetworkOf[T]) Params() []*ParamOf[T] {
+	var ps []*ParamOf[T]
 	for _, nd := range n.nodes {
 		ps = append(ps, nd.layer.Params()...)
 	}
@@ -208,14 +213,14 @@ func (n *Network) Params() []*Param {
 // ParamGroups returns the per-layer parameter groups in topological order.
 // The sequence of group signatures is the network's shape sequence used by
 // the LP and LCS weight-transfer matchers.
-func (n *Network) ParamGroups() []ParamGroup {
-	var gs []ParamGroup
+func (n *NetworkOf[T]) ParamGroups() []ParamGroupOf[T] {
+	var gs []ParamGroupOf[T]
 	for _, nd := range n.nodes {
 		ps := nd.layer.Params()
 		if len(ps) == 0 {
 			continue
 		}
-		gs = append(gs, ParamGroup{
+		gs = append(gs, ParamGroupOf[T]{
 			Layer:     nd.layer.Name(),
 			Signature: append([]int(nil), ps[0].W.Shape...),
 			Params:    ps,
@@ -226,7 +231,7 @@ func (n *Network) ParamGroups() []ParamGroup {
 
 // ParamCount returns the total number of trainable scalar parameters,
 // the model-complexity proxy of the paper's Table IV.
-func (n *Network) ParamCount() int {
+func (n *NetworkOf[T]) ParamCount() int {
 	c := 0
 	for _, p := range n.Params() {
 		if p.Trainable() {
@@ -239,7 +244,7 @@ func (n *Network) ParamCount() int {
 // ShapeOf returns the per-sample shape of a node output or graph input,
 // or nil for invalid references. NAS builders use it to infer the widths of
 // layers they append.
-func (n *Network) ShapeOf(ref InputRef) []int {
+func (n *NetworkOf[T]) ShapeOf(ref InputRef) []int {
 	if ref.isGraphInput() {
 		gi := ref.graphInputIndex()
 		if gi >= n.numInputs {
@@ -254,8 +259,8 @@ func (n *Network) ShapeOf(ref InputRef) []int {
 }
 
 // Layers returns the layers in topological order (read-only use).
-func (n *Network) Layers() []Layer {
-	ls := make([]Layer, len(n.nodes))
+func (n *NetworkOf[T]) Layers() []LayerOf[T] {
+	ls := make([]LayerOf[T], len(n.nodes))
 	for i, nd := range n.nodes {
 		ls[i] = nd.layer
 	}

@@ -1,108 +1,126 @@
 package nn
 
-import "math"
+import (
+	"math"
+
+	"swtnas/internal/tensor"
+)
 
 // Optimizer updates trainable parameters from their accumulated gradients.
-type Optimizer interface {
+type OptimizerOf[T tensor.Float] interface {
 	// Step applies one update and leaves gradients untouched (callers
 	// zero them via Network.ZeroGrads before the next accumulation).
-	Step(params []*Param)
+	Step(params []*ParamOf[T])
 }
 
-type adamState struct {
-	m, v []float64
+type adamState[T tensor.Float] struct {
+	m, v []T
 }
 
 // Adam implements Kingma & Ba's optimizer with the paper's hyper-parameters
 // as defaults: lr=0.001, β₁=0.9, β₂=0.999, ε=1e-7 (Section VII-A).
 // L2 regularization declared on a parameter is added to its gradient before
 // the moment update, matching a Keras kernel_regularizer.
-type Adam struct {
+type AdamOf[T tensor.Float] struct {
 	LR, Beta1, Beta2, Eps float64
 	t                     int
-	state                 map[*Param]*adamState
+	state                 map[*ParamOf[T]]*adamState[T]
 }
 
-// NewAdam returns an Adam optimizer with the paper's settings.
-func NewAdam() *Adam {
-	return &Adam{LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, state: map[*Param]*adamState{}}
+// NewAdam returns a float64 Adam optimizer with the paper's settings.
+func NewAdam() *Adam { return NewAdamOf[float64]() }
+
+// NewAdamOf returns an Adam optimizer for the given element type with the
+// paper's settings. Hyper-parameters stay float64; only the moment vectors
+// and the per-element update run in T.
+func NewAdamOf[T tensor.Float]() *AdamOf[T] {
+	return &AdamOf[T]{LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, state: map[*ParamOf[T]]*adamState[T]{}}
 }
 
 // SetLR updates the learning rate (LRSettable).
-func (a *Adam) SetLR(lr float64) { a.LR = lr }
+func (a *AdamOf[T]) SetLR(lr float64) { a.LR = lr }
 
 // Step applies one Adam update to every trainable parameter.
-func (a *Adam) Step(params []*Param) {
+func (a *AdamOf[T]) Step(params []*ParamOf[T]) {
 	a.t++
-	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
-	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	c1 := T(1 - math.Pow(a.Beta1, float64(a.t)))
+	c2 := T(1 - math.Pow(a.Beta2, float64(a.t)))
+	b1, ob1 := T(a.Beta1), T(1-a.Beta1)
+	b2, ob2 := T(a.Beta2), T(1-a.Beta2)
+	lr, eps := T(a.LR), T(a.Eps)
 	for _, p := range params {
 		if !p.Trainable() {
 			continue
 		}
 		st, ok := a.state[p]
 		if !ok {
-			st = &adamState{m: make([]float64, p.W.Numel()), v: make([]float64, p.W.Numel())}
+			st = &adamState[T]{m: make([]T, p.W.Numel()), v: make([]T, p.W.Numel())}
 			a.state[p] = st
 		}
+		l2x2 := T(2 * p.L2)
 		w, g := p.W.Data, p.Grad.Data
 		for i := range w {
 			gi := g[i]
 			if p.L2 != 0 {
-				gi += 2 * p.L2 * w[i]
+				gi += l2x2 * w[i]
 			}
-			st.m[i] = a.Beta1*st.m[i] + (1-a.Beta1)*gi
-			st.v[i] = a.Beta2*st.v[i] + (1-a.Beta2)*gi*gi
+			st.m[i] = b1*st.m[i] + ob1*gi
+			st.v[i] = b2*st.v[i] + ob2*gi*gi
 			mHat := st.m[i] / c1
 			vHat := st.v[i] / c2
-			w[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			w[i] -= lr * mHat / (T(math.Sqrt(float64(vHat))) + eps)
 		}
 	}
 }
 
 // SGD is plain stochastic gradient descent with optional momentum, provided
 // as a baseline optimizer for tests and ablations.
-type SGD struct {
+type SGDOf[T tensor.Float] struct {
 	LR, Momentum float64
-	vel          map[*Param][]float64
+	vel          map[*ParamOf[T]][]T
 }
 
-// NewSGD returns an SGD optimizer.
-func NewSGD(lr, momentum float64) *SGD {
-	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param][]float64{}}
+// NewSGD returns a float64 SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return NewSGDOf[float64](lr, momentum) }
+
+// NewSGDOf returns an SGD optimizer for the given element type.
+func NewSGDOf[T tensor.Float](lr, momentum float64) *SGDOf[T] {
+	return &SGDOf[T]{LR: lr, Momentum: momentum, vel: map[*ParamOf[T]][]T{}}
 }
 
 // SetLR updates the learning rate (LRSettable).
-func (s *SGD) SetLR(lr float64) { s.LR = lr }
+func (s *SGDOf[T]) SetLR(lr float64) { s.LR = lr }
 
 // Step applies one SGD update to every trainable parameter.
-func (s *SGD) Step(params []*Param) {
+func (s *SGDOf[T]) Step(params []*ParamOf[T]) {
+	lr, mom := T(s.LR), T(s.Momentum)
 	for _, p := range params {
 		if !p.Trainable() {
 			continue
 		}
+		l2x2 := T(2 * p.L2)
 		w, g := p.W.Data, p.Grad.Data
 		if s.Momentum == 0 {
 			for i := range w {
 				gi := g[i]
 				if p.L2 != 0 {
-					gi += 2 * p.L2 * w[i]
+					gi += l2x2 * w[i]
 				}
-				w[i] -= s.LR * gi
+				w[i] -= lr * gi
 			}
 			continue
 		}
 		v, ok := s.vel[p]
 		if !ok {
-			v = make([]float64, len(w))
+			v = make([]T, len(w))
 			s.vel[p] = v
 		}
 		for i := range w {
 			gi := g[i]
 			if p.L2 != 0 {
-				gi += 2 * p.L2 * w[i]
+				gi += l2x2 * w[i]
 			}
-			v[i] = s.Momentum*v[i] - s.LR*gi
+			v[i] = mom*v[i] - lr*gi
 			w[i] += v[i]
 		}
 	}

@@ -35,7 +35,7 @@ func poolMinRows(rowCost int) int {
 // window. When the input's spatial extent is smaller than the window (a
 // state random NAS candidates can reach by stacking pools), the layer
 // degrades to the identity; IsIdentity reports that.
-type MaxPool2D struct {
+type MaxPool2DOf[T tensor.Float] struct {
 	name         string
 	Size, Stride int
 	identity     bool
@@ -53,14 +53,14 @@ func NewMaxPool2D(name string, size, stride int) *MaxPool2D {
 	return &MaxPool2D{name: name, Size: size, Stride: stride}
 }
 
-func (p *MaxPool2D) Name() string     { return p.name }
-func (p *MaxPool2D) Params() []*Param { return nil }
+func (p *MaxPool2DOf[T]) Name() string          { return p.name }
+func (p *MaxPool2DOf[T]) Params() []*ParamOf[T] { return nil }
 
 // IsIdentity reports whether the last shape inference degraded the pool to a
 // pass-through because the window does not fit.
-func (p *MaxPool2D) IsIdentity() bool { return p.identity }
+func (p *MaxPool2DOf[T]) IsIdentity() bool { return p.identity }
 
-func (p *MaxPool2D) OutShape(in [][]int) ([]int, error) {
+func (p *MaxPool2DOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("maxpool2d wants 1 input, got %d", len(in))
 	}
@@ -80,13 +80,13 @@ func (p *MaxPool2D) OutShape(in [][]int) ([]int, error) {
 	return []int{p.outH, p.outW, p.ch}, nil
 }
 
-func (p *MaxPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (p *MaxPool2DOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	if p.identity {
 		return x
 	}
 	b := x.Shape[0]
-	out := tensor.New(b, p.outH, p.outW, p.ch)
+	out := tensor.NewOf[T](b, p.outH, p.outW, p.ch)
 	if cap(p.argmax) < out.Numel() {
 		p.argmax = make([]int, out.Numel())
 	}
@@ -100,7 +100,7 @@ func (p *MaxPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 			oi := r * orow
 			for ox := 0; ox < p.outW; ox++ {
 				for c := 0; c < p.ch; c++ {
-					best := math.Inf(-1)
+					best := T(math.Inf(-1))
 					bestIdx := -1
 					for ky := 0; ky < p.Size; ky++ {
 						y := oy*p.Stride + ky
@@ -122,12 +122,12 @@ func (p *MaxPool2D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (p *MaxPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (p *MaxPool2DOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	if p.identity {
-		return []*tensor.Tensor{dOut}
+		return []*tensor.TensorOf[T]{dOut}
 	}
 	b := dOut.Shape[0]
-	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	dIn := tensor.NewOf[T](append([]int{b}, p.inShape...)...)
 	orow := p.outW * p.ch
 	if p.Stride >= p.Size {
 		// Disjoint windows: each input element gets at most one
@@ -137,7 +137,7 @@ func (p *MaxPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 				dIn.Data[p.argmax[oi]] += dOut.Data[oi]
 			}
 		})
-		return []*tensor.Tensor{dIn}
+		return []*tensor.TensorOf[T]{dIn}
 	}
 	perSample := p.outH * orow
 	parallel.For(b, 1, func(lo, hi int) {
@@ -145,12 +145,12 @@ func (p *MaxPool2D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			dIn.Data[p.argmax[oi]] += dOut.Data[oi]
 		}
 	})
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }
 
 // MaxPool1D is max pooling over [B, L, C] inputs, with the same
 // degenerate-window identity fallback as MaxPool2D.
-type MaxPool1D struct {
+type MaxPool1DOf[T tensor.Float] struct {
 	name         string
 	Size, Stride int
 	identity     bool
@@ -168,13 +168,13 @@ func NewMaxPool1D(name string, size, stride int) *MaxPool1D {
 	return &MaxPool1D{name: name, Size: size, Stride: stride}
 }
 
-func (p *MaxPool1D) Name() string     { return p.name }
-func (p *MaxPool1D) Params() []*Param { return nil }
+func (p *MaxPool1DOf[T]) Name() string          { return p.name }
+func (p *MaxPool1DOf[T]) Params() []*ParamOf[T] { return nil }
 
 // IsIdentity reports whether the pool degraded to a pass-through.
-func (p *MaxPool1D) IsIdentity() bool { return p.identity }
+func (p *MaxPool1DOf[T]) IsIdentity() bool { return p.identity }
 
-func (p *MaxPool1D) OutShape(in [][]int) ([]int, error) {
+func (p *MaxPool1DOf[T]) OutShape(in [][]int) ([]int, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("maxpool1d wants 1 input, got %d", len(in))
 	}
@@ -193,13 +193,13 @@ func (p *MaxPool1D) OutShape(in [][]int) ([]int, error) {
 	return []int{p.outL, p.ch}, nil
 }
 
-func (p *MaxPool1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
+func (p *MaxPool1DOf[T]) Forward(in []*tensor.TensorOf[T], training bool) *tensor.TensorOf[T] {
 	x := in[0]
 	if p.identity {
 		return x
 	}
 	b := x.Shape[0]
-	out := tensor.New(b, p.outL, p.ch)
+	out := tensor.NewOf[T](b, p.outL, p.ch)
 	if cap(p.argmax) < out.Numel() {
 		p.argmax = make([]int, out.Numel())
 	}
@@ -210,7 +210,7 @@ func (p *MaxPool1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 			xb := bi * p.inL * p.ch
 			oi := r * p.ch
 			for c := 0; c < p.ch; c++ {
-				best := math.Inf(-1)
+				best := T(math.Inf(-1))
 				bestIdx := -1
 				for k := 0; k < p.Size; k++ {
 					idx := xb + (ol*p.Stride+k)*p.ch + c
@@ -227,19 +227,19 @@ func (p *MaxPool1D) Forward(in []*tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
-func (p *MaxPool1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
+func (p *MaxPool1DOf[T]) Backward(dOut *tensor.TensorOf[T]) []*tensor.TensorOf[T] {
 	if p.identity {
-		return []*tensor.Tensor{dOut}
+		return []*tensor.TensorOf[T]{dOut}
 	}
 	b := dOut.Shape[0]
-	dIn := tensor.New(append([]int{b}, p.inShape...)...)
+	dIn := tensor.NewOf[T](append([]int{b}, p.inShape...)...)
 	if p.Stride >= p.Size {
 		parallel.For(b*p.outL, poolMinRows(p.ch), func(lo, hi int) {
 			for oi := lo * p.ch; oi < hi*p.ch; oi++ {
 				dIn.Data[p.argmax[oi]] += dOut.Data[oi]
 			}
 		})
-		return []*tensor.Tensor{dIn}
+		return []*tensor.TensorOf[T]{dIn}
 	}
 	perSample := p.outL * p.ch
 	parallel.For(b, 1, func(lo, hi int) {
@@ -247,5 +247,5 @@ func (p *MaxPool1D) Backward(dOut *tensor.Tensor) []*tensor.Tensor {
 			dIn.Data[p.argmax[oi]] += dOut.Data[oi]
 		}
 	})
-	return []*tensor.Tensor{dIn}
+	return []*tensor.TensorOf[T]{dIn}
 }

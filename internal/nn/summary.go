@@ -9,7 +9,7 @@ import (
 
 // Summary writes a Keras-style model description: one row per layer with
 // its output shape and parameter count, then the totals.
-func (n *Network) Summary(w io.Writer) {
+func (n *NetworkOf[T]) Summary(w io.Writer) {
 	fmt.Fprintf(w, "%-24s %-16s %10s\n", "Layer", "Output", "Params")
 	total, trainable := 0, 0
 	for i, nd := range n.nodes {

@@ -25,13 +25,13 @@ var (
 
 // Data is a dataset split: one batched tensor per network input (first
 // dimension = number of samples) plus the per-sample targets.
-type Data struct {
-	Inputs  []*tensor.Tensor
+type DataOf[T tensor.Float] struct {
+	Inputs  []*tensor.TensorOf[T]
 	Targets []float64
 }
 
 // N returns the number of samples.
-func (d *Data) N() int {
+func (d *DataOf[T]) N() int {
 	if len(d.Inputs) == 0 {
 		return 0
 	}
@@ -39,7 +39,7 @@ func (d *Data) N() int {
 }
 
 // Validate checks that every input tensor and the targets agree on N.
-func (d *Data) Validate() error {
+func (d *DataOf[T]) Validate() error {
 	n := d.N()
 	for i, in := range d.Inputs {
 		if len(in.Shape) < 1 || in.Shape[0] != n {
@@ -55,12 +55,12 @@ func (d *Data) Validate() error {
 // Gather returns a new Data holding the rows selected by idx, in order.
 // Row copies are sharded across the worker pool for large gathers;
 // minibatch-sized gathers stay serial.
-func (d *Data) Gather(idx []int) *Data {
-	out := &Data{Targets: make([]float64, len(idx))}
+func (d *DataOf[T]) Gather(idx []int) *DataOf[T] {
+	out := &DataOf[T]{Targets: make([]float64, len(idx))}
 	for _, in := range d.Inputs {
 		rowLen := in.Numel() / in.Shape[0]
 		shape := append([]int{len(idx)}, in.Shape[1:]...)
-		g := tensor.New(shape...)
+		g := tensor.NewOf[T](shape...)
 		minRows := 1
 		if rowLen > 0 && rowLen < gatherShardFloats {
 			minRows = gatherShardFloats / rowLen
@@ -85,7 +85,7 @@ const gatherShardFloats = 1 << 16
 
 // Slice returns the half-open row range [lo, hi) without copying targets'
 // backing arrays more than needed.
-func (d *Data) Slice(lo, hi int) *Data {
+func (d *DataOf[T]) Slice(lo, hi int) *DataOf[T] {
 	idx := make([]int, hi-lo)
 	for i := range idx {
 		idx[i] = lo + i
@@ -133,7 +133,7 @@ type LRSettable interface {
 
 // clipGradients rescales all trainable gradients to a global L2 norm of at
 // most maxNorm and returns the pre-clip norm.
-func clipGradients(params []*Param, maxNorm float64) float64 {
+func clipGradients[T tensor.Float](params []*ParamOf[T], maxNorm float64) float64 {
 	total := 0.0
 	for _, p := range params {
 		if p.Trainable() {
@@ -146,7 +146,7 @@ func clipGradients(params []*Param, maxNorm float64) float64 {
 		scale := maxNorm / norm
 		for _, p := range params {
 			if p.Trainable() {
-				p.Grad.Scale(scale)
+				p.Grad.Scale(T(scale))
 			}
 		}
 	}
@@ -186,7 +186,7 @@ func (h *History) BestScore() float64 {
 
 // Fit trains net with the given loss/metric/optimizer. It returns the
 // training history; the network is left holding the final weights.
-func Fit(net *Network, loss Loss, metric Metric, opt Optimizer, train, val *Data, cfg FitConfig) (*History, error) {
+func Fit[T tensor.Float](net *NetworkOf[T], loss LossOf[T], metric MetricOf[T], opt OptimizerOf[T], train, val *DataOf[T], cfg FitConfig) (*History, error) {
 	if err := train.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,7 +287,7 @@ func Fit(net *Network, loss Loss, metric Metric, opt Optimizer, train, val *Data
 
 // Evaluate computes the metric over data in inference mode, batched so the
 // memory footprint stays bounded.
-func Evaluate(net *Network, metric Metric, data *Data, batchSize int) (float64, error) {
+func Evaluate[T tensor.Float](net *NetworkOf[T], metric MetricOf[T], data *DataOf[T], batchSize int) (float64, error) {
 	if err := data.Validate(); err != nil {
 		return 0, err
 	}
@@ -298,7 +298,7 @@ func Evaluate(net *Network, metric Metric, data *Data, batchSize int) (float64, 
 	if n == 0 {
 		return 0, fmt.Errorf("nn: cannot evaluate on empty data")
 	}
-	var all *tensor.Tensor
+	var all *tensor.TensorOf[T]
 	rowLen := 0
 	for lo := 0; lo < n; lo += batchSize {
 		hi := lo + batchSize
@@ -313,7 +313,7 @@ func Evaluate(net *Network, metric Metric, data *Data, batchSize int) (float64, 
 		if all == nil {
 			rowLen = pred.Numel() / pred.Shape[0]
 			shape := append([]int{n}, pred.Shape[1:]...)
-			all = tensor.New(shape...)
+			all = tensor.NewOf[T](shape...)
 		}
 		copy(all.Data[lo*rowLen:hi*rowLen], pred.Data)
 	}

@@ -96,10 +96,33 @@ type Header struct {
 	ProxyFilter    bool    `json:"proxy_filter,omitempty"`
 	ProxyAdmit     float64 `json:"proxy_admit,omitempty"`
 	MultiObjective bool    `json:"multi_objective,omitempty"`
+	// DType is the canonical spelling of the run's training element type
+	// ("f32"; empty means float64). Training in a different dtype produces
+	// different weights and scores, so resuming a journal under a drifted
+	// dtype would replay checkpoints that the continuing run could never
+	// have produced — Validate rejects it like any other option drift.
+	// omitempty keeps pre-dtype journals decoding to "", which validates
+	// against an f64 run.
+	DType string `json:"dtype,omitempty"`
 }
 
-// Validate reports the first field on which other diverges from h, or nil
-// when the journal belongs to the same run configuration.
+// HeaderMismatchError is the typed form of a journal/run configuration
+// divergence: Field names the option that drifted (as spelled in the
+// Validate error message, e.g. "dtype"), Journal and Run carry the two
+// values. Callers detect it with errors.As to distinguish a wrong-options
+// resume from journal corruption.
+type HeaderMismatchError struct {
+	Field        string
+	Journal, Run any
+}
+
+func (e *HeaderMismatchError) Error() string {
+	return fmt.Sprintf("resilience: journal %s = %v, run has %v — resume needs the original run options", e.Field, e.Journal, e.Run)
+}
+
+// Validate reports the first field on which other diverges from h (as a
+// *HeaderMismatchError), or nil when the journal belongs to the same run
+// configuration.
 func (h Header) Validate(other Header) error {
 	type field struct {
 		name string
@@ -120,12 +143,24 @@ func (h Header) Validate(other Header) error {
 		{"proxy filter", h.ProxyFilter, other.ProxyFilter},
 		{"proxy admit", h.ProxyAdmit, other.ProxyAdmit},
 		{"multi-objective", h.MultiObjective, other.MultiObjective},
+		{"dtype", dtypeSpelling(h.DType), dtypeSpelling(other.DType)},
 	} {
 		if f.a != f.b {
-			return fmt.Errorf("resilience: journal %s = %v, run has %v — resume needs the original run options", f.name, f.a, f.b)
+			return &HeaderMismatchError{Field: f.name, Journal: f.a, Run: f.b}
 		}
 	}
 	return nil
+}
+
+// dtypeSpelling normalizes the header's dtype for comparison and for the
+// mismatch message: the empty string is the pre-dtype (and omitempty)
+// spelling of float64, which would otherwise surface as a blank in
+// "journal dtype = f32, run has f64".
+func dtypeSpelling(s string) string {
+	if s == "" {
+		return "f64"
+	}
+	return s
 }
 
 // EvalRecord is one journaled candidate evaluation: the full trace record

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestJournalHeaderDTypeMismatch pins the dtype drift rejection (DESIGN.md
+// §14): resuming a journal under a different training dtype must fail with a
+// typed *HeaderMismatchError naming the dtype field — replaying f64-trained
+// scores into an f32 run would silently mix rounding regimes.
+func TestJournalHeaderDTypeMismatch(t *testing.T) {
+	h := testHeader()
+	h.DType = "f32"
+	o := testHeader() // DType "" = float64
+	err := h.Validate(o)
+	if err == nil {
+		t.Fatal("f32 journal validated against an f64 run")
+	}
+	var hm *HeaderMismatchError
+	if !errors.As(err, &hm) {
+		t.Fatalf("error %T is not a *HeaderMismatchError: %v", err, err)
+	}
+	if hm.Field != "dtype" {
+		t.Fatalf("mismatch field = %q, want \"dtype\"", hm.Field)
+	}
+	// The run side's "" (omitempty f64) is normalized to its canonical
+	// spelling so the message reads "run has f64", not a blank.
+	if hm.Journal != "f32" || hm.Run != "f64" {
+		t.Fatalf("mismatch values = %v / %v, want f32 / f64", hm.Journal, hm.Run)
+	}
+
+	// Same dtype on both sides validates.
+	o.DType = "f32"
+	if err := h.Validate(o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every header mismatch is the typed error, not just dtype.
+	o = testHeader()
+	o.DType = "f32"
+	o.Seed = 99
+	if err := h.Validate(o); err != nil {
+		var hm *HeaderMismatchError
+		if !errors.As(err, &hm) || hm.Field != "seed" {
+			t.Fatalf("seed mismatch error = %v (%T)", err, err)
+		}
+	} else {
+		t.Fatal("mismatched seed validated")
+	}
+}
+
+// TestJournalHeaderDTypeBackwardCompat: journals written before the dtype
+// field decode with DType "" and still validate against a default (f64) run,
+// and an f64 run's header never serializes a dtype key — so old journals and
+// new f64 journals stay mutually resumable.
+func TestJournalHeaderDTypeBackwardCompat(t *testing.T) {
+	var old Header
+	if err := json.Unmarshal([]byte(`{"app":"nt3","scheme":"LCS","space":"nt3","budget":8,"seed":3,"data_seed":1,"workers":2,"population":4,"sample":2,"train_n":32,"val_n":16}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if old.DType != "" {
+		t.Fatalf("legacy header grew a dtype: %q", old.DType)
+	}
+	if err := old.Validate(testHeader()); err != nil {
+		t.Fatalf("legacy header rejects a default f64 run: %v", err)
+	}
+	b, err := json.Marshal(testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "dtype") {
+		t.Fatalf("f64 header serialized a dtype key: %s", b)
+	}
+	h := testHeader()
+	h.DType = "f32"
+	b, err = json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"dtype":"f32"`) {
+		t.Fatalf("f32 header missing dtype key: %s", b)
+	}
+}

@@ -45,6 +45,12 @@ type Config struct {
 	// search resumes identically even if the server restarts with different
 	// defaults.
 	TenantDefaults map[string]TenantDefault
+	// DefaultDType is the training element type ("f32" or "f64") materialized
+	// into submissions that leave dtype empty. Like tenant defaults it is
+	// applied at admission and persisted with the request, so a search
+	// resumes with its admission-time dtype even if the server restarts with
+	// a different default. Empty keeps the library default (float64).
+	DefaultDType string
 }
 
 // TenantDefault is one tenant's default proxy-admission mode.
@@ -125,6 +131,7 @@ type Server struct {
 	pool     *swtnas.EvaluatorPool
 	mux      *http.ServeMux
 	defaults map[string]TenantDefault
+	dtype    string
 
 	mu       sync.Mutex
 	searches map[string]*searchState
@@ -147,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 		dir:      cfg.DataDir,
 		pool:     swtnas.NewPool(cfg.Pool),
 		defaults: cfg.TenantDefaults,
+		dtype:    cfg.DefaultDType,
 		searches: map[string]*searchState{},
 	}
 	s.routes()
@@ -267,6 +275,7 @@ func (s *Server) options(st *searchState) swtnas.SearchOptions {
 		ProxyFilter:    st.req.ProxyFilter != nil && *st.req.ProxyFilter,
 		ProxyAdmit:     st.req.ProxyAdmit,
 		MultiObjective: st.req.MultiObjective,
+		DType:          st.req.DType,
 		SpaceJSON:      string(st.req.Space),
 		JournalPath:    filepath.Join(s.dir, st.id+".swtj"),
 		Pool:           s.pool,
@@ -401,7 +410,7 @@ var wireField = map[string]string{
 	"PopulationSize": "population", "SampleSize": "sample",
 	"RetainTopK":  "retain_top_k",
 	"ProxyFilter": "proxy_filter", "ProxyAdmit": "proxy_admit",
-	"MultiObjective": "multi_objective",
+	"MultiObjective": "multi_objective", "DType": "dtype",
 }
 
 // fail writes the uniform JSON error body.
@@ -426,6 +435,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.applyTenantDefaults(&req)
+	if req.DType == "" {
+		// Materialized like tenant defaults: the persisted request carries
+		// the admission-time dtype, so resumes survive default changes.
+		req.DType = s.dtype
+	}
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()

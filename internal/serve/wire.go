@@ -70,6 +70,9 @@ type SubmitRequest struct {
 	ProxyAdmit float64 `json:"proxy_admit,omitempty"`
 	// MultiObjective selects Pareto (score × params) parent selection.
 	MultiObjective bool `json:"multi_objective,omitempty"`
+	// DType selects the training element type: "" or "f64" for float64,
+	// "f32" for native float32 training with f32-tagged checkpoints.
+	DType string `json:"dtype,omitempty"`
 	// Space is an inline custom search-space spec (internal/search.Spec).
 	Space json.RawMessage `json:"space,omitempty"`
 }

@@ -38,6 +38,18 @@ import "swtnas/internal/obs"
 // GemmAT additionally matches the accumulation order of a serial
 // sample-major loop (m ascending per output element), which keeps weight
 // gradients bit-identical to the pre-GEMM direct kernels.
+//
+// The kernels are generic over Float, but the two instantiations do not
+// share micro-kernels: scalar multiply-adds cost the same at either width
+// on amd64, so a float32 copy of the float64 code would waste the halved
+// element size. The float32 instantiations dispatch to SIMD-shaped
+// primitives (gemm_f32.go; SSE assembly on amd64, pure-Go twins
+// elsewhere) with their own pinned accumulation orders. The determinism
+// contract — bit-identical results for any worker count — therefore holds
+// independently *per dtype* (pinned by TestGemmParallelMatchesSerialF32
+// and TestF32KernelsMatchGoTwins); f32 and f64 results agree only to f32
+// rounding. Mixed-dtype products do not exist: a network is entirely one
+// element type.
 
 const (
 	// gemmKBlock tiles the reduction dimension of Gemm: one tile of the B
@@ -76,8 +88,19 @@ func observeGemm(m, k, n int, t obs.Timer) {
 // for zero elements of a (activations are sparse after ReLU); the 2×4
 // micro-kernel does not — the branch costs more on dense data than the skip
 // recovers at realistic sparsity.
-func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
+func Gemm[T Float](dst, a, b []T, m, k, n int, bias []T) {
 	defer observeGemm(m, k, n, mGemmSeconds.Start())
+	if d32, ok := any(dst).([]float32); ok {
+		a32, b32 := any(a).([]float32), any(b).([]float32)
+		var bias32 []float32
+		if bias != nil {
+			bias32 = any(bias).([]float32)
+		}
+		ForRows(m, k*n, func(lo, hi int) {
+			gemmRowsF32(d32, a32, b32, lo, hi, k, n, bias32)
+		})
+		return
+	}
 	ForRows(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			oi := dst[i*n : (i+1)*n]
@@ -123,7 +146,7 @@ func Gemm(dst, a, b []float64, m, k, n int, bias []float64) {
 // the result does not depend on whether a row lands in this micro-kernel or
 // in the remainder path. Eight accumulators plus six operand temporaries fit
 // the amd64 register file; wider tiles spill and run slower.
-func gemm2x4(dst, a, b []float64, i, k0, k1, k, n int) {
+func gemm2x4[T Float](dst, a, b []T, i, k0, k1, k, n int) {
 	a0 := a[(i+0)*k : (i+1)*k]
 	a1 := a[(i+1)*k : (i+2)*k]
 	o0 := dst[(i+0)*n : (i+1)*n]
@@ -167,8 +190,15 @@ func gemm2x4(dst, a, b []float64, i, k0, k1, k, n int) {
 // block inside each tile; every dot product runs j-ascending from zero
 // whichever path computes it, so results are bit-identical for any worker
 // count.
-func GemmBT(dst, a, b []float64, m, n, k int) {
+func GemmBT[T Float](dst, a, b []T, m, n, k int) {
 	defer observeGemm(m, k, n, mGemmSeconds.Start())
+	if d32, ok := any(dst).([]float32); ok {
+		a32, b32 := any(a).([]float32), any(b).([]float32)
+		ForRows(m, k*n, func(lo, hi int) {
+			gemmBTRowsF32(d32, a32, b32, lo, hi, n, k)
+		})
+		return
+	}
 	ForRows(m, k*n, func(lo, hi int) {
 		for k0 := 0; k0 < k; k0 += gemmKBlock {
 			k1 := k0 + gemmKBlock
@@ -184,7 +214,7 @@ func GemmBT(dst, a, b []float64, m, n, k int) {
 				oi := dst[i*k : (i+1)*k]
 				for kk := k0; kk < k1; kk++ {
 					br := b[kk*n : (kk+1)*n]
-					s := 0.0
+					var s T
 					for j, g := range ai {
 						s += g * br[j]
 					}
@@ -201,7 +231,7 @@ func GemmBT(dst, a, b []float64, m, n, k int) {
 // four products and each loaded b element two. Every dot product is the same
 // j-ascending sum the scalar path computes, so the two paths agree
 // bit-for-bit.
-func gemmBT2x4(dst, a, b []float64, i, k0, k1, n, k int) {
+func gemmBT2x4[T Float](dst, a, b []T, i, k0, k1, n, k int) {
 	a0 := a[(i+0)*n : (i+1)*n]
 	a1 := a[(i+1)*n : (i+2)*n]
 	o0 := dst[(i+0)*k : (i+1)*k]
@@ -212,8 +242,8 @@ func gemmBT2x4(dst, a, b []float64, i, k0, k1, n, k int) {
 		b1 := b[(kk+1)*n : (kk+2)*n]
 		b2 := b[(kk+2)*n : (kk+3)*n]
 		b3 := b[(kk+3)*n : (kk+4)*n]
-		var c00, c01, c02, c03 float64
-		var c10, c11, c12, c13 float64
+		var c00, c01, c02, c03 T
+		var c10, c11, c12, c13 T
 		for j, g0 := range a0 {
 			g1 := a1[j]
 			w0, w1, w2, w3 := b0[j], b1[j], b2[j], b3[j]
@@ -231,7 +261,7 @@ func gemmBT2x4(dst, a, b []float64, i, k0, k1, n, k int) {
 	}
 	for ; kk < k1; kk++ {
 		br := b[kk*n : (kk+1)*n]
-		var c0, c1 float64
+		var c0, c1 T
 		for j, w := range br {
 			c0 += a0[j] * w
 			c1 += a1[j] * w
@@ -248,8 +278,15 @@ func gemmBT2x4(dst, a, b []float64, i, k0, k1, n, k int) {
 // in ascending tile order (register-blocked within each tile), matching
 // the serial sample-major loop, so weight gradients are bit-identical for
 // any worker count.
-func GemmAT(dst, a, b []float64, m, k, n int) {
+func GemmAT[T Float](dst, a, b []T, m, k, n int) {
 	defer observeGemm(m, k, n, mGemmSeconds.Start())
+	if d32, ok := any(dst).([]float32); ok {
+		a32, b32 := any(a).([]float32), any(b).([]float32)
+		ForRows(k, m*n, func(lo, hi int) {
+			gemmATRowsF32(d32, a32, b32, lo, hi, m, k, n)
+		})
+		return
+	}
 	ForRows(k, m*n, func(lo, hi int) {
 		for m0 := 0; m0 < m; m0 += gemmMBlock {
 			m1 := m0 + gemmMBlock
@@ -285,7 +322,7 @@ func GemmAT(dst, a, b []float64, m, k, n int) {
 // Samples are visited in ascending mm order — the exact per-element sequence
 // of the scalar remainder loop — and the whole group of four rows is skipped
 // for a sample only when all four a elements are zero.
-func gemmAT4(dst, a, b []float64, kk, m0, m1, k, n int) {
+func gemmAT4[T Float](dst, a, b []T, kk, m0, m1, k, n int) {
 	o0 := dst[(kk+0)*n : (kk+1)*n]
 	o1 := dst[(kk+1)*n : (kk+2)*n]
 	o2 := dst[(kk+2)*n : (kk+3)*n]

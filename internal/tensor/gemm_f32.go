@@ -1,0 +1,197 @@
+package tensor
+
+// Float32 kernel specialization. The generic 2×4 micro-kernels in gemm.go
+// are scalar, and scalar multiply-adds cost the same at either width on
+// amd64 — so a float32 instantiation of the float64 kernels moves half the
+// bytes but clears barely any extra throughput. The f32 path instead lowers
+// every product onto two SIMD-friendly primitives whose per-element
+// accumulation order is fixed by construction:
+//
+//   - axpy4f32: dst[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j], the
+//     four terms added left to right into dst[j], one IEEE rounding per
+//     multiply and per add. Gemm uses it with four consecutive B rows
+//     (contributions land kk-ascending, the same per-element sequence as
+//     the scalar path and the naive triple loop); GemmAT with four
+//     consecutive samples' b rows (mm-ascending, matching the serial
+//     sample-major loop).
+//   - dot4f32: four dot products of one a row against four consecutive b
+//     rows. Each dot is a 4-lane strided partial sum — lane l accumulates
+//     elements j≡l (mod 4) in ascending j — reduced as (s0+s2)+(s1+s3),
+//     then the tail elements (j ≥ len&^3) are added in ascending order.
+//     GemmBT's f32 dot products therefore have a *different* (but equally
+//     pinned) accumulation order than the f64 scalar kernel — allowed,
+//     because the determinism contract is per dtype.
+//
+// On amd64 the primitives are hand-written SSE (gemm_f32_amd64.s): MULPS
+// and ADDPS round each lane exactly like MULSS/ADDSS, and Go never fuses
+// multiply-add on amd64, so the assembly is bit-identical to the pure-Go
+// twins below (pinned by TestF32KernelsMatchGoTwins). Other GOARCHes use
+// the twins directly (gemm_f32_noasm.go). Either way the kernel choice is
+// a pure function of position — never of worker count — so serial and
+// parallel runs agree bit for bit (TestGemmParallelMatchesSerialF32).
+//
+// The f32 path does not skip zero operands: the branch that pays for
+// itself on scalar f64 sparsity breaks the SIMD pipeline for a 4-wide
+// kernel. Zero-skipping was never part of the numeric contract (0·b adds
+// a signed zero), only a scalar-era speedup.
+
+// gemmRowsF32 computes rows [lo, hi) of dst = a·b (+bias) in float32,
+// K-tiled like the generic path with axpy4f32 inside each tile.
+func gemmRowsF32(dst, a, b []float32, lo, hi, k, n int, bias []float32) {
+	for i := lo; i < hi; i++ {
+		oi := dst[i*n : (i+1)*n]
+		if bias != nil {
+			copy(oi, bias)
+		} else {
+			for j := range oi {
+				oi[j] = 0
+			}
+		}
+	}
+	for k0 := 0; k0 < k; k0 += gemmKBlock {
+		k1 := k0 + gemmKBlock
+		if k1 > k {
+			k1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			oi := dst[i*n : (i+1)*n]
+			kk := k0
+			for ; kk+4 <= k1; kk += 4 {
+				axpy4f32(oi,
+					b[(kk+0)*n:(kk+1)*n], b[(kk+1)*n:(kk+2)*n],
+					b[(kk+2)*n:(kk+3)*n], b[(kk+3)*n:(kk+4)*n],
+					ai[kk], ai[kk+1], ai[kk+2], ai[kk+3])
+			}
+			for ; kk < k1; kk++ {
+				axpy1f32(oi, b[kk*n:(kk+1)*n], ai[kk])
+			}
+		}
+	}
+}
+
+// gemmBTRowsF32 computes rows [lo, hi) of dst = a·bᵀ in float32: each
+// output element is one dot4f32/dot1f32 dot product, chosen by the global
+// tile grid so the order never depends on sharding.
+func gemmBTRowsF32(dst, a, b []float32, lo, hi, n, k int) {
+	for k0 := 0; k0 < k; k0 += gemmKBlock {
+		k1 := k0 + gemmKBlock
+		if k1 > k {
+			k1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ai := a[i*n : (i+1)*n]
+			oi := dst[i*k : (i+1)*k]
+			kk := k0
+			for ; kk+4 <= k1; kk += 4 {
+				oi[kk], oi[kk+1], oi[kk+2], oi[kk+3] = dot4f32(ai,
+					b[(kk+0)*n:(kk+1)*n], b[(kk+1)*n:(kk+2)*n],
+					b[(kk+2)*n:(kk+3)*n], b[(kk+3)*n:(kk+4)*n])
+			}
+			for ; kk < k1; kk++ {
+				oi[kk] = dot1f32(ai, b[kk*n:(kk+1)*n])
+			}
+		}
+	}
+}
+
+// gemmATRowsF32 accumulates rows [lo, hi) of dst += aᵀ·b in float32,
+// m-tiled with axpy4f32 over groups of four samples (mm ascending, the
+// contract order for weight gradients).
+func gemmATRowsF32(dst, a, b []float32, lo, hi, m, k, n int) {
+	for m0 := 0; m0 < m; m0 += gemmMBlock {
+		m1 := m0 + gemmMBlock
+		if m1 > m {
+			m1 = m
+		}
+		for kk := lo; kk < hi; kk++ {
+			oi := dst[kk*n : (kk+1)*n]
+			mm := m0
+			for ; mm+4 <= m1; mm += 4 {
+				axpy4f32(oi,
+					b[(mm+0)*n:(mm+1)*n], b[(mm+1)*n:(mm+2)*n],
+					b[(mm+2)*n:(mm+3)*n], b[(mm+3)*n:(mm+4)*n],
+					a[(mm+0)*k+kk], a[(mm+1)*k+kk], a[(mm+2)*k+kk], a[(mm+3)*k+kk])
+			}
+			for ; mm < m1; mm++ {
+				axpy1f32(oi, b[mm*n:(mm+1)*n], a[mm*k+kk])
+			}
+		}
+	}
+}
+
+// Pure-Go twins of the assembly kernels. They define the reference
+// semantics: the .s files must match them bit for bit (asserted by
+// TestF32KernelsMatchGoTwins on amd64) and non-amd64 builds run them
+// directly. Kept branch-free and order-explicit — do not "optimize" the
+// accumulation sequence here without changing the assembly in lockstep.
+
+// axpy4Go is the reference for axpy4f32: four scaled rows added into dst,
+// terms left to right per element.
+func axpy4Go(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	for j := range dst {
+		v := dst[j]
+		v += a0 * b0[j]
+		v += a1 * b1[j]
+		v += a2 * b2[j]
+		v += a3 * b3[j]
+		dst[j] = v
+	}
+}
+
+// axpy1Go is the reference for axpy1f32: dst[j] += a·b[j].
+func axpy1Go(dst, b []float32, a float32) {
+	for j := range dst {
+		dst[j] += a * b[j]
+	}
+}
+
+// dot4Go is the reference for dot4f32: each dot product is a 4-lane
+// strided partial sum reduced as (s0+s2)+(s1+s3), tail elements appended
+// in ascending order.
+func dot4Go(a, b0, b1, b2, b3 []float32) (float32, float32, float32, float32) {
+	var p0, p1, p2, p3 [4]float32
+	j4 := len(a) &^ 3
+	for j := 0; j < j4; j += 4 {
+		for l := 0; l < 4; l++ {
+			av := a[j+l]
+			p0[l] += av * b0[j+l]
+			p1[l] += av * b1[j+l]
+			p2[l] += av * b2[j+l]
+			p3[l] += av * b3[j+l]
+		}
+	}
+	d0 := (p0[0] + p0[2]) + (p0[1] + p0[3])
+	d1 := (p1[0] + p1[2]) + (p1[1] + p1[3])
+	d2 := (p2[0] + p2[2]) + (p2[1] + p2[3])
+	d3 := (p3[0] + p3[2]) + (p3[1] + p3[3])
+	for j := j4; j < len(a); j++ {
+		av := a[j]
+		d0 += av * b0[j]
+		d1 += av * b1[j]
+		d2 += av * b2[j]
+		d3 += av * b3[j]
+	}
+	return d0, d1, d2, d3
+}
+
+// dot1Go is the reference for dot1f32, with the same lane structure as
+// one dot4 output. A column lands in dot1 only as a tile remainder — a
+// property of the global tile grid, identical on every worker count — so
+// sharing the structure is about reusing the rounding analysis, not a
+// determinism requirement.
+func dot1Go(a, b []float32) float32 {
+	var p [4]float32
+	j4 := len(a) &^ 3
+	for j := 0; j < j4; j += 4 {
+		p[0] += a[j] * b[j]
+		p[1] += a[j+1] * b[j+1]
+		p[2] += a[j+2] * b[j+2]
+		p[3] += a[j+3] * b[j+3]
+	}
+	d := (p[0] + p[2]) + (p[1] + p[3])
+	for j := j4; j < len(a); j++ {
+		d += a[j] * b[j]
+	}
+	return d
+}

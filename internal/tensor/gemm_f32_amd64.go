@@ -1,0 +1,31 @@
+package tensor
+
+// SSE implementations of the float32 kernel primitives (gemm_f32_amd64.s).
+// MULPS/ADDPS round each lane exactly like the scalar single-precision
+// ops, so these are bit-identical to the Go twins in gemm_f32.go — pinned
+// by TestF32KernelsMatchGoTwins. SSE is part of the amd64 baseline
+// (GOAMD64=v1), so there is no runtime feature check.
+
+// axpy4f32 computes dst[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j]
+// for j in [0, len(dst)), terms added left to right. The b rows must be at
+// least len(dst) long.
+//
+//go:noescape
+func axpy4f32(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32)
+
+// axpy1f32 computes dst[j] += a·b[j] for j in [0, len(dst)).
+//
+//go:noescape
+func axpy1f32(dst, b []float32, a float32)
+
+// dot4f32 returns the four dot products of a against b0..b3 (each at least
+// len(a) long), each reduced in the pinned 4-lane order of dot4Go.
+//
+//go:noescape
+func dot4f32(a, b0, b1, b2, b3 []float32) (d0, d1, d2, d3 float32)
+
+// dot1f32 returns the dot product of a and b in the pinned 4-lane order of
+// dot1Go.
+//
+//go:noescape
+func dot1f32(a, b []float32) float32

@@ -1,0 +1,294 @@
+// SSE float32 kernel primitives. Reference semantics (and required
+// bit-for-bit behavior) are the Go twins in gemm_f32.go; see the package
+// comment there for the accumulation-order contract. Only SSE1/SSE2
+// instructions — part of the amd64 baseline — are used.
+
+#include "textflag.h"
+
+// func axpy4f32(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32)
+// dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j], terms left to
+// right, one rounding per op (no FMA), matching axpy4Go exactly.
+TEXT ·axpy4f32(SB), NOSPLIT, $0-136
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  dst_len+8(FP), CX
+	MOVQ  b0_base+24(FP), SI
+	MOVQ  b1_base+48(FP), R8
+	MOVQ  b2_base+72(FP), R9
+	MOVQ  b3_base+96(FP), R10
+	MOVSS a0+120(FP), X0
+	MOVSS a1+124(FP), X1
+	MOVSS a2+128(FP), X2
+	MOVSS a3+132(FP), X3
+	SHUFPS $0x00, X0, X0 // broadcast a0 to all four lanes
+	SHUFPS $0x00, X1, X1
+	SHUFPS $0x00, X2, X2
+	SHUFPS $0x00, X3, X3
+	XORQ  AX, AX
+	MOVQ  CX, DX
+	ANDQ  $-8, DX
+
+axpy4_loop8: // two vectors (8 elements) per iteration
+	CMPQ   AX, DX
+	JGE    axpy4_setup4
+	MOVUPS (DI)(AX*4), X4
+	MOVUPS 16(DI)(AX*4), X5
+	MOVUPS (SI)(AX*4), X6
+	MOVUPS 16(SI)(AX*4), X7
+	MULPS  X0, X6
+	MULPS  X0, X7
+	ADDPS  X6, X4
+	ADDPS  X7, X5
+	MOVUPS (R8)(AX*4), X6
+	MOVUPS 16(R8)(AX*4), X7
+	MULPS  X1, X6
+	MULPS  X1, X7
+	ADDPS  X6, X4
+	ADDPS  X7, X5
+	MOVUPS (R9)(AX*4), X6
+	MOVUPS 16(R9)(AX*4), X7
+	MULPS  X2, X6
+	MULPS  X2, X7
+	ADDPS  X6, X4
+	ADDPS  X7, X5
+	MOVUPS (R10)(AX*4), X6
+	MOVUPS 16(R10)(AX*4), X7
+	MULPS  X3, X6
+	MULPS  X3, X7
+	ADDPS  X6, X4
+	ADDPS  X7, X5
+	MOVUPS X4, (DI)(AX*4)
+	MOVUPS X5, 16(DI)(AX*4)
+	ADDQ   $8, AX
+	JMP    axpy4_loop8
+
+axpy4_setup4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+axpy4_loop4: // one vector (4 elements) per iteration
+	CMPQ   AX, DX
+	JGE    axpy4_tail
+	MOVUPS (DI)(AX*4), X4
+	MOVUPS (SI)(AX*4), X6
+	MULPS  X0, X6
+	ADDPS  X6, X4
+	MOVUPS (R8)(AX*4), X6
+	MULPS  X1, X6
+	ADDPS  X6, X4
+	MOVUPS (R9)(AX*4), X6
+	MULPS  X2, X6
+	ADDPS  X6, X4
+	MOVUPS (R10)(AX*4), X6
+	MULPS  X3, X6
+	ADDPS  X6, X4
+	MOVUPS X4, (DI)(AX*4)
+	ADDQ   $4, AX
+	JMP    axpy4_loop4
+
+axpy4_tail: // scalar remainder, same per-element op order
+	CMPQ  AX, CX
+	JGE   axpy4_done
+	MOVSS (DI)(AX*4), X4
+	MOVSS (SI)(AX*4), X6
+	MULSS X0, X6
+	ADDSS X6, X4
+	MOVSS (R8)(AX*4), X6
+	MULSS X1, X6
+	ADDSS X6, X4
+	MOVSS (R9)(AX*4), X6
+	MULSS X2, X6
+	ADDSS X6, X4
+	MOVSS (R10)(AX*4), X6
+	MULSS X3, X6
+	ADDSS X6, X4
+	MOVSS X4, (DI)(AX*4)
+	INCQ  AX
+	JMP   axpy4_tail
+
+axpy4_done:
+	RET
+
+// func axpy1f32(dst, b []float32, a float32)
+// dst[j] += a*b[j], matching axpy1Go exactly.
+TEXT ·axpy1f32(SB), NOSPLIT, $0-52
+	MOVQ   dst_base+0(FP), DI
+	MOVQ   dst_len+8(FP), CX
+	MOVQ   b_base+24(FP), SI
+	MOVSS  a+48(FP), X0
+	SHUFPS $0x00, X0, X0
+	XORQ   AX, AX
+	MOVQ   CX, DX
+	ANDQ   $-8, DX
+
+axpy1_loop8:
+	CMPQ   AX, DX
+	JGE    axpy1_setup4
+	MOVUPS (SI)(AX*4), X6
+	MOVUPS 16(SI)(AX*4), X7
+	MULPS  X0, X6
+	MULPS  X0, X7
+	MOVUPS (DI)(AX*4), X4
+	MOVUPS 16(DI)(AX*4), X5
+	ADDPS  X6, X4
+	ADDPS  X7, X5
+	MOVUPS X4, (DI)(AX*4)
+	MOVUPS X5, 16(DI)(AX*4)
+	ADDQ   $8, AX
+	JMP    axpy1_loop8
+
+axpy1_setup4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+axpy1_loop4:
+	CMPQ   AX, DX
+	JGE    axpy1_tail
+	MOVUPS (SI)(AX*4), X6
+	MULPS  X0, X6
+	MOVUPS (DI)(AX*4), X4
+	ADDPS  X6, X4
+	MOVUPS X4, (DI)(AX*4)
+	ADDQ   $4, AX
+	JMP    axpy1_loop4
+
+axpy1_tail:
+	CMPQ  AX, CX
+	JGE   axpy1_done
+	MOVSS (SI)(AX*4), X6
+	MULSS X0, X6
+	MOVSS (DI)(AX*4), X4
+	ADDSS X6, X4
+	MOVSS X4, (DI)(AX*4)
+	INCQ  AX
+	JMP   axpy1_tail
+
+axpy1_done:
+	RET
+
+// func dot4f32(a, b0, b1, b2, b3 []float32) (d0, d1, d2, d3 float32)
+// Four dot products with the pinned 4-lane reduction of dot4Go:
+// lane l sums elements j≡l (mod 4), reduced as (s0+s2)+(s1+s3), then the
+// tail (j >= len&^3) is appended in ascending order.
+TEXT ·dot4f32(SB), NOSPLIT, $0-136
+	MOVQ  a_base+0(FP), DI
+	MOVQ  a_len+8(FP), CX
+	MOVQ  b0_base+24(FP), SI
+	MOVQ  b1_base+48(FP), R8
+	MOVQ  b2_base+72(FP), R9
+	MOVQ  b3_base+96(FP), R10
+	XORPS X0, X0 // lane accumulators for b0..b3
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  AX, AX
+	MOVQ  CX, DX
+	ANDQ  $-4, DX
+
+dot4_loop4:
+	CMPQ   AX, DX
+	JGE    dot4_hsum
+	MOVUPS (DI)(AX*4), X4
+	MOVUPS (SI)(AX*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS (R8)(AX*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X1
+	MOVUPS (R9)(AX*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X2
+	MOVUPS (R10)(AX*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X3
+	ADDQ   $4, AX
+	JMP    dot4_loop4
+
+dot4_hsum: // per accumulator: (s0+s2)+(s1+s3) into lane 0
+	MOVAPS  X0, X5
+	MOVHLPS X0, X5 // X5 low lanes = [s2, s3]
+	ADDPS   X5, X0 // X0 = [s0+s2, s1+s3, ..]
+	PSHUFD  $0x01, X0, X5
+	ADDSS   X5, X0
+	MOVAPS  X1, X5
+	MOVHLPS X1, X5
+	ADDPS   X5, X1
+	PSHUFD  $0x01, X1, X5
+	ADDSS   X5, X1
+	MOVAPS  X2, X5
+	MOVHLPS X2, X5
+	ADDPS   X5, X2
+	PSHUFD  $0x01, X2, X5
+	ADDSS   X5, X2
+	MOVAPS  X3, X5
+	MOVHLPS X3, X5
+	ADDPS   X5, X3
+	PSHUFD  $0x01, X3, X5
+	ADDSS   X5, X3
+
+dot4_tail:
+	CMPQ  AX, CX
+	JGE   dot4_done
+	MOVSS (DI)(AX*4), X4
+	MOVSS (SI)(AX*4), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	MOVSS (R8)(AX*4), X5
+	MULSS X4, X5
+	ADDSS X5, X1
+	MOVSS (R9)(AX*4), X5
+	MULSS X4, X5
+	ADDSS X5, X2
+	MOVSS (R10)(AX*4), X5
+	MULSS X4, X5
+	ADDSS X5, X3
+	INCQ  AX
+	JMP   dot4_tail
+
+dot4_done:
+	MOVSS X0, d0+120(FP)
+	MOVSS X1, d1+124(FP)
+	MOVSS X2, d2+128(FP)
+	MOVSS X3, d3+132(FP)
+	RET
+
+// func dot1f32(a, b []float32) float32
+// One dot product with the pinned 4-lane reduction of dot1Go.
+TEXT ·dot1f32(SB), NOSPLIT, $0-52
+	MOVQ  a_base+0(FP), DI
+	MOVQ  a_len+8(FP), CX
+	MOVQ  b_base+24(FP), SI
+	XORPS X0, X0
+	XORQ  AX, AX
+	MOVQ  CX, DX
+	ANDQ  $-4, DX
+
+dot1_loop4:
+	CMPQ   AX, DX
+	JGE    dot1_hsum
+	MOVUPS (DI)(AX*4), X4
+	MOVUPS (SI)(AX*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	ADDQ   $4, AX
+	JMP    dot1_loop4
+
+dot1_hsum:
+	MOVAPS  X0, X5
+	MOVHLPS X0, X5
+	ADDPS   X5, X0
+	PSHUFD  $0x01, X0, X5
+	ADDSS   X5, X0
+
+dot1_tail:
+	CMPQ  AX, CX
+	JGE   dot1_done
+	MOVSS (DI)(AX*4), X4
+	MOVSS (SI)(AX*4), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	INCQ  AX
+	JMP   dot1_tail
+
+dot1_done:
+	MOVSS X0, ret+48(FP)
+	RET

@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the float32 kernel primitives as the pure-Go twins
+// directly — same accumulation order, no assembly. See gemm_f32.go.
+
+func axpy4f32(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	axpy4Go(dst, b0, b1, b2, b3, a0, a1, a2, a3)
+}
+
+func axpy1f32(dst, b []float32, a float32) {
+	axpy1Go(dst, b, a)
+}
+
+func dot4f32(a, b0, b1, b2, b3 []float32) (float32, float32, float32, float32) {
+	return dot4Go(a, b0, b1, b2, b3)
+}
+
+func dot1f32(a, b []float32) float32 {
+	return dot1Go(a, b)
+}

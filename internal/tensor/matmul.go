@@ -40,7 +40,7 @@ func ForRows(rows, rowWork int, fn func(lo, hi int)) {
 // reduction tiled over K in ascending order, so results are identical for
 // any worker count. Zero inputs skip their weight row (dense activations
 // are sparse after ReLU).
-func MatMulInto(dst, x, w *Tensor, bias []float64) error {
+func MatMulInto[T Float](dst, x, w *TensorOf[T], bias []T) error {
 	if len(x.Shape) != 2 || len(w.Shape) != 2 || len(dst.Shape) != 2 {
 		return fmt.Errorf("tensor: matmul wants rank-2 operands, got dst %s x %s w %s",
 			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
@@ -62,7 +62,7 @@ func MatMulInto(dst, x, w *Tensor, bias []float64) error {
 // input-gradient product of a dense layer (dIn = dOut·Wᵀ). It is a
 // shape-checked wrapper over the blocked GemmBT kernel; rows are processed
 // in parallel batch shards with serial-identical arithmetic.
-func MatMulTInto(dst, x, w *Tensor) error {
+func MatMulTInto[T Float](dst, x, w *TensorOf[T]) error {
 	if len(x.Shape) != 2 || len(w.Shape) != 2 || len(dst.Shape) != 2 {
 		return fmt.Errorf("tensor: matmulT wants rank-2 operands, got dst %s x %s w %s",
 			ShapeString(dst.Shape), ShapeString(x.Shape), ShapeString(w.Shape))
@@ -78,12 +78,12 @@ func MatMulTInto(dst, x, w *Tensor) error {
 }
 
 // MatMul returns x·w as a fresh [B, N] tensor (see MatMulInto).
-func MatMul(x, w *Tensor) (*Tensor, error) {
+func MatMul[T Float](x, w *TensorOf[T]) (*TensorOf[T], error) {
 	if len(x.Shape) != 2 || len(w.Shape) != 2 {
 		return nil, fmt.Errorf("tensor: matmul wants rank-2 operands, got x %s w %s",
 			ShapeString(x.Shape), ShapeString(w.Shape))
 	}
-	dst := New(x.Shape[0], w.Shape[1])
+	dst := NewOf[T](x.Shape[0], w.Shape[1])
 	if err := MatMulInto(dst, x, w, nil); err != nil {
 		return nil, err
 	}

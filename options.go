@@ -5,6 +5,7 @@ import (
 
 	"swtnas/internal/core"
 	"swtnas/internal/data"
+	"swtnas/internal/tensor"
 )
 
 // SearchOptions configures a NAS run.
@@ -29,6 +30,15 @@ type SearchOptions struct {
 	// Seed drives the search; DataSeed the synthetic dataset (defaults
 	// to Seed).
 	Seed, DataSeed int64
+	// DType selects the training element type: "" or "f64" (the default
+	// float64 stack), or "f32" to train candidates natively in float32 —
+	// roughly half the memory traffic on the GEMM/im2col hot paths, with
+	// checkpoints stored at 4 bytes per element. Candidates are still built
+	// and weight-transferred in float64 and converted once before training,
+	// so the search's proposal stream is identical across dtypes; only the
+	// trained weights and scores differ by rounding. The Go spellings
+	// "float64"/"float32" are also accepted. See DESIGN.md §14.
+	DType string
 	// TrainN / ValN override the dataset split sizes (0 = defaults).
 	TrainN, ValN int
 	// PopulationSize / SampleSize configure regularized evolution
@@ -150,6 +160,9 @@ func (opt SearchOptions) Validate() error {
 	}
 	if opt.Budget <= 0 {
 		return &InvalidOptionError{Field: "Budget", Reason: fmt.Sprintf("must be positive, got %d", opt.Budget)}
+	}
+	if _, err := tensor.ParseDType(opt.DType); err != nil {
+		return &InvalidOptionError{Field: "DType", Reason: fmt.Sprintf("unknown dtype %q (f32, f64 or empty)", opt.DType)}
 	}
 	for _, f := range []struct {
 		name string
